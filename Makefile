@@ -1,0 +1,30 @@
+# Convenience targets for the d-HNSW reproduction.
+
+.PHONY: install test bench bench-smoke examples outputs clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	DHNSW_BENCH_SMOKE=1 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/rag_document_retrieval.py
+	python examples/streaming_ingest.py
+	python examples/scheme_comparison.py
+	python examples/sharded_scaleout.py
+
+# The artefacts DESIGN.md step 6 asks for.
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

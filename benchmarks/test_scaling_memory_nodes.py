@@ -1,0 +1,58 @@
+"""Memory-pool scaling via sharding (library extension).
+
+One memory node bounds both capacity and bandwidth.  Sharding the corpus
+round-robin across several memory nodes — each with its own NIC — lets
+the fan-out run in parallel: per-query latency is governed by the
+slowest shard, whose corpus (and per-batch transfer) shrinks with the
+shard count.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ShardedDeployment
+from repro.core import DHnswConfig
+from repro.datasets import sift_like
+from repro.metrics import recall_at_k
+
+from .conftest import bench_scale, emit_table
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def test_scaling_memory_nodes(benchmark):
+    sift_n, _ = bench_scale(4000, 0)
+    dataset = sift_like(num_vectors=sift_n, num_queries=200,
+                        num_clusters=60, seed=9)
+    config = DHnswConfig(nprobe=4, cache_fraction=0.10, seed=9)
+
+    rows = []
+    latencies = {}
+    recalls = {}
+    for shards in SHARD_COUNTS:
+        sharded = ShardedDeployment(dataset.vectors, config,
+                                    num_shards=shards)
+        batch = sharded.search_batch(dataset.queries, 10, ef_search=32)
+        recall = recall_at_k(batch.ids_list(), dataset.ground_truth, 10)
+        latencies[shards] = batch.latency_per_query_us
+        recalls[shards] = recall
+        rows.append(f"{shards:>7} {recall:>10.3f} "
+                    f"{batch.latency_per_query_us:>11.2f} "
+                    f"{batch.rdma.bytes_read:>12} "
+                    f"{sharded.total_registered_bytes / 2**20:>14.1f}")
+
+    header = (f"{'shards':>7} {'recall@10':>10} {'latency_us':>11} "
+              f"{'bytes_read':>12} {'registered_MiB':>14}")
+    emit_table("scaling_memory_nodes", header, rows)
+
+    # Parallel fan-out over smaller shards cuts per-query latency.
+    assert latencies[4] < latencies[1]
+    assert latencies[2] < latencies[1]
+    # Recall stays usable (sharding at fixed nprobe costs a little).
+    assert all(recall >= recalls[1] - 0.15 for recall in recalls.values())
+
+    sharded = ShardedDeployment(dataset.vectors, config, num_shards=2)
+    benchmark.pedantic(
+        lambda: sharded.search_batch(dataset.queries, 10, ef_search=32),
+        rounds=1, iterations=1)
+    benchmark.extra_info["latency_by_shards"] = {
+        str(shards): latency for shards, latency in latencies.items()}

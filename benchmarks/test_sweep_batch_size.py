@@ -1,0 +1,59 @@
+"""Batch-size sweep: why §4 runs 2000-query batches.
+
+Query-aware batched loading (§3.3) amortizes cluster transfers across a
+batch — the bigger the batch, the more duplicate cluster requests are
+pruned and the lower the per-query network cost.  The paper fixes batch
+size at 2000; this sweep shows the curve that justifies it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Scheme
+
+from .conftest import emit_table
+
+BATCH_SIZES = (8, 32, 128, 400)
+
+
+def test_sweep_batch_size(sift_world, benchmark):
+    world = sift_world
+    queries = world.dataset.queries
+    results = []
+    for batch_size in BATCH_SIZES:
+        client = world.client(Scheme.DHNSW)
+        # Equalize total work: run ceil(len/batch) consecutive batches
+        # over the same query set, then average per query.
+        total_network = 0.0
+        total_round_trips = 0
+        total_queries = 0
+        for start in range(0, len(queries), batch_size):
+            block = queries[start:start + batch_size]
+            batch = client.search_batch(block, 10, ef_search=16)
+            total_network += batch.breakdown.network_us
+            total_round_trips += batch.rdma.round_trips
+            total_queries += len(block)
+        results.append((batch_size, total_network / total_queries,
+                        total_round_trips / total_queries))
+
+    header = (f"{'batch_size':>10} {'network_us_per_query':>21} "
+              f"{'rt_per_query':>13}")
+    rows = [f"{size:>10} {net:>21.3f} {rts:>13.4f}"
+            for size, net, rts in results]
+    emit_table("sweep_batch_size", header, rows)
+
+    nets = np.array([net for _, net, _ in results])
+    round_trips = np.array([rts for _, _, rts in results])
+    # Larger batches amortize strictly better end to end.
+    assert nets[-1] < nets[0]
+    assert round_trips[-1] < round_trips[0]
+    # And the trend is monotone (allowing float noise).
+    assert all(a >= b - 1e-9 for a, b in zip(nets, nets[1:]))
+
+    client = world.client(Scheme.DHNSW)
+    benchmark.pedantic(
+        lambda: client.search_batch(queries, 10, ef_search=16),
+        rounds=1, iterations=1)
+    benchmark.extra_info["network_us_by_batch"] = {
+        str(size): float(net) for size, net, _ in results}

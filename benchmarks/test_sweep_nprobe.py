@@ -1,0 +1,60 @@
+"""nprobe sweep: recall vs traffic as more sub-HNSWs are probed.
+
+The paper fixes ``b`` (clusters probed per query); this sweep exposes the
+trade-off behind that choice and validates the partitioned index's core
+premise — a handful of partitions suffices for high recall.
+"""
+
+from __future__ import annotations
+
+from repro.core import DHnswClient, Scheme
+from repro.metrics import recall_at_k
+
+from .conftest import emit_table
+
+NPROBES = (1, 2, 4, 8)
+
+
+def test_sweep_nprobe(sift_world, benchmark):
+    world = sift_world
+    results = []
+    for nprobe in NPROBES:
+        config = world.config.replace(nprobe=nprobe)
+        client = DHnswClient(world.deployment.layout,
+                             world.deployment.meta, config,
+                             scheme=Scheme.DHNSW,
+                             cost_model=world.loaded_cost_model)
+        batch = client.search_batch(world.dataset.queries, 10,
+                                    ef_search=32)
+        recall = recall_at_k(batch.ids_list(),
+                             world.dataset.ground_truth, 10)
+        results.append((nprobe, recall, batch.latency_per_query_us,
+                        batch.rdma.bytes_read))
+
+    header = (f"{'nprobe':>6} {'recall@10':>10} {'latency_us':>11} "
+              f"{'bytes_read':>11}")
+    rows = [f"{nprobe:>6} {recall:>10.3f} {latency:>11.2f} {bytes_:>11}"
+            for nprobe, recall, latency, bytes_ in results]
+    emit_table("sweep_nprobe", header, rows)
+
+    recalls = [recall for _, recall, _, _ in results]
+    latencies = [latency for _, _, latency, _ in results]
+    bytes_read = [b for *_, b in results]
+    # Recall grows (weakly) with probe width; so does per-query cost.
+    # (Unique *bytes* saturate once a batch touches every cluster —
+    # that is the dedup of §3.3 working — so bytes are only weakly
+    # monotone while sub-HNSW search cost keeps growing.)
+    assert all(a <= b + 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(bytes_read, bytes_read[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(latencies, latencies[1:]))
+    assert latencies[0] < latencies[2]
+    # Diminishing returns: most of the recall is already there by 4.
+    assert recalls[2] >= 0.9 * recalls[-1]
+
+    client = world.client(Scheme.DHNSW)
+    benchmark.pedantic(
+        lambda: client.search_batch(world.dataset.queries, 10,
+                                    ef_search=32),
+        rounds=1, iterations=1)
+    benchmark.extra_info["recall_by_nprobe"] = {
+        str(nprobe): recall for nprobe, recall, _, _ in results}

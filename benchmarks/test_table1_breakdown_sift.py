@@ -1,0 +1,84 @@
+"""Table 1: latency breakdown for SIFT1M@1 with efSearch = 48 (E5).
+
+The paper splits per-query latency into network / sub-HNSW / meta-HNSW
+for each scheme and reports round trips per query (3.547 / 0.896 /
+4.75e-3).  This harness prints the same rows on the SIFT-like corpus and
+asserts the structural relations that make the table meaningful:
+
+* naive's network bucket dwarfs everything else in its row and is two or
+  more orders of magnitude above d-HNSW's;
+* the meta-HNSW bucket is tiny and roughly scheme-independent;
+* d-HNSW's round trips per query are far below one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Scheme
+
+from .conftest import BenchWorld, emit_table
+
+SCHEMES = (Scheme.NAIVE, Scheme.NO_DOORBELL, Scheme.DHNSW)
+
+
+def run_breakdown(world: BenchWorld, k: int, ef: int) -> dict[Scheme, dict]:
+    out = {}
+    for scheme in SCHEMES:
+        client = world.client(scheme)
+        batch = client.search_batch(world.dataset.queries, k, ef_search=ef)
+        per_query = batch.per_query_breakdown()
+        out[scheme] = {
+            "network_us": per_query.network_us,
+            "sub_us": per_query.sub_hnsw_us,
+            "meta_us": per_query.meta_hnsw_us,
+            "round_trips": batch.round_trips_per_query,
+        }
+    return out
+
+
+def emit_breakdown(name: str, rows_by_scheme: dict[Scheme, dict]) -> None:
+    header = (f"{'scheme':<22} {'network_us':>12} {'sub_hnsw_us':>12} "
+              f"{'meta_hnsw_us':>13} {'rt_per_query':>13}")
+    rows = [
+        f"{scheme.value:<22} {data['network_us']:>12.2f} "
+        f"{data['sub_us']:>12.2f} {data['meta_us']:>13.3f} "
+        f"{data['round_trips']:>13.5f}"
+        for scheme, data in rows_by_scheme.items()
+    ]
+    emit_table(name, header, rows)
+
+
+def assert_breakdown_shape(rows: dict[Scheme, dict]) -> None:
+    naive = rows[Scheme.NAIVE]
+    nodb = rows[Scheme.NO_DOORBELL]
+    dhnsw = rows[Scheme.DHNSW]
+    # Network column ordering and magnitude (paper: 90271 / 607 / 527 us).
+    assert naive["network_us"] > 30 * dhnsw["network_us"]
+    assert nodb["network_us"] >= dhnsw["network_us"]
+    # Naive re-deserializes per query: its sub-HNSW bucket is far above
+    # the caching schemes' (paper: 6564 vs 287/269 us).
+    assert naive["sub_us"] > 1.5 * dhnsw["sub_us"]
+    # Meta-HNSW compute is cached locally: tiny and scheme-independent
+    # (paper: 13.5 / 9.97 / 9.75 us).
+    for data in rows.values():
+        assert data["meta_us"] < 0.2 * data["sub_us"]
+    assert naive["meta_us"] == pytest.approx(dhnsw["meta_us"], rel=0.3)
+    # Round trips per query (paper: 3.547 / 0.896 / 4.75e-3).
+    assert naive["round_trips"] > 1.0
+    assert dhnsw["round_trips"] < 0.2
+    assert naive["round_trips"] > nodb["round_trips"]
+    assert nodb["round_trips"] >= dhnsw["round_trips"]
+
+
+def test_table1_breakdown_sift_top1(sift_world, benchmark):
+    rows = run_breakdown(sift_world, k=1, ef=48)
+    emit_breakdown("table1_breakdown_sift_top1", rows)
+    assert_breakdown_shape(rows)
+    client = sift_world.client(Scheme.DHNSW)
+    benchmark.pedantic(
+        lambda: client.search_batch(sift_world.dataset.queries, 1,
+                                    ef_search=48),
+        rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {scheme.value: rows[scheme] for scheme in SCHEMES})

@@ -1,0 +1,41 @@
+"""Table 2: latency breakdown for GIST1M@1 with efSearch = 48 (E6).
+
+Same harness as Table 1 on the 960-dimensional GIST-like corpus, plus the
+cross-dataset claim: GIST queries cost more than SIFT queries at equal
+parameters because vectors are 7.5x larger (paper: 1.3 ms vs 527 us for
+d-HNSW's network bucket)."""
+
+from __future__ import annotations
+
+from repro.core import Scheme
+
+from .test_table1_breakdown_sift import (
+    SCHEMES,
+    assert_breakdown_shape,
+    emit_breakdown,
+    run_breakdown,
+)
+
+
+def test_table2_breakdown_gist_top1(sift_world, gist_world, benchmark):
+    rows = run_breakdown(gist_world, k=1, ef=48)
+    emit_breakdown("table2_breakdown_gist_top1", rows)
+    assert_breakdown_shape(rows)
+
+    # Cross-dataset: GIST is more expensive than SIFT for the same scheme
+    # (dimensionality drives both transfer bytes and per-distance cost).
+    sift_rows = run_breakdown(sift_world, k=1, ef=48)
+    for scheme in SCHEMES:
+        gist_total = sum(rows[scheme][key]
+                         for key in ("network_us", "sub_us", "meta_us"))
+        sift_total = sum(sift_rows[scheme][key]
+                         for key in ("network_us", "sub_us", "meta_us"))
+        assert gist_total > sift_total
+
+    client = gist_world.client(Scheme.DHNSW)
+    benchmark.pedantic(
+        lambda: client.search_batch(gist_world.dataset.queries, 1,
+                                    ef_search=48),
+        rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {scheme.value: rows[scheme] for scheme in SCHEMES})

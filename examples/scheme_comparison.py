@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline comparison at example scale.
+
+Runs the three schemes of §4 — naive d-HNSW, d-HNSW without doorbell
+batching, and full d-HNSW — over one shared deployment under simulated
+24-instance load, and prints a latency-recall sweep like Fig. 6 plus a
+Table-1-style breakdown.
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import DHnswConfig, Scheme, recall_at_k
+from repro.cluster import Deployment
+from repro.core import DHnswClient
+from repro.datasets import sift_like
+
+EF_SWEEP = (1, 4, 16, 48)
+NUM_INSTANCES_SHARING_LINK = 24
+
+
+def main() -> None:
+    print("building a SIFT-like deployment (6000 x 128)...")
+    dataset = sift_like(num_vectors=6000, num_queries=300,
+                        num_clusters=80, seed=1)
+    config = DHnswConfig(nprobe=4, cache_fraction=0.10, seed=1)
+    deployment = Deployment(dataset.vectors, config,
+                            simulate_link_contention=False)
+    loaded_model = deployment.cost_model.shared_by(
+        NUM_INSTANCES_SHARING_LINK)
+
+    print(f"\n{'scheme':<22} {'ef':>4} {'recall@10':>10} "
+          f"{'latency_us':>11} {'rt/query':>9}")
+    finals = {}
+    for scheme in (Scheme.NAIVE, Scheme.NO_DOORBELL, Scheme.DHNSW):
+        client = DHnswClient(deployment.layout, deployment.meta, config,
+                             scheme=scheme, cost_model=loaded_model)
+        for ef in EF_SWEEP:
+            batch = client.search_batch(dataset.queries, 10, ef_search=ef)
+            recall = recall_at_k(batch.ids_list(), dataset.ground_truth,
+                                 10)
+            print(f"{scheme.value:<22} {ef:>4} {recall:>10.3f} "
+                  f"{batch.latency_per_query_us:>11.2f} "
+                  f"{batch.round_trips_per_query:>9.4f}")
+        finals[scheme] = batch
+
+    print("\nlatency breakdown at efSearch=48 (per query, simulated us):")
+    print(f"{'scheme':<22} {'network':>10} {'sub-HNSW':>10} "
+          f"{'meta-HNSW':>10}")
+    for scheme, batch in finals.items():
+        per_query = batch.per_query_breakdown()
+        print(f"{scheme.value:<22} {per_query.network_us:>10.2f} "
+              f"{per_query.sub_hnsw_us:>10.2f} "
+              f"{per_query.meta_hnsw_us:>10.3f}")
+
+    ratio = (finals[Scheme.NAIVE].latency_per_query_us
+             / finals[Scheme.DHNSW].latency_per_query_us)
+    print(f"\nnaive / d-HNSW total latency ratio at efSearch=48: "
+          f"{ratio:.1f}x (paper reports up to 117x at SIFT1M scale)")
+
+
+if __name__ == "__main__":
+    main()

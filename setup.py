@@ -1,0 +1,18 @@
+"""Setup shim: enables `pip install -e .` on offline hosts without the
+`wheel` package (legacy setuptools develop mode). All metadata lives in
+pyproject.toml / setup.cfg-compatible keywords below."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "d-HNSW: efficient vector search on (simulated) RDMA-based "
+        "disaggregated memory"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["dhnsw=repro.cli:main"]},
+)

@@ -1,0 +1,33 @@
+"""Non-graph ANN baselines from the paper's background section (§2.1).
+
+* :class:`~repro.baselines.ivf.IvfFlatIndex` — quantization family
+  (reference [14], FAISS-style inverted file over k-means centroids);
+* :class:`~repro.baselines.lsh.LshIndex` — hashing family (reference
+  [7], random hyperplanes, multi-table, multiprobe);
+* :class:`~repro.baselines.kdtree.KdTreeIndex` — tree family (reference
+  [24], median-split k-d tree with best-first bounded search);
+* :func:`~repro.baselines.kmeans.kmeans` — the Lloyd's/k-means++
+  substrate behind IVF.
+
+``benchmarks/test_baseline_ann.py`` pits them against the HNSW
+substrate at matched recall to reproduce §2.1's claim that graph
+indexes win at high dimension.
+"""
+
+from repro.baselines.ivf import IvfFlatIndex
+from repro.baselines.kdtree import KdTreeIndex
+from repro.baselines.kmeans import KMeansResult, kmeans, kmeans_plus_plus_init
+from repro.baselines.lsh import LshIndex
+from repro.baselines.pushdown import PushdownServer
+from repro.baselines.vamana import VamanaIndex
+
+__all__ = [
+    "IvfFlatIndex",
+    "KMeansResult",
+    "KdTreeIndex",
+    "LshIndex",
+    "PushdownServer",
+    "VamanaIndex",
+    "kmeans",
+    "kmeans_plus_plus_init",
+]

@@ -1,0 +1,107 @@
+"""The monolithic comparator: query push-down to the memory server.
+
+§1 motivates disaggregation against "excessive data movement and
+resource underutilization in monolithic architectures".  The natural
+alternative to moving index data to the compute pool is moving the
+*query* to the data: a monolithic server co-locates the whole HNSW with
+the vectors and executes searches on its own CPU.
+
+In the disaggregated setting that CPU is the memory instance's — which
+the paper specifies as "extremely weak" — so push-down trades d-HNSW's
+network transfers for slow, serialized server compute.  The benchmark
+``benchmarks/test_baseline_pushdown.py`` shows the resulting ordering:
+
+* push-down beats *naive* d-HNSW (which re-ships clusters per query);
+* full d-HNSW beats push-down once its cache is warm (fast compute-pool
+  CPUs + almost no traffic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import BatchResult, QueryResult
+from repro.errors import ConfigError
+from repro.hnsw.index import HnswIndex
+from repro.hnsw.params import HnswParams
+from repro.metrics.latency import LatencyBreakdown
+from repro.rdma.clock import SimClock
+from repro.rdma.network import CostModel
+from repro.rdma.stats import RdmaStats
+
+__all__ = ["PushdownServer"]
+
+#: Result wire format: global id (i64) + distance (f32) per neighbour.
+_RESULT_BYTES_PER_NEIGHBOR = 12
+
+
+class PushdownServer:
+    """A monolithic vector server executing queries on the data side.
+
+    Queries arrive over the same fabric (one round trip carrying the
+    query vector, one carrying the top-k), and all search compute runs
+    on the server CPU at ``cpu_slowdown`` times the compute pool's
+    per-distance cost — serialized, because the memory instance has no
+    army of compute instances to fan out to.
+    """
+
+    def __init__(self, vectors: np.ndarray,
+                 params: HnswParams | None = None,
+                 cost_model: CostModel | None = None,
+                 cpu_slowdown: float = 4.0) -> None:
+        if cpu_slowdown < 1.0:
+            raise ConfigError(
+                f"cpu_slowdown must be >= 1.0, got {cpu_slowdown}")
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        self.cost_model = (cost_model if cost_model is not None
+                           else CostModel())
+        self.cpu_slowdown = float(cpu_slowdown)
+        self.clock = SimClock()
+        self.index = HnswIndex(
+            vectors.shape[1],
+            params if params is not None else HnswParams(
+                m=16, ef_construction=100, seed=0))
+        self.index.add(vectors)
+
+    # ------------------------------------------------------------------
+    def search_batch(self, queries: np.ndarray, k: int,
+                     ef_search: int | None = None) -> BatchResult:
+        """Serve a batch; returns the same result type as a d-HNSW client.
+
+        Accounting: per query one request WRITE (the vector) and one
+        response READ (k ids + distances) at fabric cost, plus the
+        server's slowed-down search compute in the sub-HNSW bucket.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        ef = max(ef_search if ef_search is not None else 2 * k, k)
+
+        stats = RdmaStats()
+        breakdown = LatencyBreakdown()
+        results = []
+        self.index.reset_compute_counter()
+        for query in queries:
+            request_bytes = query.shape[0] * 4
+            request_us = self.cost_model.write_us(request_bytes)
+            stats.record_write(request_bytes, request_us)
+            labels, dists = self.index.search(query, k, ef=ef)
+            results.append(QueryResult(ids=labels, distances=dists))
+            response_bytes = len(labels) * _RESULT_BYTES_PER_NEIGHBOR
+            response_us = self.cost_model.read_us(response_bytes)
+            stats.record_read(response_bytes, response_us)
+        evals = self.index.reset_compute_counter()
+        compute_us = (self.cost_model.compute_us(evals, self.index.dim)
+                      * self.cpu_slowdown)
+        breakdown.network_us = stats.network_time_us
+        breakdown.sub_hnsw_us = compute_us
+        self.clock.advance(breakdown.total_us)
+        return BatchResult(results=results, breakdown=breakdown,
+                           rdma=stats, clusters_fetched=0, cache_hits=0,
+                           duplicate_requests_pruned=0, waves=0)
+
+    def search(self, query: np.ndarray, k: int,
+               ef_search: int | None = None) -> QueryResult:
+        """Single-query convenience wrapper."""
+        return self.search_batch(np.atleast_2d(query), k,
+                                 ef_search).results[0]

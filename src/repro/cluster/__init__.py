@@ -1,0 +1,8 @@
+"""Deployment topology: memory pool + compute pool + load balancer."""
+
+from repro.cluster.deployment import Deployment
+from repro.cluster.load_balancer import ClusterBatchResult, LoadBalancer
+from repro.cluster.sharding import ShardedDeployment
+
+__all__ = ["ClusterBatchResult", "Deployment", "LoadBalancer",
+           "ShardedDeployment"]

@@ -1,0 +1,80 @@
+"""Standing up a full disaggregated deployment (Fig. 2).
+
+One memory instance, many compute instances: the paper's testbed carves
+three servers into 24 compute instances against a single memory node.  A
+:class:`Deployment` builds the remote layout once and hands each compute
+instance its own :class:`~repro.core.client.DHnswClient` (own clock, own
+cache, own queue pair).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import Scheme
+from repro.core.client import DHnswClient
+from repro.core.config import DHnswConfig
+from repro.core.engine import BuildReport, DHnswBuilder, RemoteLayout
+from repro.core.meta_index import MetaHnsw
+from repro.errors import ConfigError
+from repro.rdma.memory_node import MemoryNode
+from repro.rdma.network import CostModel
+
+__all__ = ["Deployment"]
+
+
+class Deployment:
+    """A built d-HNSW system: one memory pool, N compute instances."""
+
+    def __init__(self, vectors: np.ndarray,
+                 config: DHnswConfig | None = None,
+                 cost_model: CostModel | None = None,
+                 num_compute_instances: int = 1,
+                 scheme: Scheme = Scheme.DHNSW,
+                 simulate_link_contention: bool = True,
+                 labels: np.ndarray | None = None) -> None:
+        if num_compute_instances < 1:
+            raise ConfigError(
+                f"need >= 1 compute instance, got {num_compute_instances}")
+        self.config = config if config is not None else DHnswConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.scheme = scheme
+        self.memory_node = MemoryNode()
+        builder = DHnswBuilder(self.config, self.cost_model, self.memory_node)
+        self.meta: MetaHnsw
+        self.layout: RemoteLayout
+        self.build_report: BuildReport
+        self.meta, self.layout, self.build_report = builder.build(
+            vectors, labels=labels)
+        # Under concurrent load every instance sees its fair share of the
+        # memory node's link (§4 runs 24 instances against one node).
+        effective = self.cost_model
+        if simulate_link_contention and num_compute_instances > 1:
+            effective = self.cost_model.shared_by(num_compute_instances)
+        self.effective_cost_model = effective
+        self.clients = [
+            DHnswClient(self.layout, self.meta, self.config, scheme=scheme,
+                        cost_model=effective, name=f"compute{i}")
+            for i in range(num_compute_instances)
+        ]
+
+    @property
+    def num_compute_instances(self) -> int:
+        """Size of the compute pool."""
+        return len(self.clients)
+
+    def client(self, index: int = 0) -> DHnswClient:
+        """One compute instance's client."""
+        return self.clients[index]
+
+    def make_client(self, scheme: Scheme,
+                    name: str | None = None) -> DHnswClient:
+        """A fresh client over the same layout (e.g. a baseline scheme).
+
+        Not added to :attr:`clients`; benchmark harnesses use this to
+        compare schemes against one shared build.
+        """
+        return DHnswClient(
+            self.layout, self.meta, self.config, scheme=scheme,
+            cost_model=self.effective_cost_model,
+            name=name if name is not None else f"adhoc-{scheme.value}")

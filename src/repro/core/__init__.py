@@ -1,0 +1,56 @@
+"""d-HNSW core: the paper's contribution assembled from the substrates.
+
+Typical usage::
+
+    from repro.core import DHnswBuilder, DHnswClient, DHnswConfig, Scheme
+
+    builder = DHnswBuilder(DHnswConfig(nprobe=4))
+    meta, layout, report = builder.build(corpus_vectors)
+    client = DHnswClient(layout, meta, builder.config, scheme=Scheme.DHNSW)
+    batch = client.search_batch(queries, k=10, ef_search=32)
+"""
+
+from repro.core.baselines import Scheme, SchemePolicy, policy_for
+from repro.core.cache import CachedCluster, ClusterCache
+from repro.core.client import DHnswClient, InsertReport
+from repro.core.config import DHnswConfig
+from repro.core.engine import BuildReport, DHnswBuilder, RemoteLayout
+from repro.core.fsck import Finding, FsckReport, fsck
+from repro.core.meta_index import MetaHnsw, sample_representatives
+from repro.core.partitions import (
+    Partitioning,
+    assign_partitions,
+    build_sub_hnsws,
+)
+from repro.core.query_planner import BatchPlan, Wave, plan_batch
+from repro.core.results import BatchResult, QueryResult
+from repro.core.tuning import TuningResult, tune_ef_search
+
+__all__ = [
+    "BatchPlan",
+    "BatchResult",
+    "BuildReport",
+    "CachedCluster",
+    "ClusterCache",
+    "DHnswBuilder",
+    "DHnswClient",
+    "DHnswConfig",
+    "Finding",
+    "FsckReport",
+    "InsertReport",
+    "MetaHnsw",
+    "Partitioning",
+    "QueryResult",
+    "RemoteLayout",
+    "Scheme",
+    "SchemePolicy",
+    "TuningResult",
+    "Wave",
+    "assign_partitions",
+    "build_sub_hnsws",
+    "fsck",
+    "plan_batch",
+    "tune_ef_search",
+    "policy_for",
+    "sample_representatives",
+]

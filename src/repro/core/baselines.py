@@ -1,0 +1,55 @@
+"""The three schemes evaluated in §4, expressed as loading policies.
+
+All schemes share the meta-HNSW and the remote layout; they differ only in
+how sub-HNSW clusters travel from the memory pool to the compute pool:
+
+* **Naive d-HNSW** — one ``RDMA_READ`` round trip per (query, cluster)
+  pair: no cache, no batch-level deduplication, no doorbell batching.
+* **d-HNSW w/o doorbell** — meta-HNSW caching and query-aware loading
+  (dedup + cluster cache), but discontinuous clusters are read in one
+  round trip *each*.
+* **d-HNSW** — everything above plus doorbell batching: discontinuous
+  clusters fetched in a single network round trip per doorbell ring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["Scheme", "SchemePolicy", "policy_for"]
+
+
+class Scheme(enum.Enum):
+    """Evaluation schemes of the paper (§4)."""
+
+    NAIVE = "naive-d-hnsw"
+    NO_DOORBELL = "d-hnsw-no-doorbell"
+    DHNSW = "d-hnsw"
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemePolicy:
+    """Loading behaviour toggles derived from a scheme."""
+
+    deduplicate_batch: bool
+    use_cluster_cache: bool
+    doorbell_batching: bool
+
+
+_POLICIES = {
+    Scheme.NAIVE: SchemePolicy(
+        deduplicate_batch=False, use_cluster_cache=False,
+        doorbell_batching=False),
+    Scheme.NO_DOORBELL: SchemePolicy(
+        deduplicate_batch=True, use_cluster_cache=True,
+        doorbell_batching=False),
+    Scheme.DHNSW: SchemePolicy(
+        deduplicate_batch=True, use_cluster_cache=True,
+        doorbell_batching=True),
+}
+
+
+def policy_for(scheme: Scheme) -> SchemePolicy:
+    """The loading policy implementing ``scheme``."""
+    return _POLICIES[scheme]

@@ -1,0 +1,113 @@
+"""The compute-instance sub-HNSW cluster cache (§3.3).
+
+"Additionally, we retain the most recently loaded c sub-HNSWs for the next
+batch.  If the required sub-HNSWs are already in the compute instance, they
+do not need to be loaded again, further reducing data transfer overhead."
+
+Capacity is a cluster count (the paper configures 10 % of all clusters).
+Entries carry the metadata version and the overflow tail observed at load
+time so staleness is detectable after inserts and rebuilds.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.hnsw.index import HnswIndex
+from repro.layout.serializer import OverflowRecord
+
+__all__ = ["CachedCluster", "ClusterCache"]
+
+
+@dataclasses.dataclass
+class CachedCluster:
+    """A deserialized sub-HNSW plus the overflow records seen at load."""
+
+    cluster_id: int
+    index: HnswIndex
+    overflow: list[OverflowRecord]
+    overflow_tail: int
+    metadata_version: int
+    nbytes: int
+
+
+class ClusterCache:
+    """LRU cache of deserialized sub-HNSW clusters."""
+
+    def __init__(self, capacity_clusters: int) -> None:
+        if capacity_clusters < 1:
+            raise ConfigError(
+                f"cache capacity must be >= 1, got {capacity_clusters}")
+        self.capacity_clusters = int(capacity_clusters)
+        self._entries: collections.OrderedDict[int, CachedCluster] = (
+            collections.OrderedDict())
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, cluster_id: int) -> bool:
+        return cluster_id in self._entries
+
+    @property
+    def cached_bytes(self) -> int:
+        """Sum of cached entries' sizes."""
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def get(self, cluster_id: int) -> CachedCluster | None:
+        """Look up a cluster, refreshing its recency; counts hit/miss."""
+        entry = self._entries.get(cluster_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(cluster_id)
+        self.hits += 1
+        return entry
+
+    def peek(self, cluster_id: int) -> CachedCluster | None:
+        """Look up without touching recency or counters (planner use)."""
+        return self._entries.get(cluster_id)
+
+    def put(self, entry: CachedCluster) -> list[CachedCluster]:
+        """Insert (or replace) an entry; returns any evicted entries."""
+        evicted = []
+        if entry.cluster_id in self._entries:
+            del self._entries[entry.cluster_id]
+        while len(self._entries) >= self.capacity_clusters:
+            _, victim = self._entries.popitem(last=False)
+            self.evictions += 1
+            evicted.append(victim)
+        self._entries[entry.cluster_id] = entry
+        return evicted
+
+    def pop_lru(self) -> CachedCluster | None:
+        """Evict and return the least recently used entry, if any."""
+        if not self._entries:
+            return None
+        _, victim = self._entries.popitem(last=False)
+        self.evictions += 1
+        return victim
+
+    def invalidate(self, cluster_id: int) -> bool:
+        """Drop one entry (stale after a rebuild); True if it was cached."""
+        if cluster_id in self._entries:
+            del self._entries[cluster_id]
+            self.invalidations += 1
+            return True
+        return False
+
+    def invalidate_all(self) -> None:
+        """Drop everything (metadata version change)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

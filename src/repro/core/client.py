@@ -1,0 +1,781 @@
+"""The per-compute-instance d-HNSW client.
+
+A :class:`DHnswClient` is one compute instance of the paper's architecture
+(Fig. 2): it caches the meta-HNSW and the remote layout's cluster offsets
+locally, keeps an LRU cache of recently loaded sub-HNSW clusters, and
+serves batched top-k queries and dynamic insertions against the
+disaggregated memory pool.
+
+The client's loading behaviour is controlled by a
+:class:`~repro.core.baselines.Scheme`, which is how the three systems of
+the evaluation (naive / no-doorbell / full d-HNSW) share one
+implementation.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import struct
+from typing import Callable
+
+import numpy as np
+
+from repro.core.baselines import Scheme, SchemePolicy, policy_for
+from repro.core.cache import CachedCluster, ClusterCache
+from repro.core.config import DHnswConfig
+from repro.core.engine import RemoteLayout
+from repro.core.meta_index import MetaHnsw
+from repro.core.query_planner import BatchPlan, plan_batch
+from repro.core.results import BatchResult, QueryResult
+from repro.errors import LayoutError, OverflowFullError
+from repro.hnsw.index import HnswIndex
+from repro.layout.group_layout import (
+    OVERFLOW_TAIL_BYTES,
+    cluster_read_extent,
+    overflow_area_size,
+)
+from repro.layout.metadata import GlobalMetadata
+from repro.layout.serializer import (
+    OverflowRecord,
+    deserialize_cluster,
+    overflow_record_size,
+    pack_overflow_record,
+    serialize_cluster,
+    unpack_overflow_records,
+)
+from repro.metrics.latency import LatencyBreakdown
+from repro.rdma.compute_node import ComputeNode
+from repro.rdma.control import ControlClient
+from repro.rdma.network import CostModel
+from repro.rdma.qp import ReadDescriptor, WriteDescriptor
+
+__all__ = ["DHnswClient", "InsertReport"]
+
+_U64 = struct.Struct("<Q")
+
+
+@dataclasses.dataclass(frozen=True)
+class InsertReport:
+    """Outcome of one dynamic insertion."""
+
+    global_id: int
+    cluster_id: int
+    overflow_slot: int
+    triggered_rebuild: bool
+
+
+class DHnswClient:
+    """One compute instance serving vector queries over the remote layout."""
+
+    def __init__(self, layout: RemoteLayout, meta: MetaHnsw,
+                 config: DHnswConfig | None = None,
+                 scheme: Scheme = Scheme.DHNSW,
+                 cost_model: CostModel | None = None,
+                 name: str = "compute0") -> None:
+        self.layout = layout
+        self.config = config if config is not None else DHnswConfig()
+        self.scheme = scheme
+        self.policy: SchemePolicy = policy_for(scheme)
+        self.cost_model = (cost_model if cost_model is not None
+                           else CostModel())
+        # Each instance caches its own copy of the lightweight meta-HNSW
+        # (§3.1: "we cache the lightweight meta-HNSW in the compute pool").
+        self.meta = copy.deepcopy(meta)
+
+        capacity = self.config.cache_capacity_clusters(
+            layout.metadata.num_clusters)
+        self.cache = ClusterCache(capacity)
+        meta_bytes = self.meta.serialized_size_bytes()
+        max_extent = max(
+            (cluster_read_extent(layout.metadata, cid)[1]
+             for cid in range(layout.metadata.num_clusters)), default=0)
+        budget = meta_bytes + int(capacity * max_extent * 1.5) + (1 << 20)
+        self.node = ComputeNode(layout.memory_node, self.cost_model,
+                                dram_budget_bytes=budget, name=name)
+        if not self.node.reserve_dram(meta_bytes):
+            raise LayoutError("DRAM budget cannot hold the meta-HNSW")
+
+        # Connection setup: verify the region with the memory node's
+        # control daemon (two-sided RPC), when one is attached.
+        self.control: ControlClient | None = None
+        if layout.daemon is not None:
+            self.control = ControlClient(layout.daemon, self.node.clock,
+                                         self.cost_model)
+            base_addr, length = self.control.region_info(layout.rkey)
+            if (base_addr, length) != (layout.region.base_addr,
+                                       layout.region.length):
+                raise LayoutError(
+                    "control daemon disagrees with the layout handle "
+                    f"about region {layout.rkey}")
+
+        # Fetch the authoritative metadata block (one READ at startup).
+        self.metadata = self._read_metadata()
+
+        # Simulation-only memoization of blob decoding, keyed by
+        # (cluster, metadata version, overflow tail).  The *simulated*
+        # deserialization cost is charged on every fetch regardless; this
+        # just keeps the simulator's wall-clock time proportional to
+        # unique blobs rather than total fetches.
+        self._decode_cache: dict[tuple[int, int, int], CachedCluster] = {}
+        self._deserialize_us = 0.0
+
+    # ------------------------------------------------------------------
+    # Metadata freshness
+    # ------------------------------------------------------------------
+    def _read_metadata(self) -> GlobalMetadata:
+        blob = self.node.qp.post_read(
+            self.layout.rkey, self.layout.addr(0),
+            self.layout.metadata_nbytes)
+        return GlobalMetadata.unpack(blob)
+
+    def refresh_metadata(self) -> bool:
+        """Peek the remote version; re-read the block if it moved.
+
+        Returns True when a refresh happened.  Cache entries belonging to
+        relocated clusters are invalidated.
+        """
+        head = self.node.qp.post_read(self.layout.rkey, self.layout.addr(0),
+                                      16)
+        remote_version = GlobalMetadata.peek_version(head)
+        if remote_version == self.metadata.version:
+            return False
+        fresh = self._read_metadata()
+        for cid, (old, new) in enumerate(zip(self.metadata.clusters,
+                                             fresh.clusters)):
+            if old != new:
+                self.cache.invalidate(cid)
+        self.metadata = fresh
+        return True
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int,
+               ef_search: int | None = None) -> QueryResult:
+        """Top-``k`` for one query (a batch of one)."""
+        return self.search_batch(np.atleast_2d(query), k, ef_search).results[0]
+
+    def search_batch(self, queries: np.ndarray, k: int,
+                     ef_search: int | None = None,
+                     filter_fn: "Callable[[int], bool] | None" = None
+                     ) -> BatchResult:
+        """Answer a batch of queries with full latency/traffic accounting.
+
+        ``ef_search`` is the sub-HNSW beam width the paper sweeps (1..48);
+        it defaults to ``max(2 * k, k)``.
+
+        ``filter_fn`` optionally restricts results to global ids it
+        accepts (metadata filtering, the standard vector-database
+        requirement).  Filtering is applied post-search, so heavily
+        selective filters may return fewer than ``k`` results — raise
+        ``ef_search`` to compensate.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        ef = max(ef_search if ef_search is not None else 2 * k, k)
+
+        before = self.node.stats.snapshot()
+        breakdown = LatencyBreakdown()
+        self.refresh_metadata()
+
+        # --- meta-HNSW routing (local, cached) -------------------------
+        self.meta.reset_compute_counter()
+        if self.config.adaptive_nprobe:
+            required = [self.meta.route_adaptive(
+                query, self.config.nprobe, self.config.ef_meta,
+                self.config.adaptive_alpha) for query in queries]
+        else:
+            required = [self.meta.route(query, self.config.nprobe,
+                                        self.config.ef_meta)
+                        for query in queries]
+        meta_evals = self.meta.reset_compute_counter()
+        breakdown.meta_hnsw_us += self.node.charge_compute(
+            meta_evals, self.meta.dim)
+
+        # --- cluster loading + sub-HNSW search -------------------------
+        merged: list[dict[int, float]] = [dict() for _ in range(len(queries))]
+        sub_evals = 0
+        if self.policy.deduplicate_batch:
+            plan = plan_batch(
+                required,
+                self.cache if self.policy.use_cluster_cache
+                else ClusterCache(1),
+                self.cache.capacity_clusters)
+            sub_evals, fetched, hit_count, overlap_saved = (
+                self._execute_plan(plan, queries, merged, k, ef))
+            waves = len(plan.waves)
+            pruned = plan.duplicate_requests_pruned
+        else:
+            sub_evals, fetched = self._execute_naive(
+                required, queries, merged, k, ef)
+            overlap_saved = 0.0
+            hit_count = 0
+            waves = 0
+            pruned = 0
+        breakdown.sub_hnsw_us += self.node.charge_compute(
+            sub_evals, self.meta.dim)
+        # Deserialization of fetched blobs is CPU work on loaded data —
+        # it belongs to the sub-HNSW bucket (see CostModel docs).
+        breakdown.sub_hnsw_us += self.node.charge_time(self._deserialize_us)
+        self._deserialize_us = 0.0
+
+        # --- finalize ---------------------------------------------------
+        results = []
+        for per_query in merged:
+            candidates = ((dist, gid) for gid, dist in per_query.items()
+                          if filter_fn is None or filter_fn(gid))
+            top = sorted(candidates)[:k]
+            results.append(QueryResult(
+                ids=np.array([gid for _, gid in top], dtype=np.int64),
+                distances=np.array([dist for dist, _ in top],
+                                   dtype=np.float32)))
+        rdma_delta = self.node.stats.delta(before)
+        breakdown.network_us += rdma_delta.network_time_us
+        return BatchResult(results=results, breakdown=breakdown,
+                           rdma=rdma_delta, clusters_fetched=fetched,
+                           cache_hits=hit_count,
+                           duplicate_requests_pruned=pruned, waves=waves,
+                           overlap_saved_us=overlap_saved)
+
+    # ------------------------------------------------------------------
+    def _execute_plan(self, plan: BatchPlan, queries: np.ndarray,
+                      merged: list[dict[int, float]], k: int,
+                      ef: int) -> tuple[int, int, int, float]:
+        """Run a deduplicated wave schedule; returns
+        ``(sub_evals, clusters_fetched, cache_hits, overlap_saved_us)``.
+
+        ``overlap_saved_us`` is the time a double-buffered loader would
+        save by prefetching wave ``i+1`` during wave ``i``'s search; it
+        is only computed when ``config.pipeline_waves`` is set.
+        """
+        sub_evals = 0
+        fetched = 0
+        hit_count = 0
+        wave_profiles: list[tuple[float, float]] = []  # (fetch, process)
+        for wave in plan.waves:
+            fetch_before = self.node.stats.network_time_us
+            deser_before = self._deserialize_us
+            entries: dict[int, CachedCluster] = {}
+            if wave.fetch_cluster_ids:
+                loaded = self._fetch_clusters(list(wave.fetch_cluster_ids),
+                                              self.policy.doorbell_batching)
+                fetched += len(loaded)
+                self.cache.misses += len(loaded)
+                for entry in loaded.values():
+                    if self.policy.use_cluster_cache:
+                        self._cache_put(entry)
+                entries.update(loaded)
+            else:
+                # Hit wave: validate overflow tails, then consume entries.
+                hit_ids = sorted({cid for _, cid in wave.serviced})
+                if self.config.validate_overflow_on_hit and hit_ids:
+                    self._validate_cached(hit_ids)
+                for cid in hit_ids:
+                    entry = self.cache.get(cid)
+                    if entry is None:
+                        # Evicted between planning and execution (possible
+                        # only with pathological capacity 1): refetch.
+                        entry = self._fetch_clusters(
+                            [cid], self.policy.doorbell_batching)[cid]
+                        fetched += 1
+                    else:
+                        hit_count += 1
+                    entries[cid] = entry
+            wave_evals = 0
+            for query_index, cid in wave.serviced:
+                entry = entries.get(cid)
+                if entry is None:
+                    entry = self.cache.peek(cid)
+                if entry is None:
+                    raise LayoutError(
+                        f"planned cluster {cid} missing during wave")
+                wave_evals += self._search_cluster(
+                    entry, queries[query_index], k, ef,
+                    merged[query_index])
+            sub_evals += wave_evals
+            if self.config.pipeline_waves:
+                fetch_us = self.node.stats.network_time_us - fetch_before
+                process_us = (self.cost_model.compute_us(
+                    wave_evals, self.meta.dim)
+                    + self._deserialize_us - deser_before)
+                wave_profiles.append((fetch_us, process_us))
+        overlap_saved = (self._overlap_saved(wave_profiles)
+                         if self.config.pipeline_waves else 0.0)
+        return sub_evals, fetched, hit_count, overlap_saved
+
+    @staticmethod
+    def _overlap_saved(profiles: list[tuple[float, float]]) -> float:
+        """Serial minus pipelined schedule length for the given waves.
+
+        Pipelined: ``f_0 + sum(max(f_{i+1}, p_i)) + p_last`` — wave
+        ``i``'s search overlaps wave ``i+1``'s fetch.
+        """
+        if len(profiles) < 2:
+            return 0.0
+        serial = sum(fetch + process for fetch, process in profiles)
+        pipelined = profiles[0][0]
+        for (_, process), (next_fetch, _) in zip(profiles, profiles[1:]):
+            pipelined += max(process, next_fetch)
+        pipelined += profiles[-1][1]
+        return serial - pipelined
+
+    def _execute_naive(self, required: list[list[int]], queries: np.ndarray,
+                       merged: list[dict[int, float]], k: int,
+                       ef: int) -> tuple[int, int]:
+        """Naive d-HNSW: one READ round trip per (query, cluster) pair."""
+        sub_evals = 0
+        fetched = 0
+        for query_index, cluster_ids in enumerate(required):
+            for cid in cluster_ids:
+                entry = self._fetch_clusters([cid], doorbell=False)[cid]
+                fetched += 1
+                sub_evals += self._search_cluster(
+                    entry, queries[query_index], k, ef, merged[query_index])
+        return sub_evals, fetched
+
+    # ------------------------------------------------------------------
+    # Cluster IO
+    # ------------------------------------------------------------------
+    def _fetch_clusters(self, cluster_ids: list[int],
+                        doorbell: bool) -> dict[int, CachedCluster]:
+        """READ each cluster's contiguous extent (blob + overflow)."""
+        descriptors = []
+        extents = []
+        for cid in cluster_ids:
+            offset, length = cluster_read_extent(self.metadata, cid)
+            descriptors.append(ReadDescriptor(
+                self.layout.rkey, self.layout.addr(offset), length))
+            extents.append((cid, offset, length))
+        if doorbell:
+            payloads = self.node.qp.post_read_batch(descriptors)
+        else:
+            payloads = [self.node.qp.post_read(d.rkey, d.addr, d.length)
+                        for d in descriptors]
+        return {cid: self._decode_extent(cid, offset, payload)
+                for (cid, offset, _), payload in zip(extents, payloads)}
+
+    def _decode_extent(self, cluster_id: int, extent_offset: int,
+                       payload: bytes) -> CachedCluster:
+        """Deserialize a fetched extent, charging the simulated CPU cost.
+
+        Decoding is memoized on (cluster, version, overflow tail) purely to
+        keep simulator wall-clock bounded; the simulated cost is charged on
+        every call, since a real compute instance re-parses every fetch.
+        """
+        self._deserialize_us += self.cost_model.deserialize_us(len(payload))
+        cluster = self.metadata.clusters[cluster_id]
+        group = self.metadata.groups[cluster.group_id]
+        area = payload[group.overflow_offset - extent_offset:]
+        (tail,) = _U64.unpack_from(area, 0)
+        key = (cluster_id, self.metadata.version, int(tail))
+        memoized = self._decode_cache.get(key)
+        if memoized is None:
+            memoized = self._parse_extent(cluster_id, extent_offset, payload)
+            if len(self._decode_cache) > 2 * max(
+                    64, self.metadata.num_clusters):
+                self._decode_cache.clear()
+            self._decode_cache[key] = memoized
+        # Hand out a private copy of the mutable parts so cache-side
+        # overflow refreshes never alias the memoized entry.
+        return dataclasses.replace(memoized, overflow=list(memoized.overflow))
+
+    def _parse_extent(self, cluster_id: int, extent_offset: int,
+                      payload: bytes) -> CachedCluster:
+        """Split a fetched extent into blob + overflow and deserialize."""
+        cluster = self.metadata.clusters[cluster_id]
+        group = self.metadata.groups[cluster.group_id]
+        blob_start = cluster.blob_offset - extent_offset
+        blob = payload[blob_start:blob_start + cluster.blob_length]
+        index, parsed_cid = deserialize_cluster(blob, self.config.sub_params)
+        if parsed_cid != cluster_id:
+            raise LayoutError(
+                f"extent for cluster {cluster_id} contained blob of "
+                f"cluster {parsed_cid} — stale offsets?")
+        overflow_start = group.overflow_offset - extent_offset
+        area = payload[overflow_start:
+                       overflow_start + overflow_area_size(
+                           self.metadata.dim, group.capacity_records)]
+        (tail,) = _U64.unpack_from(area, 0)
+        count = min(tail, group.capacity_records)
+        records = unpack_overflow_records(
+            area[OVERFLOW_TAIL_BYTES:], self.metadata.dim, count)
+        own = [record for record in records
+               if record.cluster_id == cluster_id]
+        return CachedCluster(cluster_id=cluster_id, index=index,
+                             overflow=own, overflow_tail=int(tail),
+                             metadata_version=self.metadata.version,
+                             nbytes=len(payload))
+
+    def _cache_put(self, entry: CachedCluster) -> None:
+        """Insert into the cache, spilling LRU entries if DRAM is tight."""
+        while not self.node.reserve_dram(entry.nbytes):
+            victim = self.cache.pop_lru()
+            if victim is None:
+                raise LayoutError(
+                    f"cluster {entry.cluster_id} ({entry.nbytes} B) cannot "
+                    f"fit in compute DRAM even with an empty cache")
+            self.node.release_dram(victim.nbytes)
+        for victim in self.cache.put(entry):
+            self.node.release_dram(victim.nbytes)
+
+    def _validate_cached(self, cluster_ids: list[int]) -> None:
+        """Check overflow tails of cached clusters; fetch record deltas.
+
+        Tail counters are 8-byte READs, doorbell-batched under the full
+        scheme, so observing concurrent inserts costs a fraction of a
+        round trip per batch.
+        """
+        by_group: dict[int, list[int]] = {}
+        for cid in cluster_ids:
+            if self.cache.peek(cid) is not None:
+                by_group.setdefault(
+                    self.metadata.clusters[cid].group_id, []).append(cid)
+        if not by_group:
+            return
+        group_ids = sorted(by_group)
+        descriptors = [ReadDescriptor(
+            self.layout.rkey,
+            self.layout.addr(self.metadata.groups[gid].overflow_offset),
+            OVERFLOW_TAIL_BYTES) for gid in group_ids]
+        if self.policy.doorbell_batching:
+            payloads = self.node.qp.post_read_batch(descriptors)
+        else:
+            payloads = [self.node.qp.post_read(d.rkey, d.addr, d.length)
+                        for d in descriptors]
+        record_size = overflow_record_size(self.metadata.dim)
+        for gid, payload in zip(group_ids, payloads):
+            (tail,) = _U64.unpack(payload)
+            group = self.metadata.groups[gid]
+            tail = min(int(tail), group.capacity_records)
+            for cid in by_group[gid]:
+                entry = self.cache.peek(cid)
+                if entry is None or entry.overflow_tail >= tail:
+                    continue
+                delta = tail - entry.overflow_tail
+                start = (group.overflow_offset + OVERFLOW_TAIL_BYTES
+                         + entry.overflow_tail * record_size)
+                blob = self.node.qp.post_read(
+                    self.layout.rkey, self.layout.addr(start),
+                    delta * record_size)
+                fresh = unpack_overflow_records(blob, self.metadata.dim,
+                                                delta)
+                entry.overflow.extend(
+                    record for record in fresh
+                    if record.cluster_id == cid)
+                entry.overflow_tail = tail
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _replay_overflow(records: list[OverflowRecord]
+                         ) -> dict[int, OverflowRecord | None]:
+        """Fold overflow records (slot order) into per-id final state.
+
+        ``state[gid] is None`` means the id is tombstoned; a live record
+        supersedes any earlier record *and* any base-graph vector with
+        the same id.
+        """
+        state: dict[int, OverflowRecord | None] = {}
+        for record in records:
+            state[record.global_id] = None if record.tombstone else record
+        return state
+
+    def _search_cluster(self, entry: CachedCluster, query: np.ndarray,
+                        k: int, ef: int,
+                        accumulator: dict[int, float]) -> int:
+        """Search one cluster (graph + overflow); merge into accumulator.
+
+        Dynamic records override the base graph: tombstoned ids are
+        filtered out, superseded ids are served from their latest record.
+        Returns distance evaluations performed.
+        """
+        kernel = entry.index.kernel
+        evals_before = kernel.num_evaluations
+        state = self._replay_overflow(entry.overflow)
+        if len(entry.index) > 0:
+            for dist, node in entry.index.search_candidates(query, k, ef):
+                gid = entry.index.label_of(node)
+                if gid in state:
+                    continue  # deleted or superseded by an overflow record
+                if dist < accumulator.get(gid, float("inf")):
+                    accumulator[gid] = dist
+        live = [record for record in state.values() if record is not None]
+        if live:
+            matrix = np.stack([record.vector for record in live])
+            dists = kernel.many(np.asarray(query, dtype=np.float32), matrix)
+            for record, dist in zip(live, dists.tolist()):
+                if dist < accumulator.get(record.global_id, float("inf")):
+                    accumulator[record.global_id] = float(dist)
+        return kernel.num_evaluations - evals_before
+
+    # ------------------------------------------------------------------
+    # Insertion (§3.2: FAA slot reservation + one WRITE into overflow)
+    # ------------------------------------------------------------------
+    def insert(self, vector: np.ndarray, global_id: int) -> InsertReport:
+        """Insert a vector: route via meta-HNSW, reserve an overflow slot
+        with a remote fetch-and-add, WRITE the record.
+
+        A full overflow triggers a group rebuild (both clusters merged
+        with their overflow records and relocated), then one retry.
+        """
+        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+        self.refresh_metadata()
+        self.meta.reset_compute_counter()
+        cluster_id = self.meta.classify(vector, ef=self.config.ef_meta)
+        self.node.charge_compute(self.meta.reset_compute_counter(),
+                                 self.meta.dim)
+        rebuilt = False
+        try:
+            slot = self._reserve_and_write(cluster_id, vector, global_id)
+        except OverflowFullError:
+            self._rebuild_group(self.metadata.clusters[cluster_id].group_id)
+            rebuilt = True
+            slot = self._reserve_and_write(cluster_id, vector, global_id)
+        return InsertReport(global_id=global_id, cluster_id=cluster_id,
+                            overflow_slot=slot, triggered_rebuild=rebuilt)
+
+    def delete(self, vector: np.ndarray, global_id: int) -> InsertReport:
+        """Logically delete ``global_id`` by writing a tombstone record.
+
+        ``vector`` is the deleted item's embedding — it routes the
+        tombstone to the cluster that holds the item, exactly as the
+        original insert (or build-time partitioning) did.  Costs the same
+        as an insert: one FAA plus one WRITE.  The id disappears from
+        search results immediately; physical space is reclaimed at the
+        next rebuild of the group.
+        """
+        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+        self.refresh_metadata()
+        self.meta.reset_compute_counter()
+        cluster_id = self.meta.classify(vector, ef=self.config.ef_meta)
+        self.node.charge_compute(self.meta.reset_compute_counter(),
+                                 self.meta.dim)
+        rebuilt = False
+        try:
+            slot = self._reserve_and_write(cluster_id, vector, global_id,
+                                           tombstone=True)
+        except OverflowFullError:
+            self._rebuild_group(self.metadata.clusters[cluster_id].group_id)
+            rebuilt = True
+            slot = self._reserve_and_write(cluster_id, vector, global_id,
+                                           tombstone=True)
+        return InsertReport(global_id=global_id, cluster_id=cluster_id,
+                            overflow_slot=slot, triggered_rebuild=rebuilt)
+
+    def insert_batch(self, vectors: np.ndarray,
+                     global_ids: list[int]) -> list[InsertReport]:
+        """Insert many vectors with batched network operations.
+
+        Vectors headed for the same group share a single FAA (reserving a
+        run of slots at once), and all record WRITEs across groups are
+        doorbell-batched under the full d-HNSW scheme — the write-side
+        analogue of query-aware batched loading.
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if vectors.shape[0] != len(global_ids):
+            raise ValueError(
+                f"{vectors.shape[0]} vectors but {len(global_ids)} ids")
+        self.refresh_metadata()
+        self.meta.reset_compute_counter()
+        cluster_ids = [self.meta.classify(vector, ef=self.config.ef_meta)
+                       for vector in vectors]
+        self.node.charge_compute(self.meta.reset_compute_counter(),
+                                 self.meta.dim)
+
+        by_group: dict[int, list[int]] = {}
+        for row, cid in enumerate(cluster_ids):
+            by_group.setdefault(
+                self.metadata.clusters[cid].group_id, []).append(row)
+
+        record_size = overflow_record_size(self.metadata.dim)
+        reports: list[InsertReport | None] = [None] * len(global_ids)
+        descriptors: list[WriteDescriptor] = []
+        for group_id in sorted(by_group):
+            rows = by_group[group_id]
+            rebuilt = False
+            slot0 = self._reserve_run(group_id, len(rows))
+            if slot0 is None:
+                self._rebuild_group(group_id)
+                rebuilt = True
+                slot0 = self._reserve_run(group_id, len(rows))
+                if slot0 is None:
+                    group = self.metadata.groups[group_id]
+                    raise OverflowFullError(group_id,
+                                            group.capacity_records,
+                                            len(rows) * record_size)
+            group = self.metadata.groups[group_id]
+            for offset_index, row in enumerate(rows):
+                slot = slot0 + offset_index
+                cid = cluster_ids[row]
+                record = OverflowRecord(global_id=global_ids[row],
+                                        cluster_id=cid,
+                                        vector=vectors[row])
+                record_addr = self.layout.addr(
+                    group.overflow_offset + OVERFLOW_TAIL_BYTES
+                    + slot * record_size)
+                descriptors.append(WriteDescriptor(
+                    self.layout.rkey, record_addr,
+                    pack_overflow_record(record)))
+                self._patch_cached_entries(group_id, slot, record)
+                reports[row] = InsertReport(
+                    global_id=global_ids[row], cluster_id=cid,
+                    overflow_slot=slot,
+                    triggered_rebuild=rebuilt and offset_index == 0)
+        if self.policy.doorbell_batching:
+            self.node.qp.post_write_batch(descriptors)
+        else:
+            for descriptor in descriptors:
+                self.node.qp.post_write(descriptor.rkey, descriptor.addr,
+                                        descriptor.data)
+        return [report for report in reports if report is not None]
+
+    def _reserve_run(self, group_id: int, count: int) -> int | None:
+        """Reserve ``count`` consecutive overflow slots with one FAA.
+
+        Returns the first slot, or None (reservation rolled back) if the
+        run does not fit.
+        """
+        group = self.metadata.groups[group_id]
+        tail_addr = self.layout.addr(group.overflow_offset)
+        slot0 = self.node.qp.post_faa(self.layout.rkey, tail_addr, count)
+        if slot0 + count > group.capacity_records:
+            self.node.qp.post_faa(self.layout.rkey, tail_addr, -count)
+            return None
+        return slot0
+
+    def _patch_cached_entries(self, group_id: int, slot: int,
+                              record: OverflowRecord) -> None:
+        """Keep this instance's cached entries of a group coherent with a
+        record just written at ``slot``."""
+        for cid in self._group_members(group_id):
+            entry = self.cache.peek(cid)
+            if entry is not None and entry.overflow_tail == slot:
+                if cid == record.cluster_id:
+                    entry.overflow.append(record)
+                entry.overflow_tail = slot + 1
+
+    def _reserve_and_write(self, cluster_id: int, vector: np.ndarray,
+                           global_id: int, tombstone: bool = False) -> int:
+        group_id = self.metadata.clusters[cluster_id].group_id
+        group = self.metadata.groups[group_id]
+        tail_addr = self.layout.addr(group.overflow_offset)
+        slot = self.node.qp.post_faa(self.layout.rkey, tail_addr, 1)
+        if slot >= group.capacity_records:
+            # Roll the reservation back before rebuilding.
+            self.node.qp.post_faa(self.layout.rkey, tail_addr, -1)
+            raise OverflowFullError(group_id, group.capacity_records,
+                                    overflow_record_size(self.metadata.dim))
+        record = OverflowRecord(global_id=global_id, cluster_id=cluster_id,
+                                vector=vector, tombstone=tombstone)
+        record_size = overflow_record_size(self.metadata.dim)
+        record_addr = self.layout.addr(
+            group.overflow_offset + OVERFLOW_TAIL_BYTES + slot * record_size)
+        self.node.qp.post_write(self.layout.rkey, record_addr,
+                                pack_overflow_record(record))
+        # Keep this instance's own cached entries of the group coherent.
+        self._patch_cached_entries(group_id, slot, record)
+        return slot
+
+    # ------------------------------------------------------------------
+    # Group rebuild (overflow exhausted)
+    # ------------------------------------------------------------------
+    def _group_members(self, group_id: int) -> list[int]:
+        return [cid for cid, entry in enumerate(self.metadata.clusters)
+                if entry.group_id == group_id]
+
+    def _rebuild_group(self, group_id: int) -> None:
+        """Merge a group's overflow into its sub-HNSWs and relocate it.
+
+        The rebuilt group is written at the region tail with an empty
+        overflow area; the metadata block is updated and its version
+        bumped so every compute instance drops stale offsets.
+        """
+        member_ids = self._group_members(group_id)
+        group = self.metadata.groups[group_id]
+
+        # One READ covering the whole group.
+        start = min(min(self.metadata.clusters[cid].blob_offset
+                        for cid in member_ids), group.overflow_offset)
+        area = overflow_area_size(self.metadata.dim, group.capacity_records)
+        end = max(max(self.metadata.clusters[cid].blob_offset
+                      + self.metadata.clusters[cid].blob_length
+                      for cid in member_ids),
+                  group.overflow_offset + area)
+        payload = self.node.qp.post_read(self.layout.rkey,
+                                         self.layout.addr(start),
+                                         end - start)
+        self.node.charge_time(self.cost_model.deserialize_us(len(payload)))
+
+        # Fold overflow records into each member's graph.  Tombstoned and
+        # superseded ids are physically reclaimed here: if any base-graph
+        # vector is affected the member is rebuilt from scratch over its
+        # surviving vectors; otherwise live records are appended
+        # incrementally.
+        overflow_off = group.overflow_offset - start
+        (tail,) = _U64.unpack_from(payload, overflow_off)
+        count = min(int(tail), group.capacity_records)
+        records = unpack_overflow_records(
+            payload[overflow_off + OVERFLOW_TAIL_BYTES:],
+            self.metadata.dim, count)
+        new_blobs: list[bytes] = []
+        for cid in member_ids:
+            cluster = self.metadata.clusters[cid]
+            blob = payload[cluster.blob_offset - start:
+                           cluster.blob_offset - start + cluster.blob_length]
+            index, _ = deserialize_cluster(blob, self.config.sub_params)
+            state = self._replay_overflow(
+                [record for record in records if record.cluster_id == cid])
+            overridden = set(state).intersection(index.labels)
+            if overridden:
+                params = self.config.sub_params.replace(
+                    seed=self.config.sub_params.seed + cid)
+                fresh = HnswIndex(self.metadata.dim, params)
+                for node in range(len(index)):
+                    label = index.label_of(node)
+                    if label not in overridden:
+                        fresh.add_one(index.graph.vector(node), label=label)
+                index = fresh
+            for record in state.values():
+                if record is not None:
+                    index.add_one(record.vector, label=record.global_id)
+            new_blobs.append(serialize_cluster(index, cid))
+
+        # Relocate: [blob A][fresh overflow][blob B] at the region tail.
+        total = sum(len(blob) for blob in new_blobs) + area + 8
+        base = self.layout.allocator.allocate(total)
+        first_offset = base
+        # Keep the tail counter 8-byte aligned for remote atomics.
+        overflow_offset = base + len(new_blobs[0])
+        overflow_offset += (-overflow_offset) % 8
+        offsets = [first_offset]
+        if len(new_blobs) > 1:
+            offsets.append(overflow_offset + area)
+        for blob, offset in zip(new_blobs, offsets):
+            self.node.qp.post_write(self.layout.rkey,
+                                    self.layout.addr(offset), blob)
+        # Fresh tail counter = 0 (region bytes start zeroed; write it
+        # anyway so relocation onto recycled space would stay correct).
+        self.node.qp.post_write(self.layout.rkey,
+                                self.layout.addr(overflow_offset),
+                                bytes(OVERFLOW_TAIL_BYTES))
+        self.layout.allocator.retire(start, end - start)
+
+        # Publish new metadata (version bump), authoritative + local.
+        clusters = list(self.metadata.clusters)
+        for cid, offset, blob in zip(member_ids, offsets, new_blobs):
+            clusters[cid] = dataclasses.replace(
+                clusters[cid], blob_offset=offset, blob_length=len(blob))
+        groups = list(self.metadata.groups)
+        groups[group_id] = dataclasses.replace(
+            groups[group_id], overflow_offset=overflow_offset)
+        fresh = GlobalMetadata(
+            version=self.metadata.version + 1, dim=self.metadata.dim,
+            overflow_capacity_records=self.metadata.overflow_capacity_records,
+            clusters=clusters, groups=groups)
+        self.node.qp.post_write(self.layout.rkey, self.layout.addr(0),
+                                fresh.pack())
+        self.metadata = fresh
+        self.layout.metadata = GlobalMetadata.unpack(fresh.pack())
+        for cid in member_ids:
+            self.cache.invalidate(cid)

@@ -1,0 +1,137 @@
+"""Configuration of a d-HNSW deployment.
+
+Defaults mirror the paper's evaluation setup (§4) scaled to laptop-sized
+corpora: the compute-side cache holds 10 % of all sub-HNSW clusters, each
+query probes its ``nprobe`` closest partitions, and queries arrive in large
+batches that the query-aware loader deduplicates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+from repro.hnsw.params import HnswParams
+
+__all__ = ["DHnswConfig"]
+
+#: Meta-HNSW is fixed at three layers (L0, L1, L2) per §3.1.
+META_MAX_LEVEL = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class DHnswConfig:
+    """All knobs of a d-HNSW build and its query-time behaviour.
+
+    Attributes
+    ----------
+    num_representatives:
+        Vectors uniformly sampled to build the meta-HNSW (the paper picks
+        500 for a 1M corpus).  ``None`` derives ``clamp(n // 300, 16, 500)``
+        from the corpus size, preserving the paper's cluster-count-to-data
+        ratio at smaller scale.  Each representative defines one partition.
+    nprobe:
+        Number of closest sub-HNSW clusters searched per query (the
+        paper's ``b``).
+    ef_meta:
+        Beam width for meta-HNSW routing.
+    cache_fraction:
+        Compute-instance cluster-cache capacity as a fraction of the total
+        cluster count (§4 fixes 10 %).
+    batch_size:
+        Query batch size (§4 uses 2000).
+    overflow_capacity_records:
+        Slots in each group's shared overflow area.  The paper sizes the
+        area at 0.75 MB for SIFT1M; slots are the scale-free equivalent.
+    validate_overflow_on_hit:
+        When True (default), cache hits verify the remote overflow tail
+        counter (piggybacked on the wave's doorbell batch) and fetch only
+        the delta records, so searches observe concurrent inserts.
+    adaptive_nprobe:
+        Extension beyond the paper: when True, each query probes only
+        the partitions whose representative distance is within
+        ``adaptive_alpha`` x its closest representative's (capped at
+        ``nprobe``), trading a little recall on boundary queries for
+        less cluster traffic.
+    adaptive_alpha:
+        Distance-ratio threshold for adaptive routing (>= 1.0; larger
+        keeps more partitions).
+    pipeline_waves:
+        Extension: account for a double-buffered loader that fetches
+        wave ``i+1`` while wave ``i`` is being searched.  Reported via
+        ``BatchResult.overlap_saved_us`` /
+        ``pipelined_latency_per_query_us``; bucket sums stay serial.
+    region_headroom:
+        Registered-region capacity as a multiple of the initial layout
+        size; the slack absorbs groups relocated by overflow rebuilds.
+    """
+
+    num_representatives: int | None = None
+    nprobe: int = 4
+    ef_meta: int = 32
+    cache_fraction: float = 0.10
+    batch_size: int = 2000
+    overflow_capacity_records: int = 128
+    validate_overflow_on_hit: bool = True
+    adaptive_nprobe: bool = False
+    adaptive_alpha: float = 1.35
+    pipeline_waves: bool = False
+    region_headroom: float = 3.0
+    seed: int = 0
+    meta_params: HnswParams = dataclasses.field(
+        default_factory=lambda: HnswParams(
+            m=8, ef_construction=64, max_level=META_MAX_LEVEL, seed=0))
+    sub_params: HnswParams = dataclasses.field(
+        default_factory=lambda: HnswParams(m=16, ef_construction=100, seed=0))
+
+    def __post_init__(self) -> None:
+        if self.num_representatives is not None and self.num_representatives < 1:
+            raise ConfigError(
+                f"num_representatives must be >= 1, got "
+                f"{self.num_representatives}")
+        if self.nprobe < 1:
+            raise ConfigError(f"nprobe must be >= 1, got {self.nprobe}")
+        if self.ef_meta < 1:
+            raise ConfigError(f"ef_meta must be >= 1, got {self.ef_meta}")
+        if not 0.0 < self.cache_fraction <= 1.0:
+            raise ConfigError(
+                f"cache_fraction must be in (0, 1], got {self.cache_fraction}")
+        if self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.overflow_capacity_records < 0:
+            raise ConfigError(
+                f"overflow_capacity_records must be >= 0, got "
+                f"{self.overflow_capacity_records}")
+        if self.region_headroom < 1.0:
+            raise ConfigError(
+                f"region_headroom must be >= 1.0, got {self.region_headroom}")
+        if self.adaptive_alpha < 1.0:
+            raise ConfigError(
+                f"adaptive_alpha must be >= 1.0, got {self.adaptive_alpha}")
+        if self.meta_params.max_level != META_MAX_LEVEL:
+            raise ConfigError(
+                "meta_params.max_level must be 2: the meta-HNSW is a "
+                "three-layer index (paper §3.1)")
+
+    # ------------------------------------------------------------------
+    def derived_num_representatives(self, corpus_size: int) -> int:
+        """Resolve ``num_representatives`` for a corpus of ``corpus_size``."""
+        if corpus_size < 1:
+            raise ConfigError(
+                f"corpus_size must be >= 1, got {corpus_size}")
+        if self.num_representatives is not None:
+            return min(self.num_representatives, corpus_size)
+        derived = corpus_size // 300
+        return max(4, min(derived, 500, corpus_size))
+
+    def cache_capacity_clusters(self, num_clusters: int) -> int:
+        """Cluster-cache capacity for a deployment of ``num_clusters``."""
+        if num_clusters < 1:
+            raise ConfigError(
+                f"num_clusters must be >= 1, got {num_clusters}")
+        return max(1, int(round(self.cache_fraction * num_clusters)))
+
+    def replace(self, **changes: object) -> "DHnswConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)

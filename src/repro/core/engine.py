@@ -1,0 +1,192 @@
+"""Building a d-HNSW deployment and the shared remote-layout handle.
+
+:class:`DHnswBuilder` performs the offline pipeline of §3.1–§3.2:
+
+1. uniformly sample representatives and build the three-layer meta-HNSW;
+2. classify every corpus vector to its nearest representative, forming
+   partitions;
+3. build one sub-HNSW per partition;
+4. serialize the clusters and lay them out in paired groups with shared
+   overflow areas;
+5. register a remote region on the memory node and write blobs + the
+   versioned global metadata block through a queue pair.
+
+The result is a :class:`RemoteLayout` — everything a compute instance
+needs to reach the index — plus the meta-HNSW that every compute instance
+caches locally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import DHnswConfig
+from repro.core.meta_index import MetaHnsw, sample_representatives
+from repro.core.partitions import Partitioning, assign_partitions, build_sub_hnsws
+from repro.errors import LayoutError
+from repro.layout.allocator import RegionAllocator
+from repro.layout.group_layout import plan_groups
+from repro.layout.metadata import GlobalMetadata
+from repro.layout.serializer import serialize_cluster
+from repro.rdma.clock import SimClock
+from repro.rdma.control import ControlClient, MemoryDaemon
+from repro.rdma.memory_node import MemoryNode, MemoryRegion
+from repro.rdma.network import CostModel
+from repro.rdma.qp import QueuePair
+from repro.rdma.stats import RdmaStats
+
+__all__ = ["RemoteLayout", "BuildReport", "DHnswBuilder"]
+
+_METADATA_ALIGN = 4096
+
+
+@dataclasses.dataclass
+class RemoteLayout:
+    """Handle to a d-HNSW layout resident in disaggregated memory.
+
+    Shared by every compute instance of a deployment.  ``metadata`` mirrors
+    the authoritative block at the head of the remote region; clients keep
+    their *own* cached copies and use the remote version counter to detect
+    staleness, exactly as the paper's compute instances do.
+    """
+
+    memory_node: MemoryNode
+    region: MemoryRegion
+    allocator: RegionAllocator
+    metadata: GlobalMetadata
+    dim: int
+    daemon: MemoryDaemon | None = None
+
+    @property
+    def rkey(self) -> int:
+        """Remote key of the registered region."""
+        return self.region.rkey
+
+    def addr(self, offset: int) -> int:
+        """Absolute remote address of a region-relative offset."""
+        return self.region.base_addr + offset
+
+    @property
+    def metadata_nbytes(self) -> int:
+        """Serialized size of the metadata block."""
+        return GlobalMetadata.packed_size(self.metadata.num_clusters,
+                                          self.metadata.num_groups)
+
+
+@dataclasses.dataclass(frozen=True)
+class BuildReport:
+    """What the offline build produced and what it cost."""
+
+    num_vectors: int
+    num_partitions: int
+    num_groups: int
+    meta_hnsw_bytes: int
+    total_blob_bytes: int
+    region_capacity_bytes: int
+    partition_sizes: np.ndarray
+    build_network: RdmaStats
+
+
+class DHnswBuilder:
+    """Offline construction of a d-HNSW deployment."""
+
+    def __init__(self, config: DHnswConfig | None = None,
+                 cost_model: CostModel | None = None,
+                 memory_node: MemoryNode | None = None) -> None:
+        self.config = config if config is not None else DHnswConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.memory_node = (memory_node if memory_node is not None
+                            else MemoryNode())
+
+    # ------------------------------------------------------------------
+    def build(self, vectors: np.ndarray,
+              labels: np.ndarray | None = None
+              ) -> tuple[MetaHnsw, RemoteLayout, BuildReport]:
+        """Run the full §3.1–§3.2 pipeline over ``vectors``.
+
+        ``labels`` optionally assigns each corpus row a global id
+        (sharded deployments use corpus-wide row numbers).
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if vectors.shape[0] < 1:
+            raise LayoutError("cannot build over an empty corpus")
+        meta, partitioning, sub_indexes = self._build_indexes(vectors,
+                                                              labels)
+        blobs = [(cid, serialize_cluster(index, cid))
+                 for cid, index in enumerate(sub_indexes)]
+        layout, build_stats = self._write_layout(blobs, vectors.shape[1])
+        report = BuildReport(
+            num_vectors=vectors.shape[0],
+            num_partitions=meta.num_partitions,
+            num_groups=layout.metadata.num_groups,
+            meta_hnsw_bytes=meta.serialized_size_bytes(),
+            total_blob_bytes=sum(len(blob) for _, blob in blobs),
+            region_capacity_bytes=layout.region.length,
+            partition_sizes=partitioning.sizes(),
+            build_network=build_stats,
+        )
+        return meta, layout, report
+
+    # ------------------------------------------------------------------
+    def _build_indexes(self, vectors: np.ndarray,
+                       labels: np.ndarray | None
+                       ) -> tuple[MetaHnsw, Partitioning, list]:
+        rng = np.random.default_rng(self.config.seed)
+        num_reps = self.config.derived_num_representatives(vectors.shape[0])
+        rep_rows = sample_representatives(vectors.shape[0], num_reps, rng)
+        meta = MetaHnsw(vectors[rep_rows], self.config.meta_params)
+        partitioning = assign_partitions(vectors, meta)
+        sub_indexes = build_sub_hnsws(vectors, partitioning,
+                                      self.config.sub_params,
+                                      labels=labels)
+        return meta, partitioning, sub_indexes
+
+    def _write_layout(self, blobs: list[tuple[int, bytes]],
+                      dim: int) -> tuple[RemoteLayout, RdmaStats]:
+        num_clusters = len(blobs)
+        num_groups = (num_clusters + 1) // 2
+        metadata_size = GlobalMetadata.packed_size(num_clusters, num_groups)
+        reserve = metadata_size + (-metadata_size) % _METADATA_ALIGN
+        plans, cluster_entries, group_entries = plan_groups(
+            blobs, dim, self.config.overflow_capacity_records, reserve)
+        layout_end = plans[-1].end_offset if plans else reserve
+        capacity = int(layout_end * self.config.region_headroom) + reserve
+
+        # Registration goes through the memory node's control daemon —
+        # the one task the paper leaves on the memory instance's CPU.
+        clock = SimClock()
+        daemon = MemoryDaemon(self.memory_node)
+        control = ControlClient(daemon, clock, self.cost_model)
+        rkey, _, _ = control.alloc_region(capacity)
+        region = self.memory_node.get_region(rkey)
+        allocator = RegionAllocator(capacity, metadata_reserve=reserve)
+        # Claim the initial groups from the allocator so rebuild
+        # relocations start allocating at the layout tail.
+        if layout_end > reserve:
+            allocator.allocate(layout_end - reserve)
+
+        metadata = GlobalMetadata(
+            version=1, dim=dim,
+            overflow_capacity_records=self.config.overflow_capacity_records,
+            clusters=cluster_entries, groups=group_entries)
+        layout = RemoteLayout(memory_node=self.memory_node, region=region,
+                              allocator=allocator, metadata=metadata,
+                              dim=dim, daemon=daemon)
+
+        # Bulk-load through a build-time QP; traffic is reported separately
+        # from query-time stats.
+        stats = RdmaStats()
+        qp = QueuePair(self.memory_node, clock, self.cost_model, stats)
+        qp.connect()
+        for plan in plans:
+            qp.post_write(region.rkey, layout.addr(plan.first_offset),
+                          plan.first_blob)
+            if plan.second_blob is not None:
+                qp.post_write(region.rkey, layout.addr(plan.second_offset),
+                              plan.second_blob)
+            # Overflow areas start zeroed; fresh registrations already are.
+        qp.post_write(region.rkey, layout.addr(0), metadata.pack())
+        qp.close()
+        return layout, stats

@@ -1,0 +1,203 @@
+"""Consistency checking of a remote d-HNSW layout.
+
+``fsck`` walks the registered region the way a recovering compute
+instance would — metadata block first, then every cluster blob and
+overflow area — and validates the invariants the query path relies on:
+
+* the metadata block parses and its version is sane;
+* every cluster blob lies inside the region, parses, and carries the
+  cluster id the metadata claims;
+* blobs and overflow areas do not overlap each other or the metadata;
+* every overflow tail counter is within its capacity (a tail beyond
+  capacity indicates a torn rebuild);
+* overflow records reference cluster ids belonging to their group;
+* no global id is owned (as a base vector) by two clusters.
+
+The checker never mutates remote memory and reports *all* findings
+rather than stopping at the first, so an operator sees the full damage
+picture at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.core.engine import RemoteLayout
+from repro.errors import LayoutError, SerializationError
+from repro.layout.group_layout import overflow_area_size
+from repro.layout.metadata import GlobalMetadata
+from repro.layout.serializer import (
+    deserialize_cluster,
+    overflow_record_size,
+    unpack_overflow_records,
+)
+
+__all__ = ["FsckReport", "Finding", "fsck"]
+
+_U64 = struct.Struct("<Q")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One problem discovered by the checker."""
+
+    severity: str  # "error" | "warning"
+    location: str  # e.g. "cluster 3", "group 1", "metadata"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.location}: {self.message}"
+
+
+@dataclasses.dataclass
+class FsckReport:
+    """Outcome of a full layout walk."""
+
+    findings: list[Finding]
+    clusters_checked: int = 0
+    groups_checked: int = 0
+    base_vectors: int = 0
+    live_overflow_records: int = 0
+    tombstones: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no error-severity findings exist."""
+        return not any(finding.severity == "error"
+                       for finding in self.findings)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"clusters checked      : {self.clusters_checked}",
+            f"groups checked        : {self.groups_checked}",
+            f"base vectors          : {self.base_vectors}",
+            f"live overflow records : {self.live_overflow_records}",
+            f"tombstones            : {self.tombstones}",
+            f"status                : "
+            f"{'CLEAN' if self.clean else 'CORRUPT'}",
+        ]
+        lines.extend(str(finding) for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _read(layout: RemoteLayout, offset: int, length: int) -> bytes:
+    return layout.memory_node.read(layout.rkey, layout.addr(offset), length)
+
+
+def fsck(layout: RemoteLayout) -> FsckReport:
+    """Validate a remote layout; returns a report of all findings."""
+    report = FsckReport(findings=[])
+
+    # --- metadata block -------------------------------------------------
+    try:
+        metadata = GlobalMetadata.unpack(
+            _read(layout, 0, layout.metadata_nbytes))
+    except LayoutError as error:
+        report.findings.append(Finding("error", "metadata", str(error)))
+        return report
+    if metadata.version < 1:
+        report.findings.append(Finding(
+            "error", "metadata", f"invalid version {metadata.version}"))
+    if metadata.dim != layout.dim:
+        report.findings.append(Finding(
+            "error", "metadata",
+            f"dim {metadata.dim} != layout dim {layout.dim}"))
+
+    region_length = layout.region.length
+    extents: list[tuple[int, int, str]] = []
+
+    # --- groups / overflow areas ----------------------------------------
+    area_size = overflow_area_size(metadata.dim,
+                                   metadata.overflow_capacity_records)
+    record_size = overflow_record_size(metadata.dim)
+    members_by_group: dict[int, list[int]] = {}
+    for cid, cluster in enumerate(metadata.clusters):
+        members_by_group.setdefault(cluster.group_id, []).append(cid)
+
+    tails: dict[int, int] = {}
+    for gid, group in enumerate(metadata.groups):
+        report.groups_checked += 1
+        location = f"group {gid}"
+        if group.overflow_offset % 8 != 0:
+            report.findings.append(Finding(
+                "error", location,
+                f"overflow tail at {group.overflow_offset} not 8-byte "
+                f"aligned"))
+        if group.overflow_offset + area_size > region_length:
+            report.findings.append(Finding(
+                "error", location, "overflow area exceeds region"))
+            continue
+        extents.append((group.overflow_offset,
+                        group.overflow_offset + area_size, location))
+        (tail,) = _U64.unpack(_read(layout, group.overflow_offset, 8))
+        tails[gid] = min(int(tail), group.capacity_records)
+        if tail > group.capacity_records:
+            report.findings.append(Finding(
+                "warning", location,
+                f"tail counter {tail} exceeds capacity "
+                f"{group.capacity_records} (torn reservation)"))
+        blob = _read(layout, group.overflow_offset + 8,
+                     tails[gid] * record_size)
+        records = unpack_overflow_records(blob, metadata.dim, tails[gid])
+        valid_members = set(members_by_group.get(gid, []))
+        for slot, record in enumerate(records):
+            if record.tombstone:
+                report.tombstones += 1
+            else:
+                report.live_overflow_records += 1
+            if record.cluster_id not in valid_members:
+                report.findings.append(Finding(
+                    "error", location,
+                    f"slot {slot} references cluster "
+                    f"{record.cluster_id}, not a member of this group"))
+
+    # --- cluster blobs ---------------------------------------------------
+    owners: dict[int, int] = {}
+    for cid, cluster in enumerate(metadata.clusters):
+        report.clusters_checked += 1
+        location = f"cluster {cid}"
+        end = cluster.blob_offset + cluster.blob_length
+        if end > region_length:
+            report.findings.append(Finding(
+                "error", location, "blob exceeds region"))
+            continue
+        extents.append((cluster.blob_offset, end, location))
+        try:
+            index, parsed_cid = deserialize_cluster(
+                _read(layout, cluster.blob_offset, cluster.blob_length))
+        except SerializationError as error:
+            report.findings.append(Finding("error", location, str(error)))
+            continue
+        if parsed_cid != cid:
+            report.findings.append(Finding(
+                "error", location,
+                f"blob claims to be cluster {parsed_cid}"))
+        if index.dim != metadata.dim:
+            report.findings.append(Finding(
+                "error", location,
+                f"blob dim {index.dim} != metadata dim {metadata.dim}"))
+        try:
+            index.graph.check_invariants()
+        except AssertionError as error:
+            report.findings.append(Finding(
+                "error", location, f"graph invariant violated: {error}"))
+        report.base_vectors += len(index)
+        for label in index.labels:
+            previous = owners.setdefault(label, cid)
+            if previous != cid:
+                report.findings.append(Finding(
+                    "error", location,
+                    f"global id {label} also owned by cluster "
+                    f"{previous}"))
+
+    # --- overlap check ----------------------------------------------------
+    extents.sort()
+    for (_, end, left), (start, _, right) in zip(extents, extents[1:]):
+        if end > start:
+            report.findings.append(Finding(
+                "error", f"{left}/{right}",
+                f"extents overlap ({left} ends at {end}, {right} starts "
+                f"at {start})"))
+    return report

@@ -1,0 +1,102 @@
+"""Query-aware batched data loading (§3.3).
+
+Given a batch of queries, each needing its ``nprobe`` closest sub-HNSW
+clusters, the planner guarantees every cluster crosses the network **at
+most once per batch** and never exceeds the compute instance's cache
+capacity in flight.  When the union of required clusters is larger than the
+cache, the batch is processed in *waves* (the paper's Fig. 5 walkthrough):
+load a cache-full of clusters, advance every query that needs them, retain
+partial top-k candidates, and continue.
+
+Clusters already cached are pruned from the load set entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.cache import ClusterCache
+from repro.errors import ConfigError
+
+__all__ = ["BatchPlan", "Wave", "plan_batch"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Wave:
+    """One load-and-process round: which clusters to fetch, then which
+    (query, cluster) pairs become serviceable."""
+
+    fetch_cluster_ids: tuple[int, ...]
+    serviced: tuple[tuple[int, int], ...]  # (query index, cluster id)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchPlan:
+    """The full schedule for a query batch."""
+
+    waves: tuple[Wave, ...]
+    cache_hit_cluster_ids: tuple[int, ...]
+    unique_clusters: int
+    duplicate_requests_pruned: int
+
+    @property
+    def total_fetches(self) -> int:
+        """Clusters that will cross the network this batch."""
+        return sum(len(wave.fetch_cluster_ids) for wave in self.waves)
+
+
+def plan_batch(required: list[list[int]], cache: ClusterCache,
+               cache_capacity: int) -> BatchPlan:
+    """Schedule cluster loads for a batch.
+
+    Parameters
+    ----------
+    required:
+        ``required[q]`` lists the cluster ids query ``q`` must search.
+    cache:
+        The instance's cluster cache; cached clusters are serviced in the
+        first wave without any fetch.  (Inspected via ``peek`` — recency
+        is updated later, when the engine actually consumes entries.)
+    cache_capacity:
+        Maximum clusters resident at once; each wave fetches at most this
+        many.
+
+    Demand-first ordering: clusters wanted by the most queries are fetched
+    in the earliest waves, so partial results accumulate fastest and the
+    retained cache at batch end holds the hottest clusters.
+    """
+    if cache_capacity < 1:
+        raise ConfigError(
+            f"cache_capacity must be >= 1, got {cache_capacity}")
+
+    demand: dict[int, list[int]] = {}
+    total_requests = 0
+    for query_index, cluster_ids in enumerate(required):
+        # dict.fromkeys: preserve order, drop duplicate probes of the
+        # same cluster by one query (harmless upstream, wasteful here).
+        for cluster_id in dict.fromkeys(cluster_ids):
+            demand.setdefault(cluster_id, []).append(query_index)
+            total_requests += 1
+
+    hits = [cid for cid in demand if cache.peek(cid) is not None]
+    misses = [cid for cid in demand if cache.peek(cid) is None]
+    # Highest demand first; ties broken by id for determinism.
+    misses.sort(key=lambda cid: (-len(demand[cid]), cid))
+
+    waves: list[Wave] = []
+    if hits:
+        serviced = tuple((q, cid) for cid in sorted(hits)
+                         for q in demand[cid])
+        waves.append(Wave(fetch_cluster_ids=(), serviced=serviced))
+    for start in range(0, len(misses), cache_capacity):
+        chunk = misses[start:start + cache_capacity]
+        serviced = tuple((q, cid) for cid in chunk for q in demand[cid])
+        waves.append(Wave(fetch_cluster_ids=tuple(chunk), serviced=serviced))
+
+    unique = len(demand)
+    return BatchPlan(
+        waves=tuple(waves),
+        cache_hit_cluster_ids=tuple(sorted(hits)),
+        unique_clusters=unique,
+        duplicate_requests_pruned=total_requests - unique,
+    )

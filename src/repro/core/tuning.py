@@ -1,0 +1,87 @@
+"""SLO-aware auto-tuning of ``ef_search``.
+
+Vector services operate against recall SLOs (the related work the paper
+cites targets exactly this).  Recall is monotone (up to noise) in
+``ef_search``, so a binary search over a validation query set finds the
+smallest beam width meeting a recall target — and therefore the lowest
+latency that honours the SLO.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.metrics.recall import recall_at_k
+
+__all__ = ["TuningResult", "tune_ef_search"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Outcome of an ef_search sweep."""
+
+    ef_search: int
+    recall: float
+    latency_per_query_us: float
+    target_recall: float
+    target_met: bool
+    evaluations: tuple[tuple[int, float], ...]  # (ef, recall) probes
+
+
+def tune_ef_search(client, queries: np.ndarray,
+                   ground_truth: np.ndarray, k: int,
+                   target_recall: float,
+                   ef_min: int = 1, ef_max: int = 256) -> TuningResult:
+    """Smallest ``ef_search`` in ``[ef_min, ef_max]`` whose measured
+    recall@k on the validation set reaches ``target_recall``.
+
+    If even ``ef_max`` misses the target, the result carries
+    ``target_met=False`` with ``ef_max``'s numbers — callers decide
+    whether to widen ``nprobe`` or relax the SLO.
+
+    ``client`` is anything with ``search_batch`` (a
+    :class:`~repro.core.client.DHnswClient`, a sharded deployment, ...).
+    """
+    if not 0.0 < target_recall <= 1.0:
+        raise ConfigError(
+            f"target_recall must be in (0, 1], got {target_recall}")
+    if not 1 <= ef_min <= ef_max:
+        raise ConfigError(
+            f"need 1 <= ef_min <= ef_max, got {ef_min}..{ef_max}")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+
+    probes: list[tuple[int, float]] = []
+    latencies: dict[int, float] = {}
+
+    def measure(ef: int) -> float:
+        batch = client.search_batch(queries, k, ef_search=ef)
+        recall = recall_at_k(batch.ids_list(), ground_truth, k)
+        probes.append((ef, recall))
+        latencies[ef] = batch.latency_per_query_us
+        return recall
+
+    # Check the ceiling first: if ef_max cannot meet the SLO, report it.
+    best_recall = measure(ef_max)
+    if best_recall < target_recall:
+        return TuningResult(ef_search=ef_max, recall=best_recall,
+                            latency_per_query_us=latencies[ef_max],
+                            target_recall=target_recall, target_met=False,
+                            evaluations=tuple(probes))
+
+    low, high = ef_min, ef_max
+    chosen, chosen_recall = ef_max, best_recall
+    while low < high:
+        mid = (low + high) // 2
+        recall = measure(mid)
+        if recall >= target_recall:
+            chosen, chosen_recall = mid, recall
+            high = mid
+        else:
+            low = mid + 1
+    return TuningResult(ef_search=chosen, recall=chosen_recall,
+                        latency_per_query_us=latencies[chosen],
+                        target_recall=target_recall, target_met=True,
+                        evaluations=tuple(probes))

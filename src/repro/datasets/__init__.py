@@ -1,0 +1,22 @@
+"""Benchmark corpora: synthetic SIFT/GIST stand-ins, TEXMEX IO, exact kNN."""
+
+from repro.datasets.ground_truth import exact_knn
+from repro.datasets.loaders import (
+    read_fvecs,
+    read_ivecs,
+    write_fvecs,
+    write_ivecs,
+)
+from repro.datasets.synthetic import Dataset, gist_like, make_clustered, sift_like
+
+__all__ = [
+    "Dataset",
+    "exact_knn",
+    "gist_like",
+    "make_clustered",
+    "read_fvecs",
+    "read_ivecs",
+    "sift_like",
+    "write_fvecs",
+    "write_ivecs",
+]

@@ -1,0 +1,127 @@
+"""Synthetic stand-ins for SIFT1M and GIST1M.
+
+The paper evaluates on SIFT1M (128-d SIFT descriptors, byte-valued) and
+GIST1M (960-d GIST descriptors in [0, 1]).  Neither corpus ships with this
+repo, so we generate clustered Gaussian data with matching dimensionality
+and value range.  Real descriptor corpora are strongly clustered — which is
+exactly the property d-HNSW's partitioning exploits — so the generators
+draw cluster centres uniformly and scatter points around them.
+
+Drop-in replacement with the real datasets is supported through
+:mod:`repro.datasets.loaders` (``.fvecs``/``.ivecs``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.datasets.ground_truth import exact_knn
+from repro.hnsw.distance import Metric
+
+__all__ = ["Dataset", "make_clustered", "sift_like", "gist_like"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Dataset:
+    """A benchmark corpus: base vectors, query vectors, exact top-k ids."""
+
+    name: str
+    vectors: np.ndarray
+    queries: np.ndarray
+    ground_truth: np.ndarray
+    metric: Metric = Metric.L2
+
+    @property
+    def num_vectors(self) -> int:
+        """Corpus size."""
+        return self.vectors.shape[0]
+
+    @property
+    def num_queries(self) -> int:
+        """Query-set size."""
+        return self.queries.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self.vectors.shape[1]
+
+    @property
+    def gt_k(self) -> int:
+        """Number of exact neighbours stored per query."""
+        return self.ground_truth.shape[1]
+
+    def __post_init__(self) -> None:
+        if self.vectors.ndim != 2 or self.queries.ndim != 2:
+            raise ValueError("vectors and queries must be 2-D arrays")
+        if self.vectors.shape[1] != self.queries.shape[1]:
+            raise ValueError(
+                f"corpus dim {self.vectors.shape[1]} != query dim "
+                f"{self.queries.shape[1]}")
+        if self.ground_truth.shape[0] != self.queries.shape[0]:
+            raise ValueError(
+                f"{self.queries.shape[0]} queries but ground truth for "
+                f"{self.ground_truth.shape[0]}")
+
+
+def make_clustered(num_vectors: int, dim: int, num_clusters: int,
+                   cluster_std: float, rng: np.random.Generator,
+                   low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Clustered Gaussian vectors clipped to ``[low, high]``.
+
+    Cluster populations are drawn from a Dirichlet prior so partition sizes
+    are realistically skewed rather than uniform.
+    """
+    if num_vectors < 1 or num_clusters < 1:
+        raise ValueError("num_vectors and num_clusters must be >= 1")
+    if high <= low:
+        raise ValueError(f"need high > low, got [{low}, {high}]")
+    centers = rng.uniform(low, high, size=(num_clusters, dim))
+    weights = rng.dirichlet(np.full(num_clusters, 2.0))
+    assignments = rng.choice(num_clusters, size=num_vectors, p=weights)
+    spread = cluster_std * (high - low)
+    vectors = centers[assignments] + rng.normal(
+        0.0, spread, size=(num_vectors, dim))
+    np.clip(vectors, low, high, out=vectors)
+    return vectors.astype(np.float32)
+
+
+def _build(name: str, dim: int, num_vectors: int, num_queries: int,
+           num_clusters: int, cluster_std: float, low: float, high: float,
+           gt_k: int, seed: int) -> Dataset:
+    rng = np.random.default_rng(seed)
+    corpus = make_clustered(num_vectors + num_queries, dim, num_clusters,
+                            cluster_std, rng, low=low, high=high)
+    # Queries are held-out points from the same distribution, as in the
+    # SIFT/GIST benchmark methodology.
+    vectors = corpus[:num_vectors]
+    queries = corpus[num_vectors:]
+    ground_truth = exact_knn(vectors, queries, gt_k)
+    return Dataset(name=name, vectors=vectors, queries=queries,
+                   ground_truth=ground_truth)
+
+
+def sift_like(num_vectors: int = 20_000, num_queries: int = 200,
+              num_clusters: int = 120, cluster_std: float = 0.08,
+              gt_k: int = 10, seed: int = 0) -> Dataset:
+    """A SIFT1M-shaped corpus: 128-d, byte-range values, clustered.
+
+    Default 20k vectors keeps end-to-end benchmarks laptop-sized; scale
+    ``num_vectors`` up freely.
+    """
+    return _build("sift-like", dim=128, num_vectors=num_vectors,
+                  num_queries=num_queries, num_clusters=num_clusters,
+                  cluster_std=cluster_std, low=0.0, high=255.0,
+                  gt_k=gt_k, seed=seed)
+
+
+def gist_like(num_vectors: int = 10_000, num_queries: int = 100,
+              num_clusters: int = 80, cluster_std: float = 0.06,
+              gt_k: int = 10, seed: int = 0) -> Dataset:
+    """A GIST1M-shaped corpus: 960-d, unit-range values, clustered."""
+    return _build("gist-like", dim=960, num_vectors=num_vectors,
+                  num_queries=num_queries, num_clusters=num_clusters,
+                  cluster_std=cluster_std, low=0.0, high=1.0,
+                  gt_k=gt_k, seed=seed)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the d-HNSW reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystem-specific errors
+carry enough context (offsets, ids, sizes) to debug a failed simulation run
+without re-running it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """A vector's dimensionality does not match the index it targets."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(f"expected dimension {expected}, got {actual}")
+        self.expected = expected
+        self.actual = actual
+
+
+class EmptyIndexError(ReproError, RuntimeError):
+    """A search was issued against an index containing no vectors."""
+
+
+class RdmaError(ReproError):
+    """Base class for simulated-RDMA failures."""
+
+
+class ProtectionError(RdmaError):
+    """An RDMA verb referenced memory outside a registered region,
+    or presented a stale/incorrect rkey."""
+
+    def __init__(self, message: str, *, addr: int | None = None,
+                 length: int | None = None) -> None:
+        super().__init__(message)
+        self.addr = addr
+        self.length = length
+
+
+class QpStateError(RdmaError):
+    """A verb was posted on a queue pair that is not connected."""
+
+
+class LayoutError(ReproError):
+    """The serialized remote layout is malformed or inconsistent."""
+
+
+class SerializationError(LayoutError):
+    """A serialized sub-HNSW blob failed to round-trip."""
+
+
+class OverflowFullError(LayoutError):
+    """A group's shared overflow region cannot hold another insertion.
+
+    The engine catches this and triggers a partition rebuild; user code
+    only sees it if rebuilds are disabled.
+    """
+
+    def __init__(self, group_id: int, capacity: int, needed: int) -> None:
+        super().__init__(
+            f"overflow region of group {group_id} full: capacity "
+            f"{capacity} B, need {needed} B more")
+        self.group_id = group_id
+        self.capacity = capacity
+        self.needed = needed
+
+
+class StaleMetadataError(LayoutError):
+    """A compute instance used cached cluster offsets whose version no
+    longer matches the authoritative metadata block in remote memory."""
+
+    def __init__(self, cached_version: int, remote_version: int) -> None:
+        super().__init__(
+            f"cached metadata version {cached_version} != remote "
+            f"version {remote_version}")
+        self.cached_version = cached_version
+        self.remote_version = remote_version

@@ -1,0 +1,26 @@
+"""From-scratch HNSW: the graph-index substrate of d-HNSW.
+
+Public surface:
+
+* :class:`~repro.hnsw.index.HnswIndex` — a complete standalone HNSW index.
+* :class:`~repro.hnsw.params.HnswParams` — construction parameters.
+* :class:`~repro.hnsw.distance.DistanceKernel` / :class:`Metric` — counted
+  distance kernels.
+"""
+
+from repro.hnsw.distance import DistanceKernel, Metric, pairwise_l2
+from repro.hnsw.graph import LayeredGraph
+from repro.hnsw.index import HnswIndex
+from repro.hnsw.io import load_index, save_index
+from repro.hnsw.params import HnswParams
+
+__all__ = [
+    "DistanceKernel",
+    "HnswIndex",
+    "HnswParams",
+    "LayeredGraph",
+    "Metric",
+    "load_index",
+    "pairwise_l2",
+    "save_index",
+]

@@ -1,0 +1,147 @@
+"""HNSW construction: level sampling, neighbour selection, insertion.
+
+Implements Algorithms 1, 3 and 4 of Malkov & Yashunin.  The heuristic
+neighbour selector (Algorithm 4) is what gives HNSW graphs their navigable
+small-world property: a candidate is kept only if it is closer to the query
+than to every already-selected neighbour, which spreads edges across
+directions instead of clustering them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+
+from repro.hnsw.distance import DistanceKernel
+from repro.hnsw.graph import LayeredGraph
+from repro.hnsw.params import HnswParams
+from repro.hnsw.search import greedy_descent, search_layer
+
+__all__ = ["sample_level", "select_neighbors_heuristic", "insert"]
+
+
+def sample_level(rng: random.Random, params: HnswParams) -> int:
+    """Draw a node level from the exponential distribution.
+
+    ``floor(-ln(U) * level_mult)`` with ``U ~ Uniform(0, 1]``, capped at
+    ``params.max_level`` when that is set (the meta-HNSW caps at 2).
+    """
+    uniform = rng.random()
+    # rng.random() is in [0, 1); shift away from 0 to avoid log(0).
+    level = int(-math.log(1.0 - uniform) * params.effective_level_mult)
+    if params.max_level is not None:
+        level = min(level, params.max_level)
+    return level
+
+
+def select_neighbors_heuristic(
+        graph: LayeredGraph, kernel: DistanceKernel,
+        candidates: list[tuple[float, int]], m: int, level: int,
+        params: HnswParams) -> list[int]:
+    """Algorithm 4: pick up to ``m`` diverse neighbours from candidates.
+
+    ``candidates`` are ``(distance_to_query, node)`` pairs.  A candidate is
+    accepted when it is closer to the query than to any already-accepted
+    neighbour; optionally, pruned candidates backfill remaining slots
+    (``keep_pruned_connections``).
+    """
+    if m <= 0:
+        return []
+    ordered = sorted(candidates)
+    if params.extend_candidates:
+        seen = {node for _, node in ordered}
+        extensions: list[int] = []
+        for _, node in ordered:
+            for neighbor in graph.neighbors(node, level):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    extensions.append(neighbor)
+        if extensions:
+            # Distances of extensions to the *query* are unknown here;
+            # Algorithm 4 computes them against the base vector.  The base
+            # vector is the first candidate's query, which callers pass via
+            # candidates; we approximate with distance to the closest
+            # candidate's vector, matching hnswlib's practical variant.
+            base = graph.vector(ordered[0][1])
+            dists = kernel.many(base, graph.vectors[extensions])
+            ordered = sorted(
+                ordered + list(zip(dists.tolist(), extensions)))
+
+    selected: list[int] = []
+    pruned: list[tuple[float, int]] = []
+    for dist, node in ordered:
+        if len(selected) >= m:
+            break
+        closer_to_selected = False
+        if selected:
+            to_selected = kernel.many(
+                graph.vector(node), graph.vectors[selected])
+            closer_to_selected = bool(np.any(to_selected < dist))
+        if closer_to_selected:
+            pruned.append((dist, node))
+        else:
+            selected.append(node)
+    if params.keep_pruned_connections:
+        for _, node in pruned:
+            if len(selected) >= m:
+                break
+            selected.append(node)
+    return selected
+
+
+def _prune_node(graph: LayeredGraph, kernel: DistanceKernel, node: int,
+                level: int, params: HnswParams) -> None:
+    """Shrink ``node``'s neighbour list at ``level`` back to its bound."""
+    bound = params.max_degree(level)
+    neighbor_ids = graph.neighbors(node, level)
+    if len(neighbor_ids) <= bound:
+        return
+    dists = kernel.many(graph.vector(node), graph.vectors[neighbor_ids])
+    candidates = list(zip(dists.tolist(), neighbor_ids))
+    kept = select_neighbors_heuristic(
+        graph, kernel, candidates, bound, level, params)
+    graph.set_neighbors(node, level, kept)
+
+
+def insert(graph: LayeredGraph, kernel: DistanceKernel, vector: np.ndarray,
+           params: HnswParams, rng: random.Random,
+           forced_level: int | None = None) -> int:
+    """Algorithm 1: insert ``vector`` into ``graph`` and return its id.
+
+    ``forced_level`` overrides level sampling; d-HNSW's meta index uses it
+    to build an exact three-layer hierarchy.
+    """
+    level = (forced_level if forced_level is not None
+             else sample_level(rng, params))
+    if graph.entry_point is None:
+        return graph.add_node(vector, level)
+
+    query = np.asarray(vector, dtype=np.float32).reshape(-1)
+    entry = graph.entry_point
+    top_level = graph.max_level
+    entry_dist = kernel.one(query, graph.vector(entry))
+
+    # Phase 1: zoom in through layers above the new node's level.
+    if top_level > level:
+        entry, entry_dist = greedy_descent(
+            graph, kernel, query, entry, entry_dist, top_level, level)
+
+    node = graph.add_node(query, level)
+
+    # Phase 2: beam-search each layer from min(level, old top) down to 0,
+    # wiring bidirectional edges as we go.
+    seeds = [(entry_dist, entry)]
+    for current_level in range(min(level, top_level), -1, -1):
+        candidates = search_layer(
+            graph, kernel, query, seeds, params.ef_construction,
+            current_level)
+        neighbors = select_neighbors_heuristic(
+            graph, kernel, candidates, params.m, current_level, params)
+        graph.set_neighbors(node, current_level, neighbors)
+        for neighbor in neighbors:
+            graph.add_edge(neighbor, node, current_level)
+            _prune_node(graph, kernel, neighbor, current_level, params)
+        seeds = candidates
+    return node

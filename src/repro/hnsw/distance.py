@@ -1,0 +1,150 @@
+"""Vectorized, *counted* distance kernels.
+
+The simulator charges compute time per distance evaluation (see
+``repro.rdma.network.CostModel``), so every kernel routes through a
+:class:`DistanceKernel` instance that counts evaluations.  Counting is the
+basis of the meta-HNSW / sub-HNSW compute breakdown in Tables 1 and 2 of the
+paper.
+
+All kernels return values where *smaller is closer*, so inner product and
+cosine similarity are negated.  L2 is the squared Euclidean distance (the
+square root is monotone and therefore irrelevant for ranking).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+__all__ = ["Metric", "DistanceKernel", "pairwise_l2"]
+
+
+class Metric(enum.Enum):
+    """Supported dissimilarity measures (smaller means closer)."""
+
+    L2 = "l2"
+    INNER_PRODUCT = "ip"
+    COSINE = "cosine"
+
+    @classmethod
+    def from_name(cls, name: "str | Metric") -> "Metric":
+        """Resolve a metric from its enum value or common aliases."""
+        if isinstance(name, Metric):
+            return name
+        normalized = name.strip().lower()
+        aliases = {
+            "l2": cls.L2,
+            "euclidean": cls.L2,
+            "ip": cls.INNER_PRODUCT,
+            "dot": cls.INNER_PRODUCT,
+            "inner_product": cls.INNER_PRODUCT,
+            "cosine": cls.COSINE,
+            "angular": cls.COSINE,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ValueError(f"unknown metric {name!r}") from None
+
+
+def pairwise_l2(queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
+    """Squared L2 distances between every query row and every corpus row.
+
+    Uses the expansion ``|q - x|^2 = |q|^2 - 2 q.x + |x|^2`` which is one
+    GEMM instead of a broadcasted subtraction; this is the only way a pure
+    NumPy brute-force ground truth stays tractable at 10^5 x 10^5 scale.
+    """
+    q_sq = np.einsum("ij,ij->i", queries, queries)[:, None]
+    c_sq = np.einsum("ij,ij->i", corpus, corpus)[None, :]
+    cross = queries @ corpus.T
+    out = q_sq - 2.0 * cross + c_sq
+    # Rounding can push tiny true-zero distances below zero.
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+class DistanceKernel:
+    """A metric bound to a dimensionality, with an evaluation counter.
+
+    Parameters
+    ----------
+    dim:
+        Expected vector dimensionality; every call validates against it.
+    metric:
+        A :class:`Metric` or any alias accepted by :meth:`Metric.from_name`.
+    """
+
+    def __init__(self, dim: int, metric: "str | Metric" = Metric.L2) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = int(dim)
+        self.metric = Metric.from_name(metric)
+        self.num_evaluations = 0
+
+    def reset_counter(self) -> int:
+        """Zero the evaluation counter, returning its previous value."""
+        previous = self.num_evaluations
+        self.num_evaluations = 0
+        return previous
+
+    def _check(self, array: np.ndarray) -> np.ndarray:
+        array = np.asarray(array, dtype=np.float32)
+        if array.shape[-1] != self.dim:
+            raise DimensionMismatchError(self.dim, array.shape[-1])
+        return array
+
+    def one(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Distance between two single vectors."""
+        a = self._check(a)
+        b = self._check(b)
+        self.num_evaluations += 1
+        if self.metric is Metric.L2:
+            diff = a - b
+            return float(diff @ diff)
+        if self.metric is Metric.INNER_PRODUCT:
+            return float(-(a @ b))
+        denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+        if denom == 0.0:
+            return 1.0
+        return float(1.0 - (a @ b) / denom)
+
+    def many(self, query: np.ndarray, corpus: np.ndarray) -> np.ndarray:
+        """Distances from one query vector to every row of ``corpus``.
+
+        This is the hot path of HNSW neighbourhood expansion: one call per
+        hop, vectorized over the hop's unvisited neighbours.
+        """
+        query = self._check(query)
+        corpus = self._check(np.atleast_2d(corpus))
+        self.num_evaluations += corpus.shape[0]
+        if self.metric is Metric.L2:
+            diff = corpus - query
+            return np.einsum("ij,ij->i", diff, diff)
+        if self.metric is Metric.INNER_PRODUCT:
+            return -(corpus @ query)
+        corpus_norms = np.linalg.norm(corpus, axis=1)
+        query_norm = float(np.linalg.norm(query))
+        denom = corpus_norms * query_norm
+        sims = np.where(denom > 0.0, (corpus @ query) / np.where(denom == 0.0, 1.0, denom), 0.0)
+        return 1.0 - sims
+
+    def cross(self, queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
+        """Full distance matrix between query rows and corpus rows."""
+        queries = self._check(np.atleast_2d(queries))
+        corpus = self._check(np.atleast_2d(corpus))
+        self.num_evaluations += queries.shape[0] * corpus.shape[0]
+        if self.metric is Metric.L2:
+            return pairwise_l2(queries, corpus)
+        if self.metric is Metric.INNER_PRODUCT:
+            return -(queries @ corpus.T)
+        q_norms = np.linalg.norm(queries, axis=1)[:, None]
+        c_norms = np.linalg.norm(corpus, axis=1)[None, :]
+        denom = q_norms * c_norms
+        sims = np.divide(queries @ corpus.T, denom,
+                         out=np.zeros((queries.shape[0], corpus.shape[0]),
+                                      dtype=np.float64),
+                         where=denom > 0.0)
+        return 1.0 - sims

@@ -1,0 +1,144 @@
+"""The public HNSW index facade.
+
+:class:`HnswIndex` is a complete, standalone HNSW implementation — it is
+both a building block of d-HNSW (meta-HNSW and every sub-HNSW are instances
+of it) and a usable ANN index in its own right.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EmptyIndexError
+from repro.hnsw.build import insert
+from repro.hnsw.distance import DistanceKernel, Metric
+from repro.hnsw.graph import LayeredGraph
+from repro.hnsw.params import HnswParams
+from repro.hnsw.search import greedy_descent, knn_from_candidates, search_layer
+
+__all__ = ["HnswIndex"]
+
+
+class HnswIndex:
+    """Hierarchical Navigable Small World index over float32 vectors.
+
+    Node ids are dense ints in insertion order.  An optional per-node
+    *label* maps internal ids to caller-defined ids (d-HNSW labels
+    sub-HNSW nodes with their global dataset ids).
+
+    Examples
+    --------
+    >>> index = HnswIndex(dim=4, params=HnswParams(m=8, seed=7))
+    >>> _ = index.add(np.eye(4, dtype=np.float32))
+    >>> labels, dists = index.search(np.array([1, 0, 0, 0]), k=1)
+    >>> int(labels[0])
+    0
+    """
+
+    def __init__(self, dim: int,
+                 params: HnswParams | None = None) -> None:
+        self.params = params if params is not None else HnswParams()
+        self.kernel = DistanceKernel(dim, self.params.metric)
+        self.graph = LayeredGraph(dim)
+        self.labels: list[int] = []
+        self._rng = random.Random(self.params.seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self.graph.dim
+
+    @property
+    def metric(self) -> Metric:
+        """Distance metric in use."""
+        return self.params.metric
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def label_of(self, node: int) -> int:
+        """External label of an internal node id."""
+        return self.labels[node]
+
+    # ------------------------------------------------------------------
+    def add_one(self, vector: np.ndarray, label: int | None = None,
+                forced_level: int | None = None) -> int:
+        """Insert one vector; returns its internal node id."""
+        node = insert(self.graph, self.kernel, vector, self.params,
+                      self._rng, forced_level=forced_level)
+        self.labels.append(label if label is not None else node)
+        return node
+
+    def add(self, vectors: np.ndarray,
+            labels: Sequence[int] | None = None) -> list[int]:
+        """Insert a batch of vectors (rows); returns internal node ids."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if labels is not None and len(labels) != vectors.shape[0]:
+            raise ValueError(
+                f"got {vectors.shape[0]} vectors but {len(labels)} labels")
+        ids = []
+        for row_index, vector in enumerate(vectors):
+            label = labels[row_index] if labels is not None else None
+            ids.append(self.add_one(vector, label=label))
+        return ids
+
+    # ------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int,
+               ef: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` approximate nearest neighbours of ``query``.
+
+        Returns ``(labels, distances)`` arrays, ascending by distance.
+        ``ef`` defaults to ``max(k, 2 * k)`` capped below by ``k``.
+        """
+        candidates = self.search_candidates(query, k, ef)
+        top = knn_from_candidates(candidates, k)
+        labels = np.array([self.labels[node] for _, node in top],
+                          dtype=np.int64)
+        dists = np.array([dist for dist, _ in top], dtype=np.float32)
+        return labels, dists
+
+    def search_candidates(self, query: np.ndarray, k: int,
+                          ef: int | None = None
+                          ) -> list[tuple[float, int]]:
+        """Raw beam-search candidates as ``(distance, internal id)``.
+
+        d-HNSW merges candidates across several sub-HNSWs before taking
+        the global top-k, so the unclipped list is part of the API.
+        """
+        if len(self.graph) == 0:
+            raise EmptyIndexError("search on empty index")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        effective_ef = max(ef if ef is not None else 2 * k, k)
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        entry = self.graph.entry_point
+        assert entry is not None
+        entry_dist = self.kernel.one(query, self.graph.vector(entry))
+        if self.graph.max_level > 0:
+            entry, entry_dist = greedy_descent(
+                self.graph, self.kernel, query, entry, entry_dist,
+                self.graph.max_level, 0)
+        return search_layer(self.graph, self.kernel, query,
+                            [(entry_dist, entry)], effective_ef, 0)
+
+    # ------------------------------------------------------------------
+    def layer_sizes(self) -> list[int]:
+        """Number of nodes participating in each layer, bottom-up."""
+        sizes = [0] * (self.graph.max_level + 1)
+        for layers in self.graph.adjacency:
+            for level in range(len(layers)):
+                sizes[level] += 1
+        return sizes
+
+    def reset_compute_counter(self) -> int:
+        """Zero the distance-evaluation counter; returns the old value."""
+        return self.kernel.reset_counter()
+
+    @property
+    def compute_count(self) -> int:
+        """Distance evaluations since the last reset."""
+        return self.kernel.num_evaluations

@@ -1,0 +1,45 @@
+"""File persistence for standalone HNSW indexes.
+
+Reuses the cluster wire format from :mod:`repro.layout.serializer`
+(header + labels + levels + adjacency + vectors), so a file written here
+is byte-compatible with a cluster blob — and the defensive parser
+hardened for remote bytes also protects file loads.
+
+The construction parameters are *not* stored in the blob (they are not
+needed to answer queries); pass the original ``HnswParams`` to
+:func:`load_index` if the restored index must continue growing with the
+same bounds.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.hnsw.index import HnswIndex
+from repro.hnsw.params import HnswParams
+
+__all__ = ["save_index", "load_index"]
+
+
+def save_index(index: HnswIndex, path: "str | os.PathLike[str]") -> int:
+    """Serialize ``index`` to ``path``; returns bytes written."""
+    from repro.layout.serializer import serialize_cluster
+
+    blob = serialize_cluster(index, cluster_id=0)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def load_index(path: "str | os.PathLike[str]",
+               params: HnswParams | None = None) -> HnswIndex:
+    """Restore an index saved by :func:`save_index`.
+
+    Raises :class:`~repro.errors.SerializationError` on corrupt files.
+    """
+    from repro.layout.serializer import deserialize_cluster
+
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    index, _ = deserialize_cluster(blob, params)
+    return index

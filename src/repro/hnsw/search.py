@@ -1,0 +1,106 @@
+"""Layer traversal primitives shared by HNSW construction and querying.
+
+Two routines from Malkov & Yashunin:
+
+* :func:`greedy_descent` — the zoom-in phase: at each upper layer, hop to
+  the closest neighbour until no improvement (``ef = 1``).
+* :func:`search_layer` — the beam search (Algorithm 2): maintain ``ef``
+  best candidates, expand the closest unexpanded one, vectorizing the
+  per-hop distance computations.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.hnsw.distance import DistanceKernel
+from repro.hnsw.graph import LayeredGraph
+
+__all__ = ["greedy_descent", "search_layer", "knn_from_candidates"]
+
+
+def greedy_descent(graph: LayeredGraph, kernel: DistanceKernel,
+                   query: np.ndarray, entry: int, entry_dist: float,
+                   from_level: int, to_level: int) -> tuple[int, float]:
+    """Greedy walk from ``from_level`` down to (but not into) ``to_level``.
+
+    Returns the closest node found and its distance; that node seeds the
+    beam search on ``to_level``.
+    """
+    current, current_dist = entry, entry_dist
+    for level in range(from_level, to_level, -1):
+        improved = True
+        while improved:
+            improved = False
+            neighbor_ids = graph.neighbors(current, level)
+            if not neighbor_ids:
+                continue
+            dists = kernel.many(query, graph.vectors[neighbor_ids])
+            best = int(np.argmin(dists))
+            if dists[best] < current_dist:
+                current = neighbor_ids[best]
+                current_dist = float(dists[best])
+                improved = True
+    return current, current_dist
+
+
+def search_layer(graph: LayeredGraph, kernel: DistanceKernel,
+                 query: np.ndarray, entries: list[tuple[float, int]],
+                 ef: int, level: int) -> list[tuple[float, int]]:
+    """Beam search at one layer (Algorithm 2 of the HNSW paper).
+
+    Parameters
+    ----------
+    entries:
+        Seed ``(distance, node)`` pairs; distances must already be computed.
+    ef:
+        Beam width — the size of the dynamic candidate list.
+
+    Returns
+    -------
+    Up to ``ef`` ``(distance, node)`` pairs, sorted ascending by distance.
+    """
+    if ef < 1:
+        raise ValueError(f"ef must be >= 1, got {ef}")
+    visited = {node for _, node in entries}
+    # Min-heap of frontier candidates to expand.
+    candidates = list(entries)
+    heapq.heapify(candidates)
+    # Max-heap (negated) of the current best ef results.
+    results = [(-dist, node) for dist, node in entries]
+    heapq.heapify(results)
+    while len(results) > ef:
+        heapq.heappop(results)
+
+    while candidates:
+        dist, node = heapq.heappop(candidates)
+        worst = -results[0][0]
+        if dist > worst and len(results) >= ef:
+            break
+        unvisited = [n for n in graph.neighbors(node, level)
+                     if n not in visited]
+        if not unvisited:
+            continue
+        visited.update(unvisited)
+        dists = kernel.many(query, graph.vectors[unvisited])
+        worst = -results[0][0]
+        for neighbor, neighbor_dist in zip(unvisited, dists.tolist()):
+            if len(results) < ef or neighbor_dist < worst:
+                heapq.heappush(candidates, (neighbor_dist, neighbor))
+                heapq.heappush(results, (-neighbor_dist, neighbor))
+                if len(results) > ef:
+                    heapq.heappop(results)
+                worst = -results[0][0]
+    output = [(-negated, node) for negated, node in results]
+    output.sort()
+    return output
+
+
+def knn_from_candidates(candidates: list[tuple[float, int]],
+                        k: int) -> list[tuple[float, int]]:
+    """The ``k`` closest ``(distance, node)`` pairs, ascending."""
+    if k <= 0:
+        return []
+    return sorted(candidates)[:k]

@@ -1,0 +1,45 @@
+"""RDMA-friendly remote layout of the d-HNSW graph index (§3.2).
+
+* :mod:`~repro.layout.serializer` — binary blobs for sub-HNSW clusters and
+  fixed-size overflow records.
+* :mod:`~repro.layout.metadata` — the versioned global metadata block at
+  the head of the region.
+* :mod:`~repro.layout.group_layout` — cluster pairs around shared overflow.
+* :mod:`~repro.layout.allocator` — bump allocation / relocation tracking.
+"""
+
+from repro.layout.allocator import RegionAllocator
+from repro.layout.group_layout import (
+    OVERFLOW_TAIL_BYTES,
+    GroupPlan,
+    cluster_read_extent,
+    overflow_area_size,
+    plan_groups,
+)
+from repro.layout.metadata import ClusterEntry, GlobalMetadata, GroupEntry
+from repro.layout.serializer import (
+    OverflowRecord,
+    deserialize_cluster,
+    overflow_record_size,
+    pack_overflow_record,
+    serialize_cluster,
+    unpack_overflow_records,
+)
+
+__all__ = [
+    "OVERFLOW_TAIL_BYTES",
+    "ClusterEntry",
+    "GlobalMetadata",
+    "GroupEntry",
+    "GroupPlan",
+    "OverflowRecord",
+    "RegionAllocator",
+    "cluster_read_extent",
+    "deserialize_cluster",
+    "overflow_area_size",
+    "overflow_record_size",
+    "pack_overflow_record",
+    "plan_groups",
+    "serialize_cluster",
+    "unpack_overflow_records",
+]

@@ -1,0 +1,151 @@
+"""Region allocator with tail bumping and free-extent recycling.
+
+The region is carved as ``[metadata block | extents... | free tail]``.
+Initial construction lays all groups out back to back from the tail.
+When a group's overflow fills up, the engine rebuilds the pair at a new
+location and *retires* the old extent; retired extents enter a free list
+(coalescing with neighbours) and are recycled best-fit by later
+allocations, so a long-running deployment does not leak its region to
+relocation churn — the §3.2 argument for the shared-overflow layout is
+precisely that relocations stay rare enough for this to work.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LayoutError
+
+__all__ = ["RegionAllocator"]
+
+
+class RegionAllocator:
+    """Tracks offsets inside one registered remote region.
+
+    All offsets are region-relative; callers add the region's base
+    address when posting verbs.
+    """
+
+    def __init__(self, capacity_bytes: int, metadata_reserve: int) -> None:
+        if capacity_bytes <= 0:
+            raise LayoutError(
+                f"capacity must be positive, got {capacity_bytes}")
+        if not 0 < metadata_reserve < capacity_bytes:
+            raise LayoutError(
+                f"metadata reserve {metadata_reserve} must fit inside "
+                f"capacity {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.metadata_reserve = int(metadata_reserve)
+        self._tail = self.metadata_reserve
+        # Sorted, non-adjacent (offset, length) extents available for
+        # recycling.  Invariant: all lie in [metadata_reserve, _tail).
+        self._free: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def tail(self) -> int:
+        """First never-allocated offset."""
+        return self._tail
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes available (tail space plus recycled extents)."""
+        return self.capacity_bytes - self._tail + self.dead_bytes
+
+    @property
+    def dead_bytes(self) -> int:
+        """Bytes sitting in the free list awaiting reuse."""
+        return sum(length for _, length in self._free)
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes allocated and still live (excludes metadata reserve)."""
+        return self._tail - self.metadata_reserve - self.dead_bytes
+
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int) -> int:
+        """Reserve ``nbytes``; returns the extent's offset.
+
+        Recycles the best-fitting free extent when one is large enough,
+        otherwise bumps the tail.
+        """
+        if nbytes <= 0:
+            raise LayoutError(f"allocation must be positive, got {nbytes}")
+        best_index = -1
+        best_length = None
+        for index, (_, length) in enumerate(self._free):
+            if length >= nbytes and (best_length is None
+                                     or length < best_length):
+                best_index = index
+                best_length = length
+        if best_index >= 0:
+            offset, length = self._free.pop(best_index)
+            if length > nbytes:
+                self._free.append((offset + nbytes, length - nbytes))
+                self._free.sort()
+            return offset
+        if nbytes > self.capacity_bytes - self._tail:
+            raise LayoutError(
+                f"region exhausted: need {nbytes} B, "
+                f"{self.capacity_bytes - self._tail} B at the tail and "
+                f"{self.dead_bytes} B of fragmented free space "
+                f"(largest extent "
+                f"{max((l for _, l in self._free), default=0)} B) of "
+                f"{self.capacity_bytes} B total")
+        offset = self._tail
+        self._tail += nbytes
+        return offset
+
+    def retire(self, offset: int, nbytes: int) -> None:
+        """Return a previously allocated extent to the free list."""
+        if nbytes <= 0:
+            raise LayoutError(f"cannot retire {nbytes} bytes")
+        if offset < self.metadata_reserve or offset + nbytes > self._tail:
+            raise LayoutError(
+                f"retired extent [{offset}, {offset + nbytes}) outside "
+                f"allocated space [{self.metadata_reserve}, {self._tail})")
+        for other_offset, other_length in self._free:
+            if (offset < other_offset + other_length
+                    and other_offset < offset + nbytes):
+                raise LayoutError(
+                    f"double retire: [{offset}, {offset + nbytes}) "
+                    f"overlaps free extent [{other_offset}, "
+                    f"{other_offset + other_length})")
+        self._free.append((offset, nbytes))
+        self._free.sort()
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        merged: list[tuple[int, int]] = []
+        for offset, length in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == offset:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((offset, length))
+        # A free extent ending at the tail shrinks the tail back.
+        while merged and merged[-1][0] + merged[-1][1] == self._tail:
+            self._tail = merged.pop()[0]
+        self._free = merged
+
+    # ------------------------------------------------------------------
+    def free_extents(self) -> list[tuple[int, int]]:
+        """Snapshot of the free list (for persistence and inspection)."""
+        return list(self._free)
+
+    def restore_free_extents(self,
+                             extents: list[tuple[int, int]]) -> None:
+        """Replace the free list (persistence restore)."""
+        for offset, length in extents:
+            if not (self.metadata_reserve <= offset
+                    and offset + length <= self._tail):
+                raise LayoutError(
+                    f"restored free extent [{offset}, {offset + length}) "
+                    f"outside allocated space")
+        self._free = sorted((int(offset), int(length))
+                            for offset, length in extents)
+        self._coalesce()
+
+    def fragmentation(self) -> float:
+        """Free-list fraction of the allocated (non-metadata) space."""
+        allocated = self._tail - self.metadata_reserve
+        if allocated == 0:
+            return 0.0
+        return self.dead_bytes / allocated

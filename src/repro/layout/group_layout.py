@@ -1,0 +1,163 @@
+"""Pairing sub-HNSW clusters into groups with shared overflow space.
+
+§3.2 and Fig. 4: "The remaining memory space is divided into groups, each of
+which is capable of holding two sub-HNSW clusters. Within each group, the
+first section stores the first serialized sub-HNSW cluster ... The second
+sub-HNSW cluster is placed at the end of the group. Between these two
+clusters, we allocate a shared overflow memory space to accommodate newly
+inserted vectors for both sub-HNSW clusters."
+
+Because overflow sits *between* the pair, either cluster plus every
+overflow record relevant to it is one contiguous byte range — the property
+that lets a query fetch a cluster and its fresh insertions with a single
+``RDMA_READ``.
+
+This module is pure layout arithmetic; writing bytes through a queue pair
+is the engine's job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import LayoutError
+from repro.layout.metadata import ClusterEntry, GlobalMetadata, GroupEntry
+from repro.layout.serializer import overflow_record_size
+
+__all__ = ["GroupPlan", "plan_groups", "cluster_read_extent",
+           "overflow_area_size", "OVERFLOW_TAIL_BYTES"]
+
+OVERFLOW_TAIL_BYTES = 8  # u64 tail counter at the head of each overflow area
+
+
+def overflow_area_size(dim: int, capacity_records: int) -> int:
+    """Bytes of one group's overflow area (tail counter + record slots)."""
+    if capacity_records < 0:
+        raise ValueError(
+            f"capacity_records must be >= 0, got {capacity_records}")
+    return OVERFLOW_TAIL_BYTES + capacity_records * overflow_record_size(dim)
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupPlan:
+    """Placement of one group: two clusters around a shared overflow.
+
+    ``second_cluster_id`` is ``None`` for a trailing odd group that holds a
+    single cluster (it still gets its own overflow area).
+    """
+
+    group_id: int
+    base_offset: int
+    first_cluster_id: int
+    first_blob: bytes
+    second_cluster_id: int | None
+    second_blob: bytes | None
+    overflow_offset: int
+    capacity_records: int
+    overflow_area_bytes: int
+
+    @property
+    def first_offset(self) -> int:
+        """Offset of the first cluster's blob."""
+        return self.base_offset
+
+    @property
+    def second_offset(self) -> int:
+        """Offset of the second cluster's blob (just past the overflow)."""
+        return self.overflow_offset + self.overflow_area_bytes
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last byte of the group."""
+        if self.second_blob is None:
+            return self.overflow_offset + self.overflow_area_bytes
+        return self.second_offset + len(self.second_blob)
+
+
+def plan_groups(blobs: list[tuple[int, bytes]], dim: int,
+                capacity_records: int,
+                start_offset: int) -> tuple[list[GroupPlan],
+                                            list[ClusterEntry],
+                                            list[GroupEntry]]:
+    """Lay out cluster blobs into adjacent-pair groups.
+
+    Parameters
+    ----------
+    blobs:
+        ``(cluster_id, serialized blob)`` in cluster-id order; cluster ids
+        must be ``0..len-1`` (dense) so metadata entries index directly.
+    start_offset:
+        First byte after the reserved metadata area.
+
+    Returns
+    -------
+    ``(plans, cluster_entries, group_entries)`` where the entry lists are
+    indexed by cluster id / group id respectively.
+    """
+    if [cid for cid, _ in blobs] != list(range(len(blobs))):
+        raise LayoutError("cluster ids must be dense and ordered")
+    area = overflow_area_size(dim, capacity_records)
+    plans: list[GroupPlan] = []
+    cluster_entries: list[ClusterEntry | None] = [None] * len(blobs)
+    group_entries: list[GroupEntry] = []
+    cursor = start_offset
+    for group_id in range((len(blobs) + 1) // 2):
+        first_id, first_blob = blobs[2 * group_id]
+        second = (blobs[2 * group_id + 1]
+                  if 2 * group_id + 1 < len(blobs) else None)
+        # The overflow area leads with a u64 tail counter that remote
+        # FAA/CAS target; RDMA atomics require natural (8-byte) alignment.
+        overflow_offset = cursor + len(first_blob)
+        overflow_offset += (-overflow_offset) % 8
+        plan = GroupPlan(
+            group_id=group_id,
+            base_offset=cursor,
+            first_cluster_id=first_id,
+            first_blob=first_blob,
+            second_cluster_id=second[0] if second else None,
+            second_blob=second[1] if second else None,
+            overflow_offset=overflow_offset,
+            capacity_records=capacity_records,
+            overflow_area_bytes=area,
+        )
+        plans.append(plan)
+        cluster_entries[first_id] = ClusterEntry(
+            blob_offset=plan.first_offset,
+            blob_length=len(first_blob),
+            group_id=group_id)
+        if second is not None:
+            cluster_entries[second[0]] = ClusterEntry(
+                blob_offset=plan.second_offset,
+                blob_length=len(second[1]),
+                group_id=group_id)
+        group_entries.append(GroupEntry(
+            overflow_offset=overflow_offset,
+            capacity_records=capacity_records))
+        cursor = plan.end_offset
+    return (plans,
+            [entry for entry in cluster_entries if entry is not None],
+            group_entries)
+
+
+def cluster_read_extent(metadata: GlobalMetadata,
+                        cluster_id: int) -> tuple[int, int]:
+    """The contiguous byte range covering a cluster *and* its overflow.
+
+    For the first cluster of a group the range is
+    ``[blob_offset, overflow_end)``; for the second it is
+    ``[overflow_offset, blob_end)``.  Either way: one ``RDMA_READ``.
+    Returns ``(offset, length)``.
+    """
+    if not 0 <= cluster_id < metadata.num_clusters:
+        raise LayoutError(f"cluster id {cluster_id} out of range")
+    cluster = metadata.clusters[cluster_id]
+    group = metadata.groups[cluster.group_id]
+    area = overflow_area_size(metadata.dim, group.capacity_records)
+    overflow_end = group.overflow_offset + area
+    if cluster.blob_offset < group.overflow_offset:
+        start = cluster.blob_offset
+        end = overflow_end
+    else:
+        start = group.overflow_offset
+        end = cluster.blob_offset + cluster.blob_length
+    return start, end - start

@@ -1,0 +1,147 @@
+"""The global metadata block at the head of the remote region.
+
+§3.2: "At the beginning of this memory space, a global metadata block
+records the offsets of each sub-HNSW cluster, as their sizes vary. ... The
+memory offsets of each sub-HNSW cluster are cached in all compute instances
+after the sub-HNSW clusters are written to the memory pool, with the latest
+version stored at the beginning of the memory space in the memory
+instance."
+
+The block is versioned: every layout mutation (group rebuild, relocation)
+bumps ``version``, and compute instances detect staleness by comparing the
+version of their cached copy against the first 8 bytes of the region.
+
+Wire format:
+
+* header: magic ``b"DHM1"``, version u64, num_clusters u32, num_groups u32,
+  dim u32, overflow_capacity_records u32
+* per cluster: blob_offset u64, blob_length u64, group_id u32, pad u32
+* per group: overflow_offset u64, capacity_records u32, pad u32
+
+(The per-group overflow *tail* counter is NOT here — it lives at the head
+of each overflow area so inserts can reserve slots with one remote FAA
+without touching the metadata block.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import LayoutError
+
+__all__ = ["ClusterEntry", "GroupEntry", "GlobalMetadata"]
+
+_MAGIC = b"DHM1"
+_HEADER = struct.Struct("<4sxxxxQIIII")
+_CLUSTER = struct.Struct("<QQII")
+_GROUP = struct.Struct("<QII")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterEntry:
+    """Location of one serialized sub-HNSW cluster."""
+
+    blob_offset: int
+    blob_length: int
+    group_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupEntry:
+    """Location of one group's shared overflow area.
+
+    ``overflow_offset`` points at the u64 tail counter; records start 8
+    bytes later.
+    """
+
+    overflow_offset: int
+    capacity_records: int
+
+
+@dataclasses.dataclass
+class GlobalMetadata:
+    """In-memory form of the metadata block."""
+
+    version: int
+    dim: int
+    overflow_capacity_records: int
+    clusters: list[ClusterEntry]
+    groups: list[GroupEntry]
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of sub-HNSW clusters in the layout."""
+        return len(self.clusters)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of cluster-pair groups."""
+        return len(self.groups)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def packed_size(num_clusters: int, num_groups: int) -> int:
+        """Serialized size of a block with the given entry counts."""
+        return (_HEADER.size + num_clusters * _CLUSTER.size
+                + num_groups * _GROUP.size)
+
+    def pack(self) -> bytes:
+        """Serialize the block."""
+        parts = [_HEADER.pack(_MAGIC, self.version, self.num_clusters,
+                              self.num_groups, self.dim,
+                              self.overflow_capacity_records)]
+        for cluster in self.clusters:
+            parts.append(_CLUSTER.pack(cluster.blob_offset,
+                                       cluster.blob_length,
+                                       cluster.group_id, 0))
+        for group in self.groups:
+            parts.append(_GROUP.pack(group.overflow_offset,
+                                     group.capacity_records, 0))
+        return b"".join(parts)
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "GlobalMetadata":
+        """Deserialize a block, validating magic and lengths."""
+        if len(blob) < _HEADER.size:
+            raise LayoutError(
+                f"metadata blob of {len(blob)} B shorter than header")
+        magic, version, num_clusters, num_groups, dim, capacity = (
+            _HEADER.unpack_from(blob, 0))
+        if magic != _MAGIC:
+            raise LayoutError(f"bad metadata magic {magic!r}")
+        needed = cls.packed_size(num_clusters, num_groups)
+        if len(blob) < needed:
+            raise LayoutError(
+                f"metadata blob of {len(blob)} B, need {needed} B for "
+                f"{num_clusters} clusters / {num_groups} groups")
+        offset = _HEADER.size
+        clusters = []
+        for _ in range(num_clusters):
+            blob_offset, blob_length, group_id, _pad = _CLUSTER.unpack_from(
+                blob, offset)
+            clusters.append(ClusterEntry(blob_offset, blob_length, group_id))
+            offset += _CLUSTER.size
+        groups = []
+        for _ in range(num_groups):
+            overflow_offset, cap, _pad = _GROUP.unpack_from(blob, offset)
+            groups.append(GroupEntry(overflow_offset, cap))
+            offset += _GROUP.size
+        return cls(version=version, dim=dim,
+                   overflow_capacity_records=capacity,
+                   clusters=clusters, groups=groups)
+
+    @staticmethod
+    def peek_version(first_bytes: bytes) -> int:
+        """Read just the version from the first 16 header bytes.
+
+        Compute instances poll this with a tiny READ to detect stale
+        cached offsets without transferring the whole block.
+        """
+        if len(first_bytes) < 16:
+            raise LayoutError("need at least 16 bytes to peek version")
+        magic = first_bytes[:4]
+        if magic != _MAGIC:
+            raise LayoutError(f"bad metadata magic {magic!r}")
+        (version,) = struct.unpack_from("<Q", first_bytes, 8)
+        return version

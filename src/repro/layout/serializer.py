@@ -1,0 +1,214 @@
+"""Binary serialization of sub-HNSW clusters and overflow records.
+
+Wire format (little-endian throughout):
+
+Cluster blob (§3.2: "its metadata, neighbor array for HNSW, and the
+associated floating-point vectors"):
+
+====================  =======================================================
+section               contents
+====================  =======================================================
+header                magic ``b"DHN1"``, version u16, cluster_id u32,
+                      num_nodes u32, dim u32, max_level i32, entry_point i32
+labels                num_nodes x i64 (global dataset ids)
+levels                num_nodes x i32 (top layer of each node)
+adjacency             per node, per layer 0..level: count u32 + count x u32
+vectors               num_nodes x dim x f32
+====================  =======================================================
+
+Overflow record (one dynamically inserted vector):
+
+``global_id i64 | cluster_id u32 | vector dim x f32``
+
+Records are fixed-size for a given dimensionality, so a slot index from a
+remote fetch-and-add maps directly to a byte offset.  The top bit of
+``cluster_id`` flags a **tombstone** (a logical delete of ``global_id``);
+replaying a group's records in slot order therefore yields the current
+live/dead state of every dynamic id, and deletes cost exactly one record
+write like inserts do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.hnsw.index import HnswIndex
+from repro.hnsw.params import HnswParams
+
+__all__ = [
+    "MAGIC",
+    "OverflowRecord",
+    "overflow_record_size",
+    "pack_overflow_record",
+    "unpack_overflow_records",
+    "serialize_cluster",
+    "deserialize_cluster",
+]
+
+MAGIC = b"DHN1"
+_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sHHIIIii")  # magic, ver, pad, cid, n, dim, maxlvl, entry
+_COUNT = struct.Struct("<I")
+_OVERFLOW_HEAD = struct.Struct("<qI")  # global_id, cluster_id
+
+
+#: Top bit of the on-wire cluster_id field marks a tombstone record.
+_TOMBSTONE_BIT = 0x8000_0000
+
+
+@dataclasses.dataclass(frozen=True)
+class OverflowRecord:
+    """A dynamic-data record in a group's overflow space.
+
+    ``tombstone=False``: a newly inserted vector.
+    ``tombstone=True``: a logical delete of ``global_id`` (the stored
+    vector is the routing vector and is otherwise ignored).
+    """
+
+    global_id: int
+    cluster_id: int
+    vector: np.ndarray
+    tombstone: bool = False
+
+
+def overflow_record_size(dim: int) -> int:
+    """Bytes per overflow record for vectors of ``dim`` components."""
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    return _OVERFLOW_HEAD.size + 4 * dim
+
+
+def pack_overflow_record(record: OverflowRecord) -> bytes:
+    """Serialize one overflow record."""
+    vector = np.asarray(record.vector, dtype=np.float32).reshape(-1)
+    wire_cid = record.cluster_id
+    if record.tombstone:
+        wire_cid |= _TOMBSTONE_BIT
+    head = _OVERFLOW_HEAD.pack(record.global_id, wire_cid)
+    return head + vector.tobytes()
+
+
+def unpack_overflow_records(blob: bytes, dim: int,
+                            count: int) -> list[OverflowRecord]:
+    """Deserialize the first ``count`` records from an overflow area."""
+    record_size = overflow_record_size(dim)
+    if len(blob) < count * record_size:
+        raise SerializationError(
+            f"overflow blob holds {len(blob)} B, need {count * record_size}")
+    records = []
+    for index in range(count):
+        offset = index * record_size
+        global_id, wire_cid = _OVERFLOW_HEAD.unpack_from(blob, offset)
+        vector = np.frombuffer(
+            blob, dtype=np.float32, count=dim,
+            offset=offset + _OVERFLOW_HEAD.size).copy()
+        records.append(OverflowRecord(
+            global_id, wire_cid & ~_TOMBSTONE_BIT, vector,
+            tombstone=bool(wire_cid & _TOMBSTONE_BIT)))
+    return records
+
+
+# ----------------------------------------------------------------------
+def serialize_cluster(index: HnswIndex, cluster_id: int) -> bytes:
+    """Serialize a sub-HNSW (graph + labels + vectors) into one blob."""
+    graph = index.graph
+    num_nodes = len(graph)
+    entry = graph.entry_point if graph.entry_point is not None else -1
+    parts = [_HEADER.pack(MAGIC, _FORMAT_VERSION, 0, cluster_id, num_nodes,
+                          graph.dim, graph.max_level, entry)]
+    parts.append(np.asarray(index.labels, dtype=np.int64).tobytes())
+    levels = np.array([graph.level_of(node) for node in range(num_nodes)],
+                      dtype=np.int32)
+    parts.append(levels.tobytes())
+    for node in range(num_nodes):
+        for layer in graph.adjacency[node]:
+            parts.append(_COUNT.pack(len(layer)))
+            parts.append(np.asarray(layer, dtype=np.uint32).tobytes())
+    parts.append(graph.vectors.astype(np.float32, copy=False).tobytes())
+    return b"".join(parts)
+
+
+def deserialize_cluster(blob: bytes,
+                        params: HnswParams | None = None
+                        ) -> tuple[HnswIndex, int]:
+    """Rebuild a sub-HNSW from a blob; returns ``(index, cluster_id)``.
+
+    The graph structure is restored verbatim — no re-insertion — so a
+    deserialized cluster answers queries identically to the original.
+    """
+    if len(blob) < _HEADER.size:
+        raise SerializationError(
+            f"blob of {len(blob)} B shorter than header {_HEADER.size} B")
+    magic, version, _, cluster_id, num_nodes, dim, max_level, entry = (
+        _HEADER.unpack_from(blob, 0))
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    if version != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version {version}")
+    if dim < 1 or dim > 1 << 20:
+        raise SerializationError(f"implausible dimension {dim}")
+    # These bytes arrive from remote memory — every section read must be
+    # bounds-checked so corruption fails as SerializationError, never as
+    # a stray ValueError/IndexError deep in numpy.
+    offset = _HEADER.size
+
+    def take(nbytes: int, what: str) -> int:
+        nonlocal offset
+        if nbytes < 0 or offset + nbytes > len(blob):
+            raise SerializationError(
+                f"truncated blob: {what} needs {nbytes} B at offset "
+                f"{offset}, blob is {len(blob)} B")
+        start = offset
+        offset += nbytes
+        return start
+
+    labels = np.frombuffer(blob, dtype=np.int64, count=num_nodes,
+                           offset=take(8 * num_nodes, "labels"))
+    levels = np.frombuffer(blob, dtype=np.int32, count=num_nodes,
+                           offset=take(4 * num_nodes, "levels"))
+    if num_nodes and (levels < 0).any():
+        raise SerializationError("negative node level")
+
+    adjacency: list[list[list[int]]] = []
+    for node in range(num_nodes):
+        layers: list[list[int]] = []
+        for _ in range(int(levels[node]) + 1):
+            (count,) = _COUNT.unpack_from(
+                blob, take(_COUNT.size, f"adjacency count of node {node}"))
+            neighbors = np.frombuffer(
+                blob, dtype=np.uint32, count=count,
+                offset=take(4 * count, f"neighbours of node {node}"))
+            if count and int(neighbors.max()) >= num_nodes:
+                raise SerializationError(
+                    f"node {node}: neighbour id out of range")
+            layers.append([int(x) for x in neighbors])
+        adjacency.append(layers)
+
+    vectors = np.frombuffer(
+        blob, dtype=np.float32, count=num_nodes * dim,
+        offset=take(4 * num_nodes * dim, "vectors")).reshape(num_nodes,
+                                                             dim)
+    if num_nodes:
+        if not -1 <= entry < num_nodes:
+            raise SerializationError(
+                f"entry point {entry} out of range for {num_nodes} nodes")
+        if max_level != int(levels.max()):
+            raise SerializationError(
+                f"header max_level {max_level} != computed "
+                f"{int(levels.max())}")
+    elif entry != -1 or max_level != -1:
+        raise SerializationError("empty cluster with non-empty header")
+
+    index = HnswIndex(dim, params if params is not None else HnswParams())
+    graph = index.graph
+    for node in range(num_nodes):
+        graph.add_node(vectors[node], int(levels[node]))
+        graph.adjacency[node] = adjacency[node]
+    graph.max_level = max_level
+    graph.entry_point = entry if entry >= 0 else None
+    index.labels = [int(x) for x in labels]
+    return index, cluster_id

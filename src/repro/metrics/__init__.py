@@ -1,0 +1,8 @@
+"""Measurement utilities: recall, latency breakdowns, terminal plots."""
+
+from repro.metrics.ascii_plot import ascii_plot
+from repro.metrics.latency import LatencyBreakdown
+from repro.metrics.recall import per_query_recall, recall_at_k
+
+__all__ = ["LatencyBreakdown", "ascii_plot", "per_query_recall",
+           "recall_at_k"]

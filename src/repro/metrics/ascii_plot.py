@@ -1,0 +1,92 @@
+"""Terminal-friendly plots for benchmark output.
+
+The paper's headline artifact is a *figure* (latency-recall curves);
+this module renders those curves as ASCII scatter plots so the benchmark
+harness can regenerate something that reads like Fig. 6 in a terminal
+and in ``benchmarks/results/``, with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _ticks(low: float, high: float, count: int) -> list[float]:
+    if high <= low:
+        high = low + 1.0
+    step = (high - low) / (count - 1)
+    return [low + i * step for i in range(count)]
+
+
+def ascii_plot(series: Mapping[str, Sequence[tuple[float, float]]],
+               width: int = 60, height: int = 18,
+               x_label: str = "x", y_label: str = "y",
+               log_y: bool = False) -> str:
+    """Render named point series into an ASCII scatter plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to ``(x, y)`` points.  Each series gets
+        its own marker; a legend is appended.
+    log_y:
+        Plot ``log10(y)`` — latency axes spanning orders of magnitude
+        (naive vs d-HNSW) need it, exactly like Fig. 6's log axis.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 10 or height < 5:
+        raise ValueError("plot too small to be legible")
+
+    def transform(y: float) -> float:
+        if not log_y:
+            return y
+        if y <= 0:
+            raise ValueError("log_y requires positive y values")
+        return math.log10(y)
+
+    points = [(x, transform(y))
+              for values in series.values() for x, y in values]
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        for x, y in values:
+            column = int((x - x_low) / (x_high - x_low) * (width - 1))
+            row = int((transform(y) - y_low) / (y_high - y_low)
+                      * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    def y_text(value: float) -> str:
+        real = 10 ** value if log_y else value
+        return f"{real:9.3g}"
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = y_high - (y_high - y_low) * row_index / (height - 1)
+        prefix = (y_text(y_value) if row_index % 4 == 0
+                  else " " * 9)
+        lines.append(f"{prefix} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_ticks = _ticks(x_low, x_high, 4)
+    tick_text = "".join(f"{tick:<{width // 4 + 3}.3g}"
+                        for tick in x_ticks)
+    lines.append(" " * 10 + tick_text)
+    axis_note = f"x: {x_label}   y: {y_label}" + (" (log)" if log_y else "")
+    lines.append(axis_note)
+    legend = "   ".join(f"{marker}={name}" for marker, name
+                        in zip(_MARKERS, series))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Latency breakdown accounting (the measurement behind Tables 1 and 2).
+
+The paper decomposes each vector query's latency into three components
+(§4): *data transfer over the network*, *meta-HNSW (cache) computation*,
+and *sub-HNSW computation on loaded data*.  :class:`LatencyBreakdown`
+carries exactly those three buckets in simulated microseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["LatencyBreakdown"]
+
+
+@dataclasses.dataclass
+class LatencyBreakdown:
+    """Per-query (or per-batch) latency split into the paper's buckets."""
+
+    network_us: float = 0.0
+    sub_hnsw_us: float = 0.0
+    meta_hnsw_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        """Sum of all buckets."""
+        return self.network_us + self.sub_hnsw_us + self.meta_hnsw_us
+
+    def add(self, other: "LatencyBreakdown") -> None:
+        """Accumulate another breakdown into this one."""
+        self.network_us += other.network_us
+        self.sub_hnsw_us += other.sub_hnsw_us
+        self.meta_hnsw_us += other.meta_hnsw_us
+
+    def scaled(self, factor: float) -> "LatencyBreakdown":
+        """A copy with every bucket multiplied by ``factor``.
+
+        Used to convert batch totals into per-query averages
+        (``factor = 1 / batch_size``).
+        """
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return LatencyBreakdown(
+            network_us=self.network_us * factor,
+            sub_hnsw_us=self.sub_hnsw_us * factor,
+            meta_hnsw_us=self.meta_hnsw_us * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for tabular output."""
+        return {
+            "network_us": self.network_us,
+            "sub_hnsw_us": self.sub_hnsw_us,
+            "meta_hnsw_us": self.meta_hnsw_us,
+            "total_us": self.total_us,
+        }
+
+    def __str__(self) -> str:
+        return (f"network={self.network_us:.2f}us "
+                f"sub-HNSW={self.sub_hnsw_us:.2f}us "
+                f"meta-HNSW={self.meta_hnsw_us:.2f}us "
+                f"total={self.total_us:.2f}us")

@@ -1,0 +1,41 @@
+"""Recall measurement against exact ground truth.
+
+``recall@k`` here is the standard ANN-benchmarks definition the paper uses:
+the fraction of the true top-k that the engine returned, averaged over
+queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["recall_at_k", "per_query_recall"]
+
+
+def per_query_recall(retrieved: Sequence[Sequence[int]],
+                     ground_truth: np.ndarray, k: int) -> np.ndarray:
+    """Recall@k of each query; returns a float array of shape (queries,)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    ground_truth = np.atleast_2d(np.asarray(ground_truth))
+    if len(retrieved) != ground_truth.shape[0]:
+        raise ValueError(
+            f"{len(retrieved)} result lists but ground truth for "
+            f"{ground_truth.shape[0]} queries")
+    if k > ground_truth.shape[1]:
+        raise ValueError(
+            f"k={k} exceeds stored ground-truth depth {ground_truth.shape[1]}")
+    recalls = np.empty(len(retrieved), dtype=np.float64)
+    for row, ids in enumerate(retrieved):
+        truth = set(ground_truth[row, :k].tolist())
+        hits = len(truth.intersection(int(x) for x in ids[:k]))
+        recalls[row] = hits / k
+    return recalls
+
+
+def recall_at_k(retrieved: Sequence[Sequence[int]],
+                ground_truth: np.ndarray, k: int) -> float:
+    """Mean recall@k over all queries."""
+    return float(per_query_recall(retrieved, ground_truth, k).mean())

@@ -1,0 +1,141 @@
+"""Saving and restoring a built deployment.
+
+Building a d-HNSW layout is the expensive offline step (partitioning plus
+one HNSW construction per partition), so the library supports persisting a
+deployment to a directory and restoring it without rebuilding:
+
+* ``manifest.json`` — config, dimensions, allocator state, format version;
+* ``meta.bin`` — the serialized meta-HNSW (same blob format as clusters);
+* ``region.bin`` — a byte-exact image of the remote registered region,
+  including the metadata block, every group, and all overflow records.
+
+Restoring registers a fresh region on a new (simulated) memory node and
+writes the image back, so restored deployments answer queries identically
+— searches, inserts, and rebuilds all keep working.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+
+from repro.core.config import DHnswConfig
+from repro.core.engine import RemoteLayout
+from repro.core.meta_index import MetaHnsw
+from repro.errors import LayoutError, SerializationError
+from repro.hnsw.distance import Metric
+from repro.hnsw.params import HnswParams
+from repro.layout.allocator import RegionAllocator
+from repro.layout.metadata import GlobalMetadata
+from repro.layout.serializer import deserialize_cluster, serialize_cluster
+from repro.rdma.control import MemoryDaemon
+from repro.rdma.memory_node import MemoryNode
+
+__all__ = ["save_deployment", "load_deployment"]
+
+_FORMAT_VERSION = 1
+
+
+def _params_to_dict(params: HnswParams) -> dict:
+    data = dataclasses.asdict(params)
+    data["metric"] = params.metric.value
+    return data
+
+
+def _params_from_dict(data: dict) -> HnswParams:
+    data = dict(data)
+    data["metric"] = Metric.from_name(data["metric"])
+    return HnswParams(**data)
+
+
+def _config_to_dict(config: DHnswConfig) -> dict:
+    data = dataclasses.asdict(config)
+    data["meta_params"] = _params_to_dict(config.meta_params)
+    data["sub_params"] = _params_to_dict(config.sub_params)
+    return data
+
+
+def _config_from_dict(data: dict) -> DHnswConfig:
+    data = dict(data)
+    data["meta_params"] = _params_from_dict(data["meta_params"])
+    data["sub_params"] = _params_from_dict(data["sub_params"])
+    return DHnswConfig(**data)
+
+
+def save_deployment(path: "str | os.PathLike[str]", layout: RemoteLayout,
+                    meta: MetaHnsw, config: DHnswConfig) -> None:
+    """Persist a deployment directory at ``path`` (created if absent)."""
+    directory = pathlib.Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    region_image = layout.memory_node.read(layout.rkey, layout.addr(0),
+                                           layout.region.length)
+    (directory / "region.bin").write_bytes(region_image)
+    (directory / "meta.bin").write_bytes(serialize_cluster(meta.index, 0))
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "dim": layout.dim,
+        "region_capacity": layout.region.length,
+        "metadata_reserve": layout.allocator.metadata_reserve,
+        "allocator_tail": layout.allocator.tail,
+        "allocator_free_extents": layout.allocator.free_extents(),
+        "config": _config_to_dict(config),
+    }
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True))
+
+
+def load_deployment(path: "str | os.PathLike[str]",
+                    memory_node: MemoryNode | None = None
+                    ) -> tuple[MetaHnsw, RemoteLayout, DHnswConfig]:
+    """Restore a deployment saved by :func:`save_deployment`.
+
+    A fresh region is registered on ``memory_node`` (or a new node) and
+    the saved image written back byte-for-byte.
+    """
+    directory = pathlib.Path(path)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise SerializationError(f"{directory}: no manifest.json")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported deployment format "
+            f"{manifest.get('format_version')!r}")
+
+    config = _config_from_dict(manifest["config"])
+    region_image = (directory / "region.bin").read_bytes()
+    if len(region_image) != manifest["region_capacity"]:
+        raise SerializationError(
+            f"region image is {len(region_image)} B, manifest says "
+            f"{manifest['region_capacity']} B")
+
+    node = memory_node if memory_node is not None else MemoryNode()
+    daemon = MemoryDaemon(node)
+    region = node.register(manifest["region_capacity"])
+    node.write(region.rkey, region.base_addr, region_image)
+
+    metadata = GlobalMetadata.unpack(
+        region_image[: manifest["metadata_reserve"]])
+    allocator = RegionAllocator(manifest["region_capacity"],
+                                metadata_reserve=manifest["metadata_reserve"])
+    used = manifest["allocator_tail"] - manifest["metadata_reserve"]
+    if used < 0:
+        raise LayoutError("manifest allocator tail precedes the reserve")
+    if used > 0:
+        allocator.allocate(used)
+    allocator.restore_free_extents(
+        [(int(offset), int(length))
+         for offset, length in manifest["allocator_free_extents"]])
+
+    layout = RemoteLayout(memory_node=node, region=region,
+                          allocator=allocator, metadata=metadata,
+                          dim=manifest["dim"], daemon=daemon)
+
+    meta_index, _ = deserialize_cluster(
+        (directory / "meta.bin").read_bytes(), config.meta_params)
+    meta = MetaHnsw.from_index(meta_index, config.meta_params)
+    return meta, layout, config

@@ -1,0 +1,17 @@
+"""Product quantization: the compression family of reference [14].
+
+* :class:`~repro.pq.codebook.PqCodebook` — trained per-subspace
+  codebooks, encoding/decoding, asymmetric distance tables;
+* :class:`~repro.pq.search.PqRerankIndex` — ADC scan over codes with
+  exact re-ranking.
+
+``benchmarks/test_ablation_pq_transfer.py`` uses these to quantify the
+compressed-transfer option for a disaggregated vector store: bytes per
+vector shrink by ``4 * dim / num_subspaces`` while recall is preserved
+by a small exact re-rank set.
+"""
+
+from repro.pq.codebook import PqCodebook
+from repro.pq.search import PqRerankIndex
+
+__all__ = ["PqCodebook", "PqRerankIndex"]

@@ -1,0 +1,27 @@
+"""Simulated RDMA-based disaggregated memory.
+
+This subpackage is the hardware substitution documented in DESIGN.md: a
+deterministic cost-model simulation of one-sided verbs (READ / WRITE / CAS /
+FAA), doorbell batching, registered memory regions, and the compute/memory
+pool split.  All latencies it produces are simulated microseconds.
+"""
+
+from repro.rdma.clock import SimClock
+from repro.rdma.compute_node import ComputeNode
+from repro.rdma.memory_node import MemoryNode, MemoryRegion
+from repro.rdma.network import CostModel
+from repro.rdma.qp import QpState, QueuePair, ReadDescriptor, WriteDescriptor
+from repro.rdma.stats import RdmaStats
+
+__all__ = [
+    "ComputeNode",
+    "CostModel",
+    "MemoryNode",
+    "MemoryRegion",
+    "QpState",
+    "QueuePair",
+    "RdmaStats",
+    "ReadDescriptor",
+    "SimClock",
+    "WriteDescriptor",
+]

@@ -1,0 +1,35 @@
+"""Simulated time.
+
+All latency numbers this library reports are simulated microseconds advanced
+on a :class:`SimClock` by the RDMA cost model and the compute cost model —
+never wall-clock.  This keeps experiments deterministic and lets a laptop
+reproduce the *shape* of results measured on a 100 Gb testbed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically advancing microsecond counter."""
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise ValueError(f"start_us must be >= 0, got {start_us}")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now_us
+
+    def advance(self, delta_us: float) -> float:
+        """Advance time by ``delta_us`` (must be >= 0); returns new time."""
+        if delta_us < 0:
+            raise ValueError(f"cannot advance by negative time {delta_us}")
+        self._now_us += delta_us
+        return self._now_us
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_us={self._now_us:.3f})"

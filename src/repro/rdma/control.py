@@ -1,0 +1,156 @@
+"""The control path: two-sided RPC to the memory node.
+
+d-HNSW's data path is one-sided (the memory node's CPU never touches a
+query), but §3 still gives memory instances a job: "handling lightweight
+memory registration tasks".  This module models that control path as a
+classic SEND/RECV RPC service:
+
+* :class:`MemoryDaemon` — the service running on the memory node:
+  region allocation / deregistration / lookup and liveness pings;
+* :class:`ControlClient` — the compute-side stub, charging simulated
+  time (one round trip + payload serialization + the weak server CPU)
+  and counting control-path traffic separately from data-path verbs.
+
+Control messages are JSON over the simulated fabric — the control path
+is latency-insensitive, so clarity beats compactness here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.errors import ProtectionError, RdmaError
+from repro.rdma.clock import SimClock
+from repro.rdma.memory_node import MemoryNode
+from repro.rdma.network import CostModel
+
+__all__ = ["ControlClient", "ControlStats", "MemoryDaemon", "RpcError"]
+
+#: The paper's memory instances have "extremely weak computational
+#: power"; every RPC op charges this much server CPU.
+_SERVER_CPU_US = 5.0
+
+
+class RpcError(RdmaError):
+    """The daemon rejected a control request."""
+
+
+@dataclasses.dataclass
+class ControlStats:
+    """Control-path accounting, separate from data-path RdmaStats."""
+
+    requests: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    time_us: float = 0.0
+
+
+class MemoryDaemon:
+    """Control-plane service owned by a memory node."""
+
+    def __init__(self, memory_node: MemoryNode) -> None:
+        self.memory_node = memory_node
+        self.requests_served = 0
+        self.cpu_time_us = 0.0
+
+    # ------------------------------------------------------------------
+    def handle(self, request: bytes) -> bytes:
+        """Dispatch one serialized request; returns the serialized reply.
+
+        Unknown ops and malformed requests produce an error reply rather
+        than an exception — a remote daemon cannot raise into its client.
+        """
+        self.requests_served += 1
+        self.cpu_time_us += _SERVER_CPU_US
+        try:
+            message = json.loads(request.decode("utf-8"))
+            op = message["op"]
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return self._error("malformed request")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return self._error(f"unknown op {op!r}")
+        try:
+            return json.dumps({"ok": True,
+                               "result": handler(message)}).encode("utf-8")
+        except (ProtectionError, RpcError, ValueError) as error:
+            return self._error(str(error))
+
+    @staticmethod
+    def _error(message: str) -> bytes:
+        return json.dumps({"ok": False, "error": message}).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    def _op_ping(self, message: dict) -> dict:
+        return {"node": self.memory_node.name}
+
+    def _op_alloc_region(self, message: dict) -> dict:
+        length = int(message["length"])
+        region = self.memory_node.register(length)
+        return {"rkey": region.rkey, "base_addr": region.base_addr,
+                "length": region.length}
+
+    def _op_region_info(self, message: dict) -> dict:
+        rkey = int(message["rkey"])
+        region = self.memory_node.get_region(rkey)
+        return {"rkey": rkey, "base_addr": region.base_addr,
+                "length": region.length}
+
+    def _op_dereg_region(self, message: dict) -> dict:
+        self.memory_node.deregister(int(message["rkey"]))
+        return {}
+
+    def _op_stats(self, message: dict) -> dict:
+        return {"registered_bytes": self.memory_node.registered_bytes,
+                "requests_served": self.requests_served}
+
+
+class ControlClient:
+    """Compute-side stub for the memory daemon."""
+
+    def __init__(self, daemon: MemoryDaemon, clock: SimClock,
+                 cost_model: CostModel) -> None:
+        self.daemon = daemon
+        self.clock = clock
+        self.cost_model = cost_model
+        self.stats = ControlStats()
+
+    # ------------------------------------------------------------------
+    def call(self, op: str, **args: object) -> dict:
+        """Issue one RPC; returns the result dict or raises RpcError."""
+        request = json.dumps({"op": op, **args}).encode("utf-8")
+        reply = self.daemon.handle(request)
+        elapsed = (self.cost_model.base_rtt_us
+                   + self.cost_model.transfer_us(len(request) + len(reply))
+                   + _SERVER_CPU_US)
+        self.clock.advance(elapsed)
+        self.stats.requests += 1
+        self.stats.bytes_sent += len(request)
+        self.stats.bytes_received += len(reply)
+        self.stats.time_us += elapsed
+        decoded = json.loads(reply.decode("utf-8"))
+        if not decoded.get("ok"):
+            raise RpcError(decoded.get("error", "unknown control error"))
+        return decoded["result"]
+
+    # Typed convenience wrappers ---------------------------------------
+    def ping(self) -> str:
+        """Liveness check; returns the memory node's name."""
+        return str(self.call("ping")["node"])
+
+    def alloc_region(self, length: int) -> tuple[int, int, int]:
+        """Ask the daemon to register a region; returns
+        ``(rkey, base_addr, length)``."""
+        result = self.call("alloc_region", length=length)
+        return (int(result["rkey"]), int(result["base_addr"]),
+                int(result["length"]))
+
+    def region_info(self, rkey: int) -> tuple[int, int]:
+        """Look up a region; returns ``(base_addr, length)``."""
+        result = self.call("region_info", rkey=rkey)
+        return int(result["base_addr"]), int(result["length"])
+
+    def dereg_region(self, rkey: int) -> None:
+        """Deregister a region."""
+        self.call("dereg_region", rkey=rkey)

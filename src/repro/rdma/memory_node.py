@@ -1,0 +1,146 @@
+"""The memory instance: registered regions with one-sided access semantics.
+
+The paper's memory pool has "extremely weak computational power, handling
+lightweight memory registration tasks" (§3) — accordingly this class only
+registers memory and services byte-level access issued by remote queue
+pairs.  No index logic lives here.
+
+Addresses are node-local virtual addresses; a region registration returns
+an ``rkey`` that every verb must present, and all accesses are bounds- and
+rkey-checked, mirroring real RDMA protection domains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.errors import ProtectionError
+
+__all__ = ["MemoryNode", "MemoryRegion"]
+
+_U64 = struct.Struct("<Q")
+
+
+@dataclasses.dataclass
+class MemoryRegion:
+    """A registered memory region: base address, length, key, buffer."""
+
+    rkey: int
+    base_addr: int
+    buffer: bytearray
+
+    @property
+    def length(self) -> int:
+        """Registered length in bytes."""
+        return len(self.buffer)
+
+    def contains(self, addr: int, length: int) -> bool:
+        """Whether ``[addr, addr + length)`` lies inside the region."""
+        return (addr >= self.base_addr
+                and addr + length <= self.base_addr + self.length)
+
+
+class MemoryNode:
+    """A passive memory instance in the disaggregated pool."""
+
+    _REGION_ALIGN = 4096
+
+    def __init__(self, name: str = "mem0") -> None:
+        self.name = name
+        self._regions: dict[int, MemoryRegion] = {}
+        self._next_rkey = 1
+        self._next_addr = self._REGION_ALIGN
+
+    # ------------------------------------------------------------------
+    def register(self, length: int) -> MemoryRegion:
+        """Register ``length`` bytes; returns the new region."""
+        if length <= 0:
+            raise ValueError(f"region length must be positive, got {length}")
+        region = MemoryRegion(
+            rkey=self._next_rkey,
+            base_addr=self._next_addr,
+            buffer=bytearray(length),
+        )
+        self._regions[region.rkey] = region
+        self._next_rkey += 1
+        # Page-align the next region and leave a guard gap so off-by-one
+        # accesses cannot silently read a neighbouring region.
+        advance = length + self._REGION_ALIGN
+        advance += (-advance) % self._REGION_ALIGN
+        self._next_addr += advance
+        return region
+
+    def get_region(self, rkey: int) -> MemoryRegion:
+        """Look up a registered region by key."""
+        region = self._regions.get(rkey)
+        if region is None:
+            raise ProtectionError(f"unknown rkey {rkey}")
+        return region
+
+    def deregister(self, rkey: int) -> None:
+        """Drop a region; subsequent access with its rkey fails."""
+        if rkey not in self._regions:
+            raise ProtectionError(f"deregister of unknown rkey {rkey}")
+        del self._regions[rkey]
+
+    @property
+    def registered_bytes(self) -> int:
+        """Total bytes currently registered."""
+        return sum(region.length for region in self._regions.values())
+
+    # ------------------------------------------------------------------
+    def _resolve(self, rkey: int, addr: int, length: int) -> MemoryRegion:
+        region = self._regions.get(rkey)
+        if region is None:
+            raise ProtectionError(
+                f"access with unknown rkey {rkey}", addr=addr, length=length)
+        if length < 0:
+            raise ProtectionError(
+                f"negative access length {length}", addr=addr, length=length)
+        if not region.contains(addr, length):
+            raise ProtectionError(
+                f"access [{addr}, {addr + length}) outside region "
+                f"[{region.base_addr}, {region.base_addr + region.length})",
+                addr=addr, length=length)
+        return region
+
+    def read(self, rkey: int, addr: int, length: int) -> bytes:
+        """Service a one-sided READ."""
+        region = self._resolve(rkey, addr, length)
+        offset = addr - region.base_addr
+        return bytes(region.buffer[offset:offset + length])
+
+    def write(self, rkey: int, addr: int, data: bytes) -> None:
+        """Service a one-sided WRITE."""
+        region = self._resolve(rkey, addr, len(data))
+        offset = addr - region.base_addr
+        region.buffer[offset:offset + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # 8-byte atomics; RDMA requires natural alignment.
+    # ------------------------------------------------------------------
+    def _check_atomic(self, addr: int) -> None:
+        if addr % 8 != 0:
+            raise ProtectionError(
+                f"atomic on unaligned address {addr}", addr=addr, length=8)
+
+    def compare_and_swap(self, rkey: int, addr: int, expected: int,
+                         desired: int) -> int:
+        """CAS on a u64; returns the value observed before the swap."""
+        self._check_atomic(addr)
+        region = self._resolve(rkey, addr, 8)
+        offset = addr - region.base_addr
+        (current,) = _U64.unpack_from(region.buffer, offset)
+        if current == expected:
+            _U64.pack_into(region.buffer, offset, desired)
+        return current
+
+    def fetch_and_add(self, rkey: int, addr: int, delta: int) -> int:
+        """FAA on a u64; returns the value before the addition."""
+        self._check_atomic(addr)
+        region = self._resolve(rkey, addr, 8)
+        offset = addr - region.base_addr
+        (current,) = _U64.unpack_from(region.buffer, offset)
+        _U64.pack_into(region.buffer, offset, (current + delta) % (1 << 64))
+        return current

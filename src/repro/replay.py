@@ -1,0 +1,185 @@
+"""Recording and replaying operation traces.
+
+Benchmarks that matter get re-run — on new configs, new cost models, new
+hardware ports.  A trace pins the exact operation stream so every re-run
+sees identical work:
+
+* :class:`TraceWriter` — append search/insert/delete operations to a
+  JSONL file (one op per line; human-greppable, stream-appendable);
+* :func:`read_trace` — stream a trace back as :class:`TraceOp` items;
+* :func:`replay` — drive any client-shaped object (``search_batch`` /
+  ``insert`` / ``delete``) with a trace, returning aggregate counters.
+
+Searches are replayed in batches of the trace's consecutive search runs,
+preserving the batching structure that d-HNSW's loader exploits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+__all__ = ["TraceOp", "TraceWriter", "read_trace", "replay",
+           "ReplayResult"]
+
+_KINDS = ("search", "insert", "delete")
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceOp:
+    """One traced operation."""
+
+    kind: str
+    vector: np.ndarray
+    global_id: int | None = None   # insert / delete
+    k: int = 10                    # search
+    ef_search: int = 32            # search
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.kind in ("insert", "delete") and self.global_id is None:
+            raise ValueError(f"{self.kind} op requires a global_id")
+
+
+class TraceWriter:
+    """Append operations to a JSONL trace file.
+
+    Usable as a context manager::
+
+        with TraceWriter(path) as trace:
+            trace.search(query, k=10, ef_search=48)
+            trace.insert(vector, global_id=123)
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        self._handle.close()
+
+    def _write(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload) + "\n")
+
+    def search(self, vector: np.ndarray, k: int = 10,
+               ef_search: int = 32) -> None:
+        """Record a search op."""
+        self._write({"kind": "search", "k": int(k),
+                     "ef_search": int(ef_search),
+                     "vector": np.asarray(vector,
+                                          dtype=np.float32).tolist()})
+
+    def insert(self, vector: np.ndarray, global_id: int) -> None:
+        """Record an insert op."""
+        self._write({"kind": "insert", "global_id": int(global_id),
+                     "vector": np.asarray(vector,
+                                          dtype=np.float32).tolist()})
+
+    def delete(self, vector: np.ndarray, global_id: int) -> None:
+        """Record a delete op."""
+        self._write({"kind": "delete", "global_id": int(global_id),
+                     "vector": np.asarray(vector,
+                                          dtype=np.float32).tolist()})
+
+
+def read_trace(path: "str | os.PathLike[str]") -> Iterator[TraceOp]:
+    """Stream a JSONL trace back as :class:`TraceOp` items."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                yield TraceOp(
+                    kind=payload["kind"],
+                    vector=np.asarray(payload["vector"],
+                                      dtype=np.float32),
+                    global_id=payload.get("global_id"),
+                    k=payload.get("k", 10),
+                    ef_search=payload.get("ef_search", 32),
+                )
+            except (ValueError, KeyError) as error:
+                raise SerializationError(
+                    f"{path}:{line_number}: bad trace line: "
+                    f"{error}") from error
+
+
+@dataclasses.dataclass
+class ReplayResult:
+    """Aggregate outcome of a replay."""
+
+    searches: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    search_batches: int = 0
+    rebuilds: int = 0
+    total_results: int = 0
+
+    @property
+    def operations(self) -> int:
+        """Total ops applied."""
+        return self.searches + self.inserts + self.deletes
+
+
+def replay(client, ops: Iterable[TraceOp]) -> ReplayResult:
+    """Apply a trace to a client, batching consecutive searches.
+
+    ``client`` needs ``search_batch(queries, k, ef_search)``,
+    ``insert(vector, gid)`` and ``delete(vector, gid)`` — i.e. a
+    :class:`~repro.core.client.DHnswClient` or a
+    :class:`~repro.cluster.sharding.ShardedDeployment`.
+    """
+    result = ReplayResult()
+    pending: list[TraceOp] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        # Within one run, searches share (k, ef); split on change.
+        start = 0
+        for index in range(1, len(pending) + 1):
+            boundary = (index == len(pending)
+                        or pending[index].k != pending[start].k
+                        or (pending[index].ef_search
+                            != pending[start].ef_search))
+            if boundary:
+                block = pending[start:index]
+                queries = np.stack([op.vector for op in block])
+                batch = client.search_batch(queries, block[0].k,
+                                            ef_search=block[0].ef_search)
+                result.searches += len(block)
+                result.search_batches += 1
+                result.total_results += sum(
+                    len(item.ids) for item in batch.results)
+                start = index
+        pending.clear()
+
+    for op in ops:
+        if op.kind == "search":
+            pending.append(op)
+            continue
+        flush()
+        if op.kind == "insert":
+            report = client.insert(op.vector, op.global_id)
+            result.inserts += 1
+            result.rebuilds += getattr(report, "triggered_rebuild", False)
+        else:
+            report = client.delete(op.vector, op.global_id)
+            result.deletes += 1
+            result.rebuilds += getattr(report, "triggered_rebuild", False)
+    flush()
+    return result

@@ -1,0 +1,173 @@
+"""Operational telemetry: structured snapshots of a running deployment.
+
+Pulls every ledger the simulator maintains — data-path RDMA counters,
+control-path RPC counters, compute time, cache effectiveness, DRAM
+budgets, remote-region occupancy — into plain dataclasses plus a text
+report, so examples, the CLI, and operators of a real port all read the
+same numbers the benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.deployment import Deployment
+from repro.core.client import DHnswClient
+
+__all__ = ["CacheTelemetry", "ClientTelemetry", "DeploymentTelemetry",
+           "render_report"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheTelemetry:
+    """Cluster-cache effectiveness counters."""
+
+    capacity_clusters: int
+    resident_clusters: int
+    cached_bytes: int
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served locally."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientTelemetry:
+    """One compute instance's complete ledger."""
+
+    name: str
+    scheme: str
+    round_trips: int
+    read_ops: int
+    write_ops: int
+    atomic_ops: int
+    doorbell_batches: int
+    bytes_read: int
+    bytes_written: int
+    network_time_us: float
+    compute_time_us: float
+    control_requests: int
+    control_time_us: float
+    dram_used_bytes: int
+    dram_budget_bytes: int
+    cache: CacheTelemetry
+    metadata_version: int
+
+    @classmethod
+    def from_client(cls, client: DHnswClient) -> "ClientTelemetry":
+        """Snapshot a client's current counters."""
+        stats = client.node.stats
+        cache = client.cache
+        return cls(
+            name=client.node.name,
+            scheme=client.scheme.value,
+            round_trips=stats.round_trips,
+            read_ops=stats.read_ops,
+            write_ops=stats.write_ops,
+            atomic_ops=stats.atomic_ops,
+            doorbell_batches=stats.doorbell_batches,
+            bytes_read=stats.bytes_read,
+            bytes_written=stats.bytes_written,
+            network_time_us=stats.network_time_us,
+            compute_time_us=client.node.compute_time_us,
+            control_requests=(client.control.stats.requests
+                              if client.control else 0),
+            control_time_us=(client.control.stats.time_us
+                             if client.control else 0.0),
+            dram_used_bytes=client.node.dram_used_bytes,
+            dram_budget_bytes=client.node.dram_budget_bytes,
+            cache=CacheTelemetry(
+                capacity_clusters=cache.capacity_clusters,
+                resident_clusters=len(cache),
+                cached_bytes=cache.cached_bytes,
+                hits=cache.hits,
+                misses=cache.misses,
+                evictions=cache.evictions,
+                invalidations=cache.invalidations,
+            ),
+            metadata_version=client.metadata.version,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentTelemetry:
+    """Cluster-wide snapshot: all instances plus the memory pool."""
+
+    clients: list[ClientTelemetry]
+    registered_bytes: int
+    region_capacity_bytes: int
+    allocator_live_bytes: int
+    allocator_dead_bytes: int
+    fragmentation: float
+    metadata_version: int
+    num_clusters: int
+    num_groups: int
+    daemon_requests: int
+    daemon_cpu_us: float
+
+    @classmethod
+    def from_deployment(cls,
+                        deployment: Deployment) -> "DeploymentTelemetry":
+        """Snapshot a full deployment."""
+        layout = deployment.layout
+        daemon = layout.daemon
+        return cls(
+            clients=[ClientTelemetry.from_client(client)
+                     for client in deployment.clients],
+            registered_bytes=deployment.memory_node.registered_bytes,
+            region_capacity_bytes=layout.region.length,
+            allocator_live_bytes=layout.allocator.live_bytes,
+            allocator_dead_bytes=layout.allocator.dead_bytes,
+            fragmentation=layout.allocator.fragmentation(),
+            metadata_version=layout.metadata.version,
+            num_clusters=layout.metadata.num_clusters,
+            num_groups=layout.metadata.num_groups,
+            daemon_requests=daemon.requests_served if daemon else 0,
+            daemon_cpu_us=daemon.cpu_time_us if daemon else 0.0,
+        )
+
+    @property
+    def total_bytes_read(self) -> int:
+        """Data-path bytes fetched by all instances."""
+        return sum(client.bytes_read for client in self.clients)
+
+    @property
+    def total_round_trips(self) -> int:
+        """Data-path round trips across all instances."""
+        return sum(client.round_trips for client in self.clients)
+
+
+def render_report(telemetry: DeploymentTelemetry) -> str:
+    """A fixed-width operator report."""
+    lines = [
+        "=== memory pool ===",
+        f"registered       : {telemetry.registered_bytes / 2**20:.2f} MiB "
+        f"(region {telemetry.region_capacity_bytes / 2**20:.2f} MiB)",
+        f"live / free      : {telemetry.allocator_live_bytes / 2**20:.2f}"
+        f" / {telemetry.allocator_dead_bytes / 2**20:.2f} MiB "
+        f"({telemetry.fragmentation:.1%} fragmented)",
+        f"layout           : {telemetry.num_clusters} clusters, "
+        f"{telemetry.num_groups} groups, "
+        f"metadata v{telemetry.metadata_version}",
+        f"control daemon   : {telemetry.daemon_requests} requests, "
+        f"{telemetry.daemon_cpu_us:.1f} us CPU",
+        "",
+        "=== compute pool ===",
+        f"{'instance':<12} {'scheme':<20} {'rt':>7} {'MiB_rd':>8} "
+        f"{'net_us':>10} {'cpu_us':>10} {'cache_hit':>9}",
+    ]
+    for client in telemetry.clients:
+        lines.append(
+            f"{client.name:<12} {client.scheme:<20} "
+            f"{client.round_trips:>7} "
+            f"{client.bytes_read / 2**20:>8.2f} "
+            f"{client.network_time_us:>10.1f} "
+            f"{client.compute_time_us:>10.1f} "
+            f"{client.cache.hit_rate:>9.2%}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""IVF-Flat index: training, probing, dynamic adds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import IvfFlatIndex
+from repro.datasets import exact_knn
+from repro.errors import ConfigError, EmptyIndexError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((1200, 12)).astype(np.float32)
+    queries = rng.standard_normal((25, 12)).astype(np.float32)
+    return data, queries, exact_knn(data, queries, 10)
+
+
+@pytest.fixture(scope="module")
+def trained(corpus):
+    data, _, _ = corpus
+    index = IvfFlatIndex(12, num_lists=24, seed=1)
+    index.train(data)
+    return index
+
+
+class TestTraining:
+    def test_all_vectors_listed(self, trained, corpus):
+        data, _, _ = corpus
+        assert len(trained) == data.shape[0]
+        assert trained.list_sizes().sum() == data.shape[0]
+
+    def test_untrained_index_rejects_ops(self):
+        index = IvfFlatIndex(4, num_lists=2)
+        with pytest.raises(EmptyIndexError):
+            index.add(np.zeros(4), 0)
+        with pytest.raises(EmptyIndexError):
+            index.search(np.zeros(4), 1)
+
+    def test_lists_clipped_to_corpus(self):
+        index = IvfFlatIndex(3, num_lists=100)
+        index.train(np.eye(3, dtype=np.float32))
+        assert len(index.list_sizes()) == 3
+
+    def test_custom_labels(self, corpus):
+        data, _, _ = corpus
+        index = IvfFlatIndex(12, num_lists=8, seed=2)
+        index.train(data[:50], labels=range(1000, 1050))
+        labels, _ = index.search(data[0], 1, nprobe=8)
+        assert labels[0] == 1000
+
+    def test_dim_mismatch(self):
+        index = IvfFlatIndex(4, num_lists=2)
+        with pytest.raises(ConfigError):
+            index.train(np.zeros((10, 5), dtype=np.float32))
+
+
+class TestSearch:
+    def test_full_probe_is_exact(self, trained, corpus):
+        data, queries, truth = corpus
+        hits = 0
+        for row, query in enumerate(queries):
+            labels, _ = trained.search(query, 10, nprobe=24)
+            hits += len(set(labels.tolist()) & set(truth[row].tolist()))
+        assert hits == 250  # all lists scanned == brute force
+
+    def test_recall_rises_with_nprobe(self, trained, corpus):
+        _, queries, truth = corpus
+
+        def recall(nprobe):
+            hits = 0
+            for row, query in enumerate(queries):
+                labels, _ = trained.search(query, 10, nprobe=nprobe)
+                hits += len(set(labels.tolist())
+                            & set(truth[row].tolist()))
+            return hits / 250
+
+        assert recall(1) <= recall(4) <= recall(24)
+        assert recall(24) == 1.0
+
+    def test_distances_ascending(self, trained, corpus):
+        _, queries, _ = corpus
+        _, dists = trained.search(queries[0], 10, nprobe=8)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_compute_grows_with_nprobe(self, trained, corpus):
+        _, queries, _ = corpus
+        trained.reset_compute_counter()
+        trained.search(queries[0], 10, nprobe=1)
+        narrow = trained.reset_compute_counter()
+        trained.search(queries[0], 10, nprobe=16)
+        wide = trained.reset_compute_counter()
+        assert wide > narrow
+
+    def test_validation(self, trained):
+        query = np.zeros(12, dtype=np.float32)
+        with pytest.raises(ConfigError):
+            trained.search(query, 0)
+        with pytest.raises(ConfigError):
+            trained.search(query, 1, nprobe=0)
+
+
+class TestDynamicAdd:
+    def test_added_vector_found(self, corpus):
+        data, _, _ = corpus
+        index = IvfFlatIndex(12, num_lists=16, seed=3)
+        index.train(data)
+        new = data[0] + 0.01
+        index.add(new, label=99_999)
+        labels, dists = index.search(new, 1, nprobe=4)
+        assert labels[0] == 99_999
+        assert dists[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_add_goes_to_nearest_list(self, corpus):
+        data, _, _ = corpus
+        index = IvfFlatIndex(12, num_lists=16, seed=4)
+        index.train(data)
+        sizes_before = index.list_sizes().copy()
+        target = index.add(data[5], label=77_777)
+        sizes_after = index.list_sizes()
+        assert sizes_after[target] == sizes_before[target] + 1
+        assert sizes_after.sum() == sizes_before.sum() + 1

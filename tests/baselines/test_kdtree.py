@@ -1,0 +1,117 @@
+"""k-d tree: exactness, bounded search, degenerate inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import KdTreeIndex
+from repro.datasets import exact_knn
+from repro.errors import ConfigError, EmptyIndexError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((800, 6)).astype(np.float32)
+    queries = rng.standard_normal((25, 6)).astype(np.float32)
+    return data, queries, exact_knn(data, queries, 10)
+
+
+@pytest.fixture(scope="module")
+def tree(corpus):
+    data, _, _ = corpus
+    index = KdTreeIndex(6)
+    index.build(data)
+    return index
+
+
+class TestExactSearch:
+    def test_matches_brute_force(self, tree, corpus):
+        _, queries, truth = corpus
+        for row, query in enumerate(queries):
+            labels, _ = tree.search(query, 10)
+            assert labels.tolist() == truth[row].tolist()
+
+    def test_distances_ascending(self, tree, corpus):
+        _, queries, _ = corpus
+        _, dists = tree.search(queries[0], 10)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_prunes_leaves(self, tree, corpus):
+        """Exact search must still beat a full scan on low-dim data."""
+        _, queries, _ = corpus
+        tree.reset_compute_counter()
+        tree.search(queries[0], 5)
+        assert tree.compute_count < len(tree)
+
+
+class TestBoundedSearch:
+    def test_leaf_cap_trades_recall(self, tree, corpus):
+        _, queries, truth = corpus
+
+        def recall(max_leaves):
+            hits = 0
+            for row, query in enumerate(queries):
+                labels, _ = tree.search(query, 10, max_leaves=max_leaves)
+                hits += len(set(labels.tolist())
+                            & set(truth[row].tolist()))
+            return hits / 250
+
+        assert recall(1) < recall(16) <= 1.0
+
+    def test_leaf_cap_reduces_compute(self, tree, corpus):
+        _, queries, _ = corpus
+        tree.reset_compute_counter()
+        tree.search(queries[0], 10, max_leaves=2)
+        bounded = tree.reset_compute_counter()
+        tree.search(queries[0], 10)
+        exact = tree.reset_compute_counter()
+        assert bounded < exact
+
+
+class TestEdgeCases:
+    def test_empty_tree(self):
+        index = KdTreeIndex(3)
+        index.build(np.empty((0, 3), dtype=np.float32))
+        with pytest.raises(EmptyIndexError):
+            index.search(np.zeros(3), 1)
+
+    def test_single_point(self):
+        index = KdTreeIndex(2)
+        index.build(np.array([[1.0, 2.0]], dtype=np.float32))
+        labels, dists = index.search(np.array([1.0, 2.0]), 3)
+        assert labels.tolist() == [0]
+
+    def test_duplicate_points_all_in_leaves(self):
+        index = KdTreeIndex(2, leaf_size=2)
+        index.build(np.zeros((20, 2), dtype=np.float32))
+        labels, dists = index.search(np.zeros(2), 5)
+        assert len(labels) == 5
+        assert np.all(dists == 0.0)
+
+    def test_custom_labels(self, corpus):
+        data, _, _ = corpus
+        index = KdTreeIndex(6)
+        index.build(data[:10], labels=range(500, 510))
+        labels, _ = index.search(data[3], 1)
+        assert labels[0] == 503
+
+    def test_validation(self, tree, corpus):
+        data, _, _ = corpus
+        with pytest.raises(ConfigError):
+            KdTreeIndex(0)
+        with pytest.raises(ConfigError):
+            tree.search(np.zeros(6), 0)
+        with pytest.raises(ConfigError):
+            tree.search(np.zeros(6), 1, max_leaves=0)
+        index = KdTreeIndex(6)
+        with pytest.raises(ConfigError):
+            index.build(data, labels=[1])
+
+    def test_rebuild_replaces_contents(self, corpus):
+        data, _, _ = corpus
+        index = KdTreeIndex(6)
+        index.build(data[:100])
+        index.build(data[100:150])
+        assert len(index) == 50

@@ -1,0 +1,90 @@
+"""Lloyd's k-means and k-means++ seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import kmeans, kmeans_plus_plus_init
+from repro.errors import ConfigError
+from repro.hnsw.distance import DistanceKernel
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    """Three well-separated Gaussian blobs."""
+    rng = np.random.default_rng(0)
+    centers = np.array([[0, 0], [10, 0], [0, 10]], dtype=np.float32)
+    data = np.vstack([
+        center + rng.normal(0, 0.3, size=(50, 2)) for center in centers
+    ]).astype(np.float32)
+    return data, centers
+
+
+class TestKMeansPlusPlus:
+    def test_seeds_are_spread(self, blobs):
+        data, centers = blobs
+        rng = np.random.default_rng(1)
+        kernel = DistanceKernel(2)
+        seeds = kmeans_plus_plus_init(data, 3, rng, kernel)
+        # Each seed lands near a different true centre.
+        from repro.hnsw.distance import pairwise_l2
+        nearest = np.argmin(pairwise_l2(seeds, centers), axis=1)
+        assert len(set(nearest.tolist())) == 3
+
+    def test_duplicate_points_handled(self):
+        data = np.zeros((10, 3), dtype=np.float32)
+        rng = np.random.default_rng(2)
+        seeds = kmeans_plus_plus_init(data, 3, rng, DistanceKernel(3))
+        assert seeds.shape == (3, 3)
+
+
+class TestKMeans:
+    def test_recovers_blob_structure(self, blobs):
+        data, centers = blobs
+        result = kmeans(data, 3, np.random.default_rng(3))
+        assert result.converged
+        from repro.hnsw.distance import pairwise_l2
+        matched = np.argmin(pairwise_l2(result.centroids, centers), axis=1)
+        assert len(set(matched.tolist())) == 3
+        # Each recovered centroid sits close to a true centre.
+        assert pairwise_l2(result.centroids, centers).min(axis=1).max() < 1
+
+    def test_every_point_assigned(self, blobs):
+        data, _ = blobs
+        result = kmeans(data, 3, np.random.default_rng(4))
+        assert result.assignments.shape == (150,)
+        assert set(result.assignments.tolist()) == {0, 1, 2}
+
+    def test_inertia_beats_single_cluster(self, blobs):
+        data, _ = blobs
+        three = kmeans(data, 3, np.random.default_rng(5))
+        one = kmeans(data, 1, np.random.default_rng(5))
+        assert three.inertia < one.inertia / 10
+
+    def test_does_not_converge_in_one_iteration(self, blobs):
+        data, _ = blobs
+        result = kmeans(data, 3, np.random.default_rng(6))
+        assert result.iterations >= 2
+
+    def test_k_equals_n(self):
+        data = np.arange(12, dtype=np.float32).reshape(4, 3)
+        result = kmeans(data, 4, np.random.default_rng(7))
+        assert result.inertia == pytest.approx(0.0, abs=1e-5)
+
+    def test_validation(self, blobs):
+        data, _ = blobs
+        rng = np.random.default_rng(8)
+        with pytest.raises(ConfigError):
+            kmeans(data, 0, rng)
+        with pytest.raises(ConfigError):
+            kmeans(data[:2], 3, rng)
+        with pytest.raises(ConfigError):
+            kmeans(data, 2, rng, max_iterations=0)
+
+    def test_deterministic_given_rng_state(self, blobs):
+        data, _ = blobs
+        first = kmeans(data, 3, np.random.default_rng(9))
+        second = kmeans(data, 3, np.random.default_rng(9))
+        np.testing.assert_array_equal(first.assignments,
+                                      second.assignments)

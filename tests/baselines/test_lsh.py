@@ -1,0 +1,112 @@
+"""Random-hyperplane LSH: hashing, multiprobe, recall behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LshIndex
+from repro.datasets import exact_knn
+from repro.errors import ConfigError, EmptyIndexError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((1000, 10)).astype(np.float32)
+    queries = rng.standard_normal((20, 10)).astype(np.float32)
+    return data, queries, exact_knn(data, queries, 10)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    data, _, _ = corpus
+    lsh = LshIndex(10, num_tables=10, num_bits=10, seed=1)
+    lsh.add_batch(data)
+    return lsh
+
+
+def recall_of(index, queries, truth, **kwargs):
+    hits = 0
+    for row, query in enumerate(queries):
+        labels, _ = index.search(query, 10, **kwargs)
+        hits += len(set(labels.tolist()) & set(truth[row].tolist()))
+    return hits / (len(queries) * 10)
+
+
+class TestBasics:
+    def test_len(self, index):
+        assert len(index) == 1000
+
+    def test_self_query_finds_self(self, index, corpus):
+        data, _, _ = corpus
+        labels, dists = index.search(data[7], 1)
+        assert labels[0] == 7
+        assert dists[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_custom_labels(self):
+        lsh = LshIndex(4, num_tables=2, num_bits=4, seed=0)
+        lsh.add(np.ones(4, dtype=np.float32), label=123)
+        labels, _ = lsh.search(np.ones(4, dtype=np.float32), 1)
+        assert labels[0] == 123
+
+    def test_empty_index_raises(self):
+        with pytest.raises(EmptyIndexError):
+            LshIndex(4).search(np.zeros(4), 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LshIndex(0)
+        with pytest.raises(ConfigError):
+            LshIndex(4, num_bits=63)
+        lsh = LshIndex(4)
+        with pytest.raises(ConfigError):
+            lsh.add(np.zeros(3), 0)
+
+
+class TestRecallBehaviour:
+    def test_reasonable_recall_with_multiprobe(self, index, corpus):
+        _, queries, truth = corpus
+        assert recall_of(index, queries, truth, multiprobe=True) > 0.5
+
+    def test_multiprobe_never_hurts(self, index, corpus):
+        _, queries, truth = corpus
+        with_probe = recall_of(index, queries, truth, multiprobe=True)
+        without = recall_of(index, queries, truth, multiprobe=False)
+        assert with_probe >= without
+
+    def test_multiprobe_visits_more_candidates(self, index, corpus):
+        _, queries, _ = corpus
+        assert (index.candidate_count(queries[0], multiprobe=True)
+                >= index.candidate_count(queries[0], multiprobe=False))
+
+    def test_more_bits_fewer_candidates(self, corpus):
+        data, queries, _ = corpus
+        coarse = LshIndex(10, num_tables=4, num_bits=6, seed=2)
+        fine = LshIndex(10, num_tables=4, num_bits=14, seed=2)
+        coarse.add_batch(data)
+        fine.add_batch(data)
+        coarse_mean = np.mean([coarse.candidate_count(q) for q in queries])
+        fine_mean = np.mean([fine.candidate_count(q) for q in queries])
+        assert fine_mean < coarse_mean
+
+    def test_no_candidates_returns_empty(self):
+        lsh = LshIndex(6, num_tables=1, num_bits=16, seed=3)
+        lsh.add(np.full(6, 100.0, dtype=np.float32))
+        labels, dists = lsh.search(np.full(6, -100.0, dtype=np.float32),
+                                   5, multiprobe=False)
+        # Opposite corner: either empty or the single far point.
+        assert len(labels) <= 1
+        assert len(labels) == len(dists)
+
+
+class TestDeterminism:
+    def test_same_seed_same_buckets(self, corpus):
+        data, queries, _ = corpus
+        first = LshIndex(10, num_tables=3, num_bits=8, seed=7)
+        second = LshIndex(10, num_tables=3, num_bits=8, seed=7)
+        first.add_batch(data)
+        second.add_batch(data)
+        for query in queries[:5]:
+            np.testing.assert_array_equal(first.search(query, 5)[0],
+                                          second.search(query, 5)[0])

@@ -1,0 +1,114 @@
+"""Vamana flat graph: construction invariants and search quality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import VamanaIndex
+from repro.datasets import exact_knn
+from repro.errors import ConfigError, EmptyIndexError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((1000, 12)).astype(np.float32)
+    queries = rng.standard_normal((25, 12)).astype(np.float32)
+    return data, queries, exact_knn(data, queries, 10)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    data, _, _ = corpus
+    built = VamanaIndex(12, r=16, alpha=1.2, ef_construction=48, seed=1)
+    built.build(data)
+    return built
+
+
+class TestConstruction:
+    def test_single_layer(self, index):
+        assert index.graph.max_level == 0
+
+    def test_degree_bound_respected(self, index):
+        for node in range(len(index)):
+            assert len(index.graph.neighbors(node, 0)) <= index.r
+
+    def test_structural_invariants(self, index):
+        index.graph.check_invariants()
+
+    def test_medoid_is_central(self, index, corpus):
+        data, _, _ = corpus
+        centroid = data.mean(axis=0)
+        from repro.hnsw.distance import DistanceKernel
+        dists = DistanceKernel(12).many(centroid, data)
+        assert index.medoid == int(np.argmin(dists))
+
+    def test_layer0_connectivity(self, index):
+        seen = {index.medoid}
+        frontier = [index.medoid]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in index.graph.neighbors(node, 0):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert len(seen) >= 0.99 * len(index)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            VamanaIndex(0)
+        with pytest.raises(ConfigError):
+            VamanaIndex(4, r=1)
+        with pytest.raises(ConfigError):
+            VamanaIndex(4, alpha=0.9)
+
+
+class TestSearch:
+    def test_recall(self, index, corpus):
+        _, queries, truth = corpus
+        hits = 0
+        for row, query in enumerate(queries):
+            labels, _ = index.search(query, 10, ef=64)
+            hits += len(set(labels.tolist()) & set(truth[row].tolist()))
+        assert hits / 250 >= 0.9
+
+    def test_self_query(self, index, corpus):
+        data, _, _ = corpus
+        labels, dists = index.search(data[11], 1, ef=32)
+        assert labels[0] == 11
+        assert dists[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_distances_ascending(self, index, corpus):
+        _, queries, _ = corpus
+        _, dists = index.search(queries[0], 10, ef=48)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_custom_labels(self, corpus):
+        data, _, _ = corpus
+        built = VamanaIndex(12, r=8, seed=2)
+        built.build(data[:60], labels=range(300, 360))
+        labels, _ = built.search(data[5], 1, ef=24)
+        assert labels[0] == 305
+
+    def test_empty_index(self):
+        built = VamanaIndex(4)
+        built.build(np.empty((0, 4), dtype=np.float32))
+        with pytest.raises(EmptyIndexError):
+            built.search(np.zeros(4), 1)
+
+    def test_tiny_corpus(self):
+        built = VamanaIndex(2, r=4, seed=3)
+        built.build(np.array([[0, 0], [1, 1], [2, 2]], dtype=np.float32))
+        labels, _ = built.search(np.array([1.9, 1.9]), 1, ef=8)
+        assert labels[0] == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self, corpus):
+        data, _, _ = corpus
+        first = VamanaIndex(12, r=8, seed=9)
+        second = VamanaIndex(12, r=8, seed=9)
+        first.build(data[:200])
+        second.build(data[:200])
+        assert first.graph.adjacency == second.graph.adjacency

@@ -1,0 +1,67 @@
+"""Deployment topology: instance independence and contention wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Deployment
+from repro.core import Scheme
+from repro.errors import ConfigError
+
+
+class TestTopology:
+    def test_default_single_instance(self, built_deployment):
+        assert built_deployment.num_compute_instances == 1
+
+    def test_multi_instance_clients_isolated(self, small_dataset,
+                                             small_config):
+        deployment = Deployment(small_dataset.vectors, small_config,
+                                num_compute_instances=3)
+        first, second = deployment.client(0), deployment.client(1)
+        assert first is not second
+        assert first.cache is not second.cache
+        assert first.node.clock is not second.node.clock
+        first.search_batch(small_dataset.queries[:5], 3, ef_search=8)
+        assert second.node.stats.round_trips <= 1  # only its startup read
+
+    def test_zero_instances_rejected(self, small_dataset, small_config):
+        with pytest.raises(ConfigError):
+            Deployment(small_dataset.vectors, small_config,
+                       num_compute_instances=0)
+
+    def test_shared_layout(self, small_dataset, small_config):
+        deployment = Deployment(small_dataset.vectors, small_config,
+                                num_compute_instances=2)
+        assert deployment.client(0).layout is deployment.client(1).layout
+
+
+class TestContention:
+    def test_fair_share_bandwidth(self, small_dataset, small_config):
+        deployment = Deployment(small_dataset.vectors, small_config,
+                                num_compute_instances=4)
+        assert deployment.effective_cost_model.bandwidth_gbps == (
+            pytest.approx(deployment.cost_model.bandwidth_gbps / 4))
+
+    def test_contention_can_be_disabled(self, small_dataset, small_config):
+        deployment = Deployment(small_dataset.vectors, small_config,
+                                num_compute_instances=4,
+                                simulate_link_contention=False)
+        assert deployment.effective_cost_model == deployment.cost_model
+
+    def test_single_instance_no_dilation(self, built_deployment):
+        assert (built_deployment.effective_cost_model
+                == built_deployment.cost_model)
+
+
+class TestMakeClient:
+    def test_make_client_not_registered(self, built_deployment):
+        before = built_deployment.num_compute_instances
+        client = built_deployment.make_client(Scheme.NAIVE)
+        assert built_deployment.num_compute_instances == before
+        assert client.scheme is Scheme.NAIVE
+
+    def test_make_client_answers_queries(self, built_deployment,
+                                         small_dataset):
+        client = built_deployment.make_client(Scheme.NO_DOORBELL)
+        result = client.search(small_dataset.queries[0], 3, ef_search=16)
+        assert len(result.ids) == 3

@@ -1,0 +1,93 @@
+"""Adaptive nprobe: distance-gap routing (extension beyond the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DHnswClient, DHnswConfig, Scheme
+from repro.errors import ConfigError
+from repro.metrics import recall_at_k
+
+
+class TestRouteAdaptive:
+    def test_easy_query_probes_fewer(self, built_deployment):
+        meta = built_deployment.meta
+        # A query sitting exactly on a representative is unambiguous.
+        representative = meta.index.graph.vector(0)
+        kept = meta.route_adaptive(representative, max_probe=4, ef=16,
+                                   alpha=1.5)
+        assert len(kept) < 4
+        assert kept[0] == 0
+
+    def test_never_below_min_probe(self, built_deployment):
+        meta = built_deployment.meta
+        kept = meta.route_adaptive(meta.index.graph.vector(3), max_probe=4,
+                                   ef=16, alpha=1.0, min_probe=2)
+        assert len(kept) >= 2
+
+    def test_never_above_max_probe(self, built_deployment, small_dataset):
+        meta = built_deployment.meta
+        for query in small_dataset.queries[:10]:
+            kept = meta.route_adaptive(query, max_probe=3, ef=16,
+                                       alpha=100.0)
+            assert len(kept) <= 3
+
+    def test_huge_alpha_equals_full_route(self, built_deployment,
+                                          small_dataset):
+        meta = built_deployment.meta
+        query = small_dataset.queries[0]
+        adaptive = meta.route_adaptive(query, max_probe=4, ef=16,
+                                       alpha=1e9)
+        full = meta.route(query, 4, 16)
+        assert adaptive == full
+
+    def test_validation(self, built_deployment):
+        meta = built_deployment.meta
+        query = np.zeros(meta.dim, dtype=np.float32)
+        with pytest.raises(ConfigError):
+            meta.route_adaptive(query, 4, 16, alpha=0.9)
+        with pytest.raises(ConfigError):
+            meta.route_adaptive(query, 2, 16, alpha=1.5, min_probe=3)
+
+
+class TestAdaptiveClient:
+    @pytest.fixture(scope="class")
+    def clients(self, built_deployment, small_config):
+        adaptive_config = small_config.replace(adaptive_nprobe=True,
+                                               adaptive_alpha=1.3)
+        fixed = DHnswClient(built_deployment.layout, built_deployment.meta,
+                            small_config, scheme=Scheme.DHNSW,
+                            cost_model=built_deployment.cost_model)
+        adaptive = DHnswClient(built_deployment.layout,
+                               built_deployment.meta, adaptive_config,
+                               scheme=Scheme.DHNSW,
+                               cost_model=built_deployment.cost_model)
+        return fixed, adaptive
+
+    def test_adaptive_reduces_traffic(self, clients, small_dataset):
+        fixed, adaptive = clients
+        fixed_batch = fixed.search_batch(small_dataset.queries, 10,
+                                         ef_search=48)
+        adaptive_batch = adaptive.search_batch(small_dataset.queries, 10,
+                                               ef_search=48)
+        assert (adaptive_batch.rdma.bytes_read
+                <= fixed_batch.rdma.bytes_read)
+        assert (adaptive_batch.breakdown.sub_hnsw_us
+                < fixed_batch.breakdown.sub_hnsw_us)
+
+    def test_adaptive_recall_stays_close(self, clients, small_dataset):
+        fixed, adaptive = clients
+        fixed_recall = recall_at_k(
+            fixed.search_batch(small_dataset.queries, 10,
+                               ef_search=48).ids_list(),
+            small_dataset.ground_truth, 10)
+        adaptive_recall = recall_at_k(
+            adaptive.search_batch(small_dataset.queries, 10,
+                                  ef_search=48).ids_list(),
+            small_dataset.ground_truth, 10)
+        assert adaptive_recall >= fixed_recall - 0.10
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            DHnswConfig(adaptive_alpha=0.5)

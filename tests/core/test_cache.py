@@ -1,0 +1,112 @@
+"""Cluster LRU cache behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CachedCluster, ClusterCache
+from repro.errors import ConfigError
+from repro.hnsw import HnswIndex, HnswParams
+
+
+def make_entry(cluster_id: int, nbytes: int = 100) -> CachedCluster:
+    return CachedCluster(cluster_id=cluster_id,
+                         index=HnswIndex(4, HnswParams(m=4)),
+                         overflow=[], overflow_tail=0, metadata_version=1,
+                         nbytes=nbytes)
+
+
+class TestLruSemantics:
+    def test_put_get(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(1))
+        assert cache.get(1).cluster_id == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ClusterCache(2)
+        assert cache.get(7) is None
+        assert cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        cache.get(1)            # 1 is now most recent
+        evicted = cache.put(make_entry(3))
+        assert [e.cluster_id for e in evicted] == [2]
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_peek_does_not_touch_recency(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        cache.peek(1)           # must NOT refresh 1
+        evicted = cache.put(make_entry(3))
+        assert [e.cluster_id for e in evicted] == [1]
+
+    def test_peek_does_not_count(self):
+        cache = ClusterCache(2)
+        cache.peek(9)
+        assert cache.misses == 0 and cache.hits == 0
+
+    def test_replace_same_id_does_not_evict_others(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        evicted = cache.put(make_entry(1, nbytes=999))
+        assert evicted == []
+        assert cache.get(1).nbytes == 999
+
+    def test_pop_lru(self):
+        cache = ClusterCache(3)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        victim = cache.pop_lru()
+        assert victim.cluster_id == 1
+        assert cache.pop_lru().cluster_id == 2
+        assert cache.pop_lru() is None
+
+    def test_capacity_one(self):
+        cache = ClusterCache(1)
+        cache.put(make_entry(1))
+        evicted = cache.put(make_entry(2))
+        assert [e.cluster_id for e in evicted] == [1]
+        assert len(cache) == 1
+
+
+class TestBookkeeping:
+    def test_cached_bytes(self):
+        cache = ClusterCache(3)
+        cache.put(make_entry(1, 10))
+        cache.put(make_entry(2, 30))
+        assert cache.cached_bytes == 40
+
+    def test_invalidate(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(1))
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+        assert cache.invalidations == 1
+
+    def test_invalidate_all(self):
+        cache = ClusterCache(4)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        cache.invalidate_all()
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+
+    def test_hit_rate(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(1))
+        cache.get(1)
+        cache.get(2)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert ClusterCache(1).hit_rate() == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            ClusterCache(0)

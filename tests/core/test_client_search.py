@@ -1,0 +1,175 @@
+"""Query-path behaviour of the d-HNSW client across all three schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DHnswClient, Scheme
+from repro.metrics import recall_at_k
+
+
+@pytest.fixture(scope="module", params=list(Scheme))
+def scheme_client(request, built_deployment, small_config):
+    return DHnswClient(built_deployment.layout, built_deployment.meta,
+                       small_config, scheme=request.param,
+                       cost_model=built_deployment.cost_model,
+                       name=f"test-{request.param.value}")
+
+
+class TestCorrectness:
+    def test_recall_above_floor(self, scheme_client, small_dataset):
+        batch = scheme_client.search_batch(small_dataset.queries, 10,
+                                           ef_search=48)
+        recall = recall_at_k(batch.ids_list(),
+                             small_dataset.ground_truth, 10)
+        assert recall >= 0.75
+
+    def test_exact_vector_found(self, scheme_client, small_dataset):
+        result = scheme_client.search(small_dataset.vectors[17], 1,
+                                      ef_search=32)
+        assert result.ids[0] == 17
+        assert result.distances[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_distances_ascending(self, scheme_client, small_dataset):
+        result = scheme_client.search(small_dataset.queries[0], 10,
+                                      ef_search=48)
+        assert np.all(np.diff(result.distances) >= 0)
+
+    def test_no_duplicate_ids(self, scheme_client, small_dataset):
+        batch = scheme_client.search_batch(small_dataset.queries, 10,
+                                           ef_search=48)
+        for result in batch.results:
+            ids = result.ids.tolist()
+            assert len(ids) == len(set(ids))
+
+    def test_k_validation(self, scheme_client, small_dataset):
+        with pytest.raises(ValueError):
+            scheme_client.search(small_dataset.queries[0], 0)
+
+
+class TestSchemesAgree:
+    def test_all_schemes_return_identical_answers(self, built_deployment,
+                                                  small_config,
+                                                  small_dataset):
+        answers = []
+        for scheme in Scheme:
+            client = DHnswClient(built_deployment.layout,
+                                 built_deployment.meta, small_config,
+                                 scheme=scheme,
+                                 cost_model=built_deployment.cost_model)
+            batch = client.search_batch(small_dataset.queries[:10], 5,
+                                        ef_search=32)
+            answers.append(batch.ids_list())
+        assert answers[0] == answers[1] == answers[2]
+
+
+class TestAccountingInvariants:
+    def test_breakdown_buckets_populated(self, scheme_client,
+                                         small_dataset):
+        batch = scheme_client.search_batch(small_dataset.queries, 5,
+                                           ef_search=16)
+        assert batch.breakdown.network_us > 0
+        assert batch.breakdown.sub_hnsw_us > 0
+        assert batch.breakdown.meta_hnsw_us > 0
+
+    def test_round_trips_positive(self, scheme_client, small_dataset):
+        batch = scheme_client.search_batch(small_dataset.queries, 5,
+                                           ef_search=16)
+        assert batch.rdma.round_trips > 0
+
+    def test_naive_round_trips_near_nprobe(self, built_deployment,
+                                           small_config, small_dataset):
+        client = DHnswClient(built_deployment.layout, built_deployment.meta,
+                             small_config, scheme=Scheme.NAIVE,
+                             cost_model=built_deployment.cost_model)
+        batch = client.search_batch(small_dataset.queries, 5, ef_search=16)
+        # nprobe READs per query plus one metadata peek per batch.
+        expected = small_config.nprobe + 1 / len(small_dataset.queries)
+        assert batch.round_trips_per_query == pytest.approx(expected)
+
+    def test_dedup_fetches_at_most_unique_clusters(self, built_deployment,
+                                                   small_config,
+                                                   small_dataset):
+        client = DHnswClient(built_deployment.layout, built_deployment.meta,
+                             small_config, scheme=Scheme.DHNSW,
+                             cost_model=built_deployment.cost_model)
+        batch = client.search_batch(small_dataset.queries, 5, ef_search=16)
+        assert batch.clusters_fetched <= built_deployment.layout.metadata.num_clusters
+
+    def test_second_batch_hits_cache(self, built_deployment, small_config,
+                                     small_dataset):
+        client = DHnswClient(built_deployment.layout, built_deployment.meta,
+                             small_config, scheme=Scheme.DHNSW,
+                             cost_model=built_deployment.cost_model)
+        client.search_batch(small_dataset.queries, 5, ef_search=16)
+        second = client.search_batch(small_dataset.queries, 5, ef_search=16)
+        assert second.cache_hits > 0
+
+    def test_naive_never_uses_cache(self, built_deployment, small_config,
+                                    small_dataset):
+        client = DHnswClient(built_deployment.layout, built_deployment.meta,
+                             small_config, scheme=Scheme.NAIVE,
+                             cost_model=built_deployment.cost_model)
+        client.search_batch(small_dataset.queries, 5, ef_search=16)
+        batch = client.search_batch(small_dataset.queries, 5, ef_search=16)
+        assert batch.cache_hits == 0
+        assert len(client.cache) == 0
+
+
+class TestSchemeOrdering:
+    """The paper's §4 ordering must hold on every workload."""
+
+    @pytest.fixture(scope="class")
+    def per_scheme(self, built_deployment, small_config, small_dataset):
+        outcome = {}
+        for scheme in Scheme:
+            client = DHnswClient(built_deployment.layout,
+                                 built_deployment.meta, small_config,
+                                 scheme=scheme,
+                                 cost_model=built_deployment.cost_model)
+            outcome[scheme] = client.search_batch(small_dataset.queries, 10,
+                                                  ef_search=48)
+        return outcome
+
+    def test_round_trip_ordering(self, per_scheme):
+        assert (per_scheme[Scheme.NAIVE].round_trips_per_query
+                > per_scheme[Scheme.NO_DOORBELL].round_trips_per_query
+                >= per_scheme[Scheme.DHNSW].round_trips_per_query)
+
+    def test_network_latency_ordering(self, per_scheme):
+        assert (per_scheme[Scheme.NAIVE].breakdown.network_us
+                > per_scheme[Scheme.NO_DOORBELL].breakdown.network_us
+                >= per_scheme[Scheme.DHNSW].breakdown.network_us)
+
+    def test_total_latency_ordering(self, per_scheme):
+        assert (per_scheme[Scheme.NAIVE].latency_per_query_us
+                > per_scheme[Scheme.DHNSW].latency_per_query_us)
+
+    def test_naive_moves_more_bytes(self, per_scheme):
+        assert (per_scheme[Scheme.NAIVE].rdma.bytes_read
+                > per_scheme[Scheme.DHNSW].rdma.bytes_read)
+
+
+class TestEfSearchKnob:
+    def test_higher_ef_no_worse_recall(self, built_deployment,
+                                       small_config, small_dataset):
+        client = DHnswClient(built_deployment.layout, built_deployment.meta,
+                             small_config, scheme=Scheme.DHNSW,
+                             cost_model=built_deployment.cost_model)
+        low = client.search_batch(small_dataset.queries, 10, ef_search=1)
+        high = client.search_batch(small_dataset.queries, 10, ef_search=48)
+        recall_low = recall_at_k(low.ids_list(),
+                                 small_dataset.ground_truth, 10)
+        recall_high = recall_at_k(high.ids_list(),
+                                  small_dataset.ground_truth, 10)
+        assert recall_high >= recall_low
+
+    def test_higher_ef_costs_more_compute(self, built_deployment,
+                                          small_config, small_dataset):
+        client = DHnswClient(built_deployment.layout, built_deployment.meta,
+                             small_config, scheme=Scheme.DHNSW,
+                             cost_model=built_deployment.cost_model)
+        low = client.search_batch(small_dataset.queries, 1, ef_search=1)
+        high = client.search_batch(small_dataset.queries, 1, ef_search=48)
+        assert (high.breakdown.sub_hnsw_us > low.breakdown.sub_hnsw_us)

@@ -1,0 +1,81 @@
+"""DHnswConfig validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DHnswConfig
+from repro.errors import ConfigError
+from repro.hnsw.params import HnswParams
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("num_representatives", 0),
+        ("nprobe", 0),
+        ("ef_meta", 0),
+        ("cache_fraction", 0.0),
+        ("cache_fraction", 1.5),
+        ("batch_size", 0),
+        ("overflow_capacity_records", -1),
+        ("region_headroom", 0.5),
+    ])
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            DHnswConfig(**{field: value})
+
+    def test_meta_params_must_be_three_layered(self):
+        with pytest.raises(ConfigError, match="three-layer"):
+            DHnswConfig(meta_params=HnswParams(m=8, max_level=4))
+
+    def test_defaults_valid(self):
+        config = DHnswConfig()
+        assert config.meta_params.max_level == 2
+
+
+class TestDerivedRepresentatives:
+    def test_paper_ratio_preserved(self):
+        # 300 corpus vectors per representative, as 500 reps : 1M ratio
+        # (order of magnitude).
+        assert DHnswConfig().derived_num_representatives(30_000) == 100
+
+    def test_floor_of_four(self):
+        assert DHnswConfig().derived_num_representatives(50) == 4
+
+    def test_cap_of_500(self):
+        assert DHnswConfig().derived_num_representatives(10**6) == 500
+
+    def test_explicit_value_wins(self):
+        config = DHnswConfig(num_representatives=42)
+        assert config.derived_num_representatives(10**6) == 42
+
+    def test_explicit_value_clipped_to_corpus(self):
+        config = DHnswConfig(num_representatives=100)
+        assert config.derived_num_representatives(30) == 30
+
+    def test_invalid_corpus_size(self):
+        with pytest.raises(ConfigError):
+            DHnswConfig().derived_num_representatives(0)
+
+
+class TestCacheCapacity:
+    def test_ten_percent_default(self):
+        assert DHnswConfig().cache_capacity_clusters(500) == 50
+
+    def test_minimum_one(self):
+        assert DHnswConfig().cache_capacity_clusters(3) == 1
+
+    def test_custom_fraction(self):
+        config = DHnswConfig(cache_fraction=0.5)
+        assert config.cache_capacity_clusters(10) == 5
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ConfigError):
+            DHnswConfig().cache_capacity_clusters(0)
+
+
+def test_replace_round_trips():
+    config = DHnswConfig(nprobe=2)
+    changed = config.replace(nprobe=8)
+    assert changed.nprobe == 8
+    assert config.nprobe == 2

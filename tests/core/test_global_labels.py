@@ -1,0 +1,58 @@
+"""Global-label plumbing through the build pipeline (sharding support)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Deployment
+from repro.core import DHnswBuilder, DHnswConfig
+
+
+@pytest.fixture(scope="module")
+def labelled(small_dataset, small_config):
+    labels = np.arange(small_dataset.num_vectors, dtype=np.int64) * 7 + 3
+    deployment = Deployment(small_dataset.vectors, small_config,
+                            labels=labels)
+    return deployment, labels
+
+
+def test_search_returns_custom_labels(labelled, small_dataset):
+    deployment, labels = labelled
+    result = deployment.client(0).search(small_dataset.vectors[42], 1,
+                                         ef_search=32)
+    assert result.ids[0] == labels[42]
+
+
+def test_all_results_from_label_space(labelled, small_dataset):
+    deployment, labels = labelled
+    label_set = set(labels.tolist())
+    batch = deployment.client(0).search_batch(small_dataset.queries, 10,
+                                              ef_search=32)
+    for result in batch.results:
+        assert set(result.ids.tolist()).issubset(label_set)
+
+
+def test_label_count_mismatch_rejected(small_dataset, small_config):
+    builder = DHnswBuilder(small_config)
+    with pytest.raises(ValueError, match="labels"):
+        builder.build(small_dataset.vectors,
+                      labels=np.arange(3, dtype=np.int64))
+
+
+def test_delete_by_custom_label(labelled, small_dataset):
+    deployment, labels = labelled
+    client = deployment.client(0)
+    target = small_dataset.vectors[7]
+    gid = int(labels[7])
+    assert client.search(target, 1, ef_search=32).ids[0] == gid
+    client.delete(target, gid)
+    assert client.search(target, 1, ef_search=32).ids[0] != gid
+
+
+def test_default_labels_are_row_ids(small_dataset, small_config):
+    config = DHnswConfig(num_representatives=8, seed=3)
+    deployment = Deployment(small_dataset.vectors, config)
+    result = deployment.client(0).search(small_dataset.vectors[0], 1,
+                                         ef_search=32)
+    assert result.ids[0] == 0

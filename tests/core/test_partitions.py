@@ -1,0 +1,87 @@
+"""Partition assignment and sub-HNSW construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.meta_index import MetaHnsw
+from repro.core.partitions import assign_partitions, build_sub_hnsws
+from repro.hnsw.distance import pairwise_l2
+from repro.hnsw.params import HnswParams
+
+META_PARAMS = HnswParams(m=8, ef_construction=32, max_level=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(11)
+    vectors = rng.uniform(0, 1, size=(600, 8)).astype(np.float32)
+    representatives = vectors[rng.choice(600, 20, replace=False)]
+    meta = MetaHnsw(representatives, META_PARAMS)
+    partitioning = assign_partitions(vectors, meta)
+    return vectors, meta, partitioning
+
+
+class TestAssignment:
+    def test_every_vector_assigned_once(self, setup):
+        vectors, meta, partitioning = setup
+        assert partitioning.assignments.shape == (600,)
+        assert partitioning.sizes().sum() == 600
+
+    def test_assignment_is_exact_nearest_representative(self, setup):
+        vectors, meta, partitioning = setup
+        reps = meta.index.graph.vectors
+        expected = np.argmin(pairwise_l2(vectors, reps), axis=1)
+        np.testing.assert_array_equal(partitioning.assignments, expected)
+
+    def test_members_consistent_with_assignments(self, setup):
+        _, _, partitioning = setup
+        for partition, members in enumerate(partitioning.members):
+            for gid in members:
+                assert partitioning.assignments[gid] == partition
+
+    def test_chunked_assignment_identical(self, setup):
+        vectors, meta, partitioning = setup
+        rechunked = assign_partitions(vectors, meta, chunk_size=7)
+        np.testing.assert_array_equal(rechunked.assignments,
+                                      partitioning.assignments)
+
+
+class TestSubHnswConstruction:
+    def test_one_index_per_partition(self, setup):
+        vectors, _, partitioning = setup
+        indexes = build_sub_hnsws(vectors, partitioning,
+                                  HnswParams(m=6, ef_construction=20))
+        assert len(indexes) == partitioning.num_partitions
+        for index, members in zip(indexes, partitioning.members):
+            assert len(index) == len(members)
+
+    def test_labels_are_global_ids(self, setup):
+        vectors, _, partitioning = setup
+        indexes = build_sub_hnsws(vectors, partitioning,
+                                  HnswParams(m=6, ef_construction=20))
+        for index, members in zip(indexes, partitioning.members):
+            assert index.labels == [int(x) for x in members]
+
+    def test_sub_search_returns_global_ids(self, setup):
+        vectors, _, partitioning = setup
+        indexes = build_sub_hnsws(vectors, partitioning,
+                                  HnswParams(m=6, ef_construction=20))
+        populated = max(range(len(indexes)), key=lambda i: len(indexes[i]))
+        member = partitioning.members[populated][0]
+        labels, dists = indexes[populated].search(vectors[member], 1, ef=16)
+        assert labels[0] == member
+        assert dists[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_empty_partition_yields_empty_index(self):
+        rng = np.random.default_rng(0)
+        # Two far-apart reps; all data near the first.
+        reps = np.array([[0.0] * 4, [100.0] * 4], dtype=np.float32)
+        meta = MetaHnsw(reps, META_PARAMS)
+        vectors = rng.normal(0, 0.1, size=(50, 4)).astype(np.float32)
+        partitioning = assign_partitions(vectors, meta)
+        indexes = build_sub_hnsws(vectors, partitioning,
+                                  HnswParams(m=4))
+        assert len(indexes[0]) == 50
+        assert len(indexes[1]) == 0

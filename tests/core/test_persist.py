@@ -1,0 +1,114 @@
+"""Persistence: save/load round-trips a deployment byte-for-byte."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DHnswClient, Scheme
+from repro.errors import SerializationError
+from repro.persist import load_deployment, save_deployment
+
+
+@pytest.fixture()
+def saved(tmp_path, mutable_deployment, small_config):
+    save_deployment(tmp_path / "dep", mutable_deployment.layout,
+                    mutable_deployment.meta, small_config)
+    return tmp_path / "dep", mutable_deployment
+
+
+class TestRoundtrip:
+    def test_files_written(self, saved):
+        path, _ = saved
+        assert (path / "manifest.json").exists()
+        assert (path / "region.bin").exists()
+        assert (path / "meta.bin").exists()
+
+    def test_restored_answers_identical(self, saved, small_config,
+                                        small_dataset):
+        path, original = saved
+        meta, layout, config = load_deployment(path)
+        original_client = DHnswClient(original.layout, original.meta,
+                                      small_config,
+                                      cost_model=original.cost_model)
+        restored_client = DHnswClient(layout, meta, config)
+        for query in small_dataset.queries[:10]:
+            want = original_client.search(query, 5, ef_search=32)
+            got = restored_client.search(query, 5, ef_search=32)
+            np.testing.assert_array_equal(got.ids, want.ids)
+
+    def test_restored_config_matches(self, saved, small_config):
+        path, _ = saved
+        _, _, config = load_deployment(path)
+        assert config == small_config
+
+    def test_restored_metadata_matches(self, saved):
+        path, original = saved
+        _, layout, _ = load_deployment(path)
+        assert layout.metadata.clusters == original.layout.metadata.clusters
+        assert layout.metadata.version == original.layout.metadata.version
+
+    def test_restored_allocator_state(self, saved):
+        path, original = saved
+        _, layout, _ = load_deployment(path)
+        assert layout.allocator.tail == original.layout.allocator.tail
+        assert (layout.allocator.dead_bytes
+                == original.layout.allocator.dead_bytes)
+
+
+class TestMutationAfterRestore:
+    def test_insert_and_rebuild_keep_working(self, saved, small_dataset,
+                                             small_config):
+        path, _ = saved
+        meta, layout, config = load_deployment(path)
+        client = DHnswClient(layout, meta, config)
+        probe = small_dataset.queries[0]
+        for i in range(config.overflow_capacity_records + 1):
+            client.insert(probe + i * 1e-4, 700_000 + i)
+        result = client.search(probe, 1, ef_search=48)
+        assert result.ids[0] == 700_000
+
+    def test_save_after_inserts_preserves_overflow(self, tmp_path,
+                                                   mutable_deployment,
+                                                   small_config,
+                                                   small_dataset):
+        writer = mutable_deployment.client(0)
+        probe = small_dataset.queries[1]
+        writer.insert(probe, 800_000)
+        save_deployment(tmp_path / "dep2", mutable_deployment.layout,
+                        mutable_deployment.meta, small_config)
+        meta, layout, config = load_deployment(tmp_path / "dep2")
+        reader = DHnswClient(layout, meta, config)
+        assert reader.search(probe, 1, ef_search=32).ids[0] == 800_000
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SerializationError, match="manifest"):
+            load_deployment(tmp_path)
+
+    def test_unsupported_format_version(self, saved):
+        path, _ = saved
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SerializationError, match="unsupported"):
+            load_deployment(path)
+
+    def test_truncated_region_image(self, saved):
+        path, _ = saved
+        image = (path / "region.bin").read_bytes()
+        (path / "region.bin").write_bytes(image[:100])
+        with pytest.raises(SerializationError, match="region image"):
+            load_deployment(path)
+
+    def test_restore_onto_existing_memory_node(self, saved):
+        from repro.rdma import MemoryNode
+        path, _ = saved
+        node = MemoryNode("shared")
+        node.register(64)  # pre-existing unrelated region
+        meta, layout, _ = load_deployment(path, memory_node=node)
+        assert layout.memory_node is node
+        assert layout.metadata.num_clusters == 12

@@ -1,0 +1,129 @@
+"""Query-aware batched loading: dedup, waves, cache pruning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ClusterCache
+from repro.core.query_planner import plan_batch
+from repro.errors import ConfigError
+from tests.core.test_cache import make_entry
+
+
+def empty_cache(capacity: int = 8) -> ClusterCache:
+    return ClusterCache(capacity)
+
+
+class TestDeduplication:
+    def test_each_cluster_fetched_once(self):
+        required = [[1, 4], [4, 5], [3], [3]]  # the paper's Fig. 5 shape
+        plan = plan_batch(required, empty_cache(), cache_capacity=8)
+        fetched = [cid for wave in plan.waves
+                   for cid in wave.fetch_cluster_ids]
+        assert sorted(fetched) == [1, 3, 4, 5]
+        assert len(fetched) == len(set(fetched))
+
+    def test_duplicate_requests_counted(self):
+        required = [[1, 4], [4, 5], [3], [3]]
+        plan = plan_batch(required, empty_cache(), cache_capacity=8)
+        assert plan.unique_clusters == 4
+        assert plan.duplicate_requests_pruned == 2
+
+    def test_every_pair_serviced_exactly_once(self):
+        required = [[1, 4], [4, 5], [3], [3]]
+        plan = plan_batch(required, empty_cache(), cache_capacity=8)
+        serviced = [pair for wave in plan.waves for pair in wave.serviced]
+        expected = {(q, c) for q, cids in enumerate(required) for c in cids}
+        assert set(serviced) == expected
+        assert len(serviced) == len(expected)
+
+
+class TestWaves:
+    def test_single_wave_when_fits(self):
+        plan = plan_batch([[0, 1], [2]], empty_cache(), cache_capacity=8)
+        assert len(plan.waves) == 1
+
+    def test_waves_respect_capacity(self):
+        required = [[i] for i in range(10)]
+        plan = plan_batch(required, empty_cache(), cache_capacity=3)
+        assert all(len(w.fetch_cluster_ids) <= 3 for w in plan.waves)
+        assert len(plan.waves) == 4
+
+    def test_demand_first_ordering(self):
+        # Cluster 9 wanted by 3 queries must be fetched before cluster 1
+        # wanted by one.
+        required = [[9], [9], [9, 1], [2]]
+        plan = plan_batch(required, empty_cache(), cache_capacity=1)
+        first_fetch = plan.waves[0].fetch_cluster_ids
+        assert first_fetch == (9,)
+
+    def test_serviced_pairs_stay_within_wave_clusters(self):
+        required = [[i % 5] for i in range(20)]
+        plan = plan_batch(required, empty_cache(), cache_capacity=2)
+        for wave in plan.waves:
+            allowed = set(wave.fetch_cluster_ids)
+            assert {cid for _, cid in wave.serviced} <= allowed
+
+
+class TestCacheInteraction:
+    def test_cached_clusters_not_fetched(self):
+        cache = empty_cache()
+        cache.put(make_entry(4))
+        plan = plan_batch([[4, 5]], cache, cache_capacity=8)
+        assert plan.cache_hit_cluster_ids == (4,)
+        fetched = [cid for wave in plan.waves
+                   for cid in wave.fetch_cluster_ids]
+        assert fetched == [5]
+        assert plan.total_fetches == 1
+
+    def test_hit_wave_comes_first(self):
+        cache = empty_cache()
+        cache.put(make_entry(2))
+        plan = plan_batch([[2], [7]], cache, cache_capacity=8)
+        assert plan.waves[0].fetch_cluster_ids == ()
+        assert plan.waves[0].serviced == ((0, 2),)
+
+    def test_all_hits_single_wave(self):
+        cache = empty_cache()
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        plan = plan_batch([[1], [2]], cache, cache_capacity=8)
+        assert len(plan.waves) == 1
+        assert plan.total_fetches == 0
+
+    def test_planner_uses_peek_not_get(self):
+        cache = empty_cache()
+        cache.put(make_entry(4))
+        plan_batch([[4]], cache, cache_capacity=8)
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestValidation:
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            plan_batch([[1]], empty_cache(), cache_capacity=0)
+
+    def test_empty_batch(self):
+        plan = plan_batch([], empty_cache(), cache_capacity=4)
+        assert plan.waves == ()
+        assert plan.unique_clusters == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(required=st.lists(
+    st.lists(st.integers(min_value=0, max_value=20), min_size=0,
+             max_size=4),
+    min_size=0, max_size=25),
+    capacity=st.integers(min_value=1, max_value=6))
+def test_plan_properties(required, capacity):
+    """Invariants for arbitrary batches: single fetch per cluster, wave
+    bound, complete servicing."""
+    plan = plan_batch(required, ClusterCache(4), capacity)
+    fetched = [cid for wave in plan.waves for cid in wave.fetch_cluster_ids]
+    assert len(fetched) == len(set(fetched))
+    assert all(len(w.fetch_cluster_ids) <= capacity for w in plan.waves)
+    serviced = [pair for wave in plan.waves for pair in wave.serviced]
+    expected = {(q, c) for q, cids in enumerate(required) for c in set(cids)}
+    assert set(serviced) == expected

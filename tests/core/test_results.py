@@ -1,0 +1,67 @@
+"""Result containers: per-query averaging and derived metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.results import BatchResult, QueryResult
+from repro.metrics.latency import LatencyBreakdown
+from repro.rdma.stats import RdmaStats
+
+
+def make_batch(num_queries: int, network: float = 100.0) -> BatchResult:
+    results = [QueryResult(ids=np.array([i], dtype=np.int64),
+                           distances=np.array([0.5], dtype=np.float32))
+               for i in range(num_queries)]
+    stats = RdmaStats()
+    stats.record_read(1000, network)
+    stats.record_read(1000, network)
+    return BatchResult(results=results,
+                       breakdown=LatencyBreakdown(network, 50.0, 10.0),
+                       rdma=stats, clusters_fetched=2, cache_hits=1,
+                       duplicate_requests_pruned=3, waves=1)
+
+
+def test_query_result_shape_check():
+    with pytest.raises(ValueError):
+        QueryResult(ids=np.array([1, 2]), distances=np.array([0.1]))
+
+
+def test_per_query_breakdown_divides_by_batch_size():
+    batch = make_batch(4, network=100.0)
+    per_query = batch.per_query_breakdown()
+    assert per_query.network_us == pytest.approx(25.0)
+    assert per_query.sub_hnsw_us == pytest.approx(12.5)
+
+
+def test_round_trips_per_query():
+    batch = make_batch(4)
+    assert batch.round_trips_per_query == pytest.approx(0.5)
+
+
+def test_latency_per_query():
+    batch = make_batch(2, network=100.0)
+    assert batch.latency_per_query_us == pytest.approx((100 + 50 + 10) / 2)
+
+
+def test_throughput_qps():
+    batch = make_batch(2, network=100.0)
+    # 2 queries in 160 us -> 12500 qps.
+    assert batch.throughput_qps == pytest.approx(2 / (160e-6))
+
+
+def test_ids_list_plain_ints():
+    batch = make_batch(3)
+    ids = batch.ids_list()
+    assert ids == [[0], [1], [2]]
+    assert all(isinstance(x, int) for row in ids for x in row)
+
+
+def test_empty_batch_degenerate_values():
+    empty = BatchResult(results=[], breakdown=LatencyBreakdown(),
+                        rdma=RdmaStats(), clusters_fetched=0, cache_hits=0,
+                        duplicate_requests_pruned=0, waves=0)
+    assert empty.per_query_breakdown().total_us == 0.0
+    assert empty.round_trips_per_query == 0.0
+    assert empty.latency_per_query_us == 0.0

@@ -1,0 +1,114 @@
+"""The ef_search auto-tuner and wave-pipelining accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DHnswClient, Scheme
+from repro.core.tuning import tune_ef_search
+from repro.errors import ConfigError
+from repro.metrics import recall_at_k
+
+
+class TestTuneEfSearch:
+    @pytest.fixture(scope="class")
+    def client(self, built_deployment, small_config):
+        return DHnswClient(built_deployment.layout, built_deployment.meta,
+                           small_config, scheme=Scheme.DHNSW,
+                           cost_model=built_deployment.cost_model)
+
+    def test_meets_reachable_target(self, client, small_dataset):
+        result = tune_ef_search(client, small_dataset.queries,
+                                small_dataset.ground_truth, k=10,
+                                target_recall=0.7, ef_max=64)
+        assert result.target_met
+        assert result.recall >= 0.7
+        assert 1 <= result.ef_search <= 64
+
+    def test_chosen_ef_is_minimal(self, client, small_dataset):
+        result = tune_ef_search(client, small_dataset.queries,
+                                small_dataset.ground_truth, k=10,
+                                target_recall=0.7, ef_max=64)
+        if result.ef_search > 1:
+            batch = client.search_batch(small_dataset.queries, 10,
+                                        ef_search=result.ef_search - 1)
+            below = recall_at_k(batch.ids_list(),
+                                small_dataset.ground_truth, 10)
+            assert below < 0.7
+
+    def test_unreachable_target_reported(self, client, small_dataset):
+        result = tune_ef_search(client, small_dataset.queries,
+                                small_dataset.ground_truth, k=10,
+                                target_recall=1.0, ef_max=2)
+        assert not result.target_met
+        assert result.ef_search == 2
+
+    def test_probe_log_recorded(self, client, small_dataset):
+        result = tune_ef_search(client, small_dataset.queries,
+                                small_dataset.ground_truth, k=10,
+                                target_recall=0.7, ef_max=32)
+        assert len(result.evaluations) >= 2
+        assert all(1 <= ef <= 32 for ef, _ in result.evaluations)
+
+    def test_validation(self, client, small_dataset):
+        with pytest.raises(ConfigError):
+            tune_ef_search(client, small_dataset.queries,
+                           small_dataset.ground_truth, 10,
+                           target_recall=0.0)
+        with pytest.raises(ConfigError):
+            tune_ef_search(client, small_dataset.queries,
+                           small_dataset.ground_truth, 10,
+                           target_recall=0.9, ef_min=10, ef_max=5)
+
+
+class TestWavePipelining:
+    def test_disabled_by_default(self, built_deployment, small_config,
+                                 small_dataset):
+        client = DHnswClient(built_deployment.layout,
+                             built_deployment.meta, small_config,
+                             cost_model=built_deployment.cost_model)
+        batch = client.search_batch(small_dataset.queries, 10,
+                                    ef_search=32)
+        assert batch.overlap_saved_us == 0.0
+        assert (batch.pipelined_latency_per_query_us
+                == pytest.approx(batch.latency_per_query_us))
+
+    def test_pipelining_saves_time_on_multi_wave_batches(
+            self, built_deployment, small_config, small_dataset):
+        config = small_config.replace(pipeline_waves=True)
+        client = DHnswClient(built_deployment.layout,
+                             built_deployment.meta, config,
+                             cost_model=built_deployment.cost_model)
+        batch = client.search_batch(small_dataset.queries, 10,
+                                    ef_search=48)
+        assert batch.waves >= 2  # tiny cache forces waves
+        assert batch.overlap_saved_us > 0.0
+        assert (batch.pipelined_latency_per_query_us
+                < batch.latency_per_query_us)
+
+    def test_saving_bounded_by_smaller_resource(self, built_deployment,
+                                                small_config,
+                                                small_dataset):
+        """Overlap can never save more than the full network time or
+        the full compute time, whichever is smaller."""
+        config = small_config.replace(pipeline_waves=True)
+        client = DHnswClient(built_deployment.layout,
+                             built_deployment.meta, config,
+                             cost_model=built_deployment.cost_model)
+        batch = client.search_batch(small_dataset.queries, 10,
+                                    ef_search=48)
+        bound = min(batch.breakdown.network_us, batch.breakdown.sub_hnsw_us)
+        assert batch.overlap_saved_us <= bound + 1e-6
+
+    def test_results_identical_with_pipelining(self, built_deployment,
+                                               small_config,
+                                               small_dataset):
+        plain = DHnswClient(built_deployment.layout, built_deployment.meta,
+                            small_config,
+                            cost_model=built_deployment.cost_model)
+        piped = DHnswClient(built_deployment.layout, built_deployment.meta,
+                            small_config.replace(pipeline_waves=True),
+                            cost_model=built_deployment.cost_model)
+        a = plain.search_batch(small_dataset.queries, 10, ef_search=32)
+        b = piped.search_batch(small_dataset.queries, 10, ef_search=32)
+        assert a.ids_list() == b.ids_list()

@@ -1,0 +1,68 @@
+"""Exact kNN oracle correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import exact_knn
+from repro.hnsw.distance import Metric, pairwise_l2
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    corpus = rng.standard_normal((400, 12)).astype(np.float32)
+    queries = rng.standard_normal((25, 12)).astype(np.float32)
+    return corpus, queries
+
+
+def test_matches_full_argsort(data):
+    corpus, queries = data
+    result = exact_knn(corpus, queries, 5)
+    expected = np.argsort(pairwise_l2(queries, corpus), axis=1)[:, :5]
+    np.testing.assert_array_equal(result, expected)
+
+
+def test_chunking_does_not_change_result(data):
+    corpus, queries = data
+    whole = exact_knn(corpus, queries, 8, chunk_size=1000)
+    chunked = exact_knn(corpus, queries, 8, chunk_size=3)
+    np.testing.assert_array_equal(whole, chunked)
+
+
+def test_k_clipped_to_corpus_size():
+    corpus = np.eye(3, dtype=np.float32)
+    queries = corpus[:1]
+    result = exact_knn(corpus, queries, 10)
+    assert result.shape == (1, 3)
+
+
+def test_self_query_returns_self_first(data):
+    corpus, _ = data
+    result = exact_knn(corpus, corpus[:10], 1)
+    np.testing.assert_array_equal(result[:, 0], np.arange(10))
+
+
+def test_columns_sorted_by_distance(data):
+    corpus, queries = data
+    result = exact_knn(corpus, queries, 6)
+    dists = pairwise_l2(queries, corpus)
+    for row in range(queries.shape[0]):
+        row_dists = dists[row, result[row]]
+        assert np.all(np.diff(row_dists) >= -1e-5)
+
+
+def test_inner_product_metric():
+    corpus = np.array([[1, 0], [0, 1], [2, 2]], dtype=np.float32)
+    queries = np.array([[1, 1]], dtype=np.float32)
+    result = exact_knn(corpus, queries, 1, metric=Metric.INNER_PRODUCT)
+    assert result[0, 0] == 2  # highest dot product wins
+
+
+def test_validation():
+    corpus = np.zeros((4, 2), dtype=np.float32)
+    with pytest.raises(ValueError):
+        exact_knn(corpus, corpus, 0)
+    with pytest.raises(ValueError):
+        exact_knn(corpus, corpus, 1, chunk_size=0)

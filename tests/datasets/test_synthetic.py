@@ -1,0 +1,99 @@
+"""Synthetic corpus generators: shapes, ranges, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import Dataset, gist_like, make_clustered, sift_like
+
+
+class TestMakeClustered:
+    def test_shape_and_dtype(self):
+        rng = np.random.default_rng(0)
+        data = make_clustered(500, 16, 8, 0.05, rng)
+        assert data.shape == (500, 16)
+        assert data.dtype == np.float32
+
+    def test_values_clipped_to_range(self):
+        rng = np.random.default_rng(0)
+        data = make_clustered(500, 8, 4, 0.5, rng, low=0.0, high=10.0)
+        assert data.min() >= 0.0
+        assert data.max() <= 10.0
+
+    def test_deterministic_per_seed(self):
+        first = make_clustered(100, 4, 3, 0.1, np.random.default_rng(5))
+        second = make_clustered(100, 4, 3, 0.1, np.random.default_rng(5))
+        np.testing.assert_array_equal(first, second)
+
+    def test_clusters_actually_cluster(self):
+        """Mean nearest-neighbour distance must be far below the mean
+        pairwise distance when std is tight."""
+        rng = np.random.default_rng(1)
+        data = make_clustered(300, 16, 6, 0.01, rng).astype(np.float64)
+        from repro.hnsw.distance import pairwise_l2
+        dists = pairwise_l2(data, data)
+        np.fill_diagonal(dists, np.inf)
+        nearest = dists.min(axis=1).mean()
+        overall = dists[np.isfinite(dists)].mean()
+        assert nearest < overall / 10
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            make_clustered(0, 4, 2, 0.1, rng)
+        with pytest.raises(ValueError):
+            make_clustered(10, 4, 2, 0.1, rng, low=1.0, high=1.0)
+
+
+class TestNamedCorpora:
+    def test_sift_like_shape(self):
+        ds = sift_like(num_vectors=800, num_queries=20, num_clusters=10)
+        assert ds.dim == 128
+        assert ds.num_vectors == 800
+        assert ds.num_queries == 20
+        assert ds.vectors.max() <= 255.0
+        assert ds.vectors.min() >= 0.0
+
+    def test_gist_like_shape(self):
+        ds = gist_like(num_vectors=400, num_queries=10, num_clusters=8)
+        assert ds.dim == 960
+        assert ds.vectors.max() <= 1.0
+
+    def test_ground_truth_is_exact(self):
+        ds = sift_like(num_vectors=300, num_queries=5, num_clusters=6,
+                       gt_k=5)
+        from repro.hnsw.distance import pairwise_l2
+        dists = pairwise_l2(ds.queries, ds.vectors)
+        expected = np.argsort(dists, axis=1)[:, :5]
+        # First column (the single nearest) must agree exactly; ties in
+        # later columns may legitimately reorder.
+        np.testing.assert_array_equal(ds.ground_truth[:, 0], expected[:, 0])
+
+    def test_same_seed_same_dataset(self):
+        first = sift_like(num_vectors=200, num_queries=5, seed=11)
+        second = sift_like(num_vectors=200, num_queries=5, seed=11)
+        np.testing.assert_array_equal(first.vectors, second.vectors)
+        np.testing.assert_array_equal(first.ground_truth,
+                                      second.ground_truth)
+
+
+class TestDatasetValidation:
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dim"):
+            Dataset(name="bad",
+                    vectors=np.zeros((10, 4), dtype=np.float32),
+                    queries=np.zeros((2, 5), dtype=np.float32),
+                    ground_truth=np.zeros((2, 1), dtype=np.int64))
+
+    def test_gt_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="ground truth"):
+            Dataset(name="bad",
+                    vectors=np.zeros((10, 4), dtype=np.float32),
+                    queries=np.zeros((2, 4), dtype=np.float32),
+                    ground_truth=np.zeros((3, 1), dtype=np.int64))
+
+    def test_gt_k_property(self):
+        ds = sift_like(num_vectors=100, num_queries=3, gt_k=7,
+                       num_clusters=4)
+        assert ds.gt_k == 7

@@ -1,0 +1,142 @@
+"""Construction internals: level sampling, neighbour heuristic, insertion."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hnsw.build import insert, sample_level, select_neighbors_heuristic
+from repro.hnsw.distance import DistanceKernel
+from repro.hnsw.graph import LayeredGraph
+from repro.hnsw.params import HnswParams
+
+
+class TestSampleLevel:
+    def test_distribution_decays_geometrically(self):
+        rng = random.Random(0)
+        params = HnswParams(m=16)
+        levels = [sample_level(rng, params) for _ in range(20_000)]
+        count_l0 = levels.count(0)
+        count_l1 = levels.count(1)
+        # P(level >= 1) = 1/m, so L0 should be ~ (m-1) * L1-and-above.
+        assert count_l0 > 10 * count_l1
+
+    def test_max_level_cap(self):
+        rng = random.Random(1)
+        params = HnswParams(m=2, max_level=2)  # m=2 gives tall levels
+        levels = [sample_level(rng, params) for _ in range(5000)]
+        assert max(levels) == 2
+
+    def test_nonnegative(self):
+        rng = random.Random(2)
+        params = HnswParams(m=4)
+        assert all(sample_level(rng, params) >= 0 for _ in range(1000))
+
+
+class TestNeighborHeuristic:
+    def setup_method(self):
+        self.graph = LayeredGraph(2)
+        self.kernel = DistanceKernel(2)
+        self.params = HnswParams(m=4, keep_pruned_connections=False)
+
+    def _add(self, x, y, level=0):
+        return self.graph.add_node([x, y], level)
+
+    def test_caps_at_m(self):
+        nodes = [self._add(i, 0) for i in range(10)]
+        candidates = [(float(i * i), node) for i, node in enumerate(nodes)]
+        selected = select_neighbors_heuristic(
+            self.graph, self.kernel, candidates, m=3, level=0,
+            params=self.params)
+        assert len(selected) <= 3
+
+    def test_prefers_diverse_directions(self):
+        # Query at origin; two tight candidates east, one candidate north.
+        east1 = self._add(1.0, 0.0)
+        east2 = self._add(1.1, 0.0)
+        north = self._add(0.0, 1.2)
+        candidates = [(1.0, east1), (1.21, east2), (1.44, north)]
+        selected = select_neighbors_heuristic(
+            self.graph, self.kernel, candidates, m=2, level=0,
+            params=self.params)
+        # east2 is closer to east1 than to the query -> pruned in favour
+        # of the northern direction.
+        assert selected == [east1, north]
+
+    def test_keep_pruned_backfills(self):
+        east1 = self._add(1.0, 0.0)
+        east2 = self._add(1.1, 0.0)
+        candidates = [(1.0, east1), (1.21, east2)]
+        keeping = self.params.replace(keep_pruned_connections=True)
+        selected = select_neighbors_heuristic(
+            self.graph, self.kernel, candidates, m=2, level=0,
+            params=keeping)
+        assert selected == [east1, east2]
+
+    def test_m_zero_returns_empty(self):
+        node = self._add(0.0, 0.0)
+        assert select_neighbors_heuristic(
+            self.graph, self.kernel, [(0.0, node)], m=0, level=0,
+            params=self.params) == []
+
+
+class TestInsert:
+    def _build(self, count: int, dim: int, params: HnswParams,
+               seed: int = 0) -> LayeredGraph:
+        generator = np.random.default_rng(seed)
+        graph = LayeredGraph(dim)
+        kernel = DistanceKernel(dim)
+        rng = random.Random(seed)
+        for vector in generator.standard_normal((count, dim)):
+            insert(graph, kernel, vector.astype(np.float32), params, rng)
+        return graph
+
+    def test_structural_invariants_hold(self):
+        params = HnswParams(m=6, ef_construction=40)
+        graph = self._build(300, 8, params)
+        graph.check_invariants()
+
+    def test_degree_bounds_respected(self):
+        params = HnswParams(m=5, ef_construction=40)
+        graph = self._build(400, 6, params)
+        for node in range(len(graph)):
+            for level in range(graph.level_of(node) + 1):
+                bound = params.max_degree(level)
+                assert len(graph.neighbors(node, level)) <= bound
+
+    def test_forced_level(self):
+        params = HnswParams(m=4)
+        graph = LayeredGraph(2)
+        kernel = DistanceKernel(2)
+        rng = random.Random(0)
+        insert(graph, kernel, np.zeros(2, dtype=np.float32), params, rng,
+               forced_level=5)
+        assert graph.level_of(0) == 5
+        assert graph.max_level == 5
+
+    def test_connectivity_layer0(self):
+        """Every node must be reachable from the entry point on layer 0."""
+        params = HnswParams(m=6, ef_construction=50)
+        graph = self._build(200, 4, params)
+        seen = {graph.entry_point}
+        frontier = [graph.entry_point]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in graph.neighbors(node, 0):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert len(seen) == len(graph)
+
+    @settings(max_examples=10, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=60),
+           seed=st.integers(min_value=0, max_value=10))
+    def test_insert_never_corrupts_structure(self, count, seed):
+        params = HnswParams(m=4, ef_construction=16)
+        graph = self._build(count, 3, params, seed=seed)
+        graph.check_invariants()
+        assert len(graph) == count

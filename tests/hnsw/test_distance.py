@@ -1,0 +1,137 @@
+"""Unit and property tests for the counted distance kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import DimensionMismatchError
+from repro.hnsw.distance import DistanceKernel, Metric, pairwise_l2
+
+FINITE = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                   allow_infinity=False, width=32)
+
+
+def vectors(dim: int, count: int):
+    return arrays(np.float32, (count, dim), elements=FINITE)
+
+
+class TestMetricResolution:
+    def test_aliases(self):
+        assert Metric.from_name("euclidean") is Metric.L2
+        assert Metric.from_name("dot") is Metric.INNER_PRODUCT
+        assert Metric.from_name("angular") is Metric.COSINE
+        assert Metric.from_name("  L2 ") is Metric.L2
+
+    def test_enum_passthrough(self):
+        assert Metric.from_name(Metric.COSINE) is Metric.COSINE
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            Metric.from_name("manhattan")
+
+
+class TestKernelBasics:
+    def test_l2_one(self):
+        kernel = DistanceKernel(3)
+        assert kernel.one([0, 0, 0], [3, 4, 0]) == pytest.approx(25.0)
+
+    def test_ip_is_negated(self):
+        kernel = DistanceKernel(2, Metric.INNER_PRODUCT)
+        assert kernel.one([1, 2], [3, 4]) == pytest.approx(-11.0)
+
+    def test_cosine_identical_is_zero(self):
+        kernel = DistanceKernel(4, Metric.COSINE)
+        vector = np.array([1.0, 2.0, 3.0, 4.0])
+        assert kernel.one(vector, 2 * vector) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_orthogonal_is_one(self):
+        kernel = DistanceKernel(2, Metric.COSINE)
+        assert kernel.one([1, 0], [0, 5]) == pytest.approx(1.0)
+
+    def test_cosine_zero_vector_defined(self):
+        kernel = DistanceKernel(2, Metric.COSINE)
+        assert kernel.one([0, 0], [1, 1]) == pytest.approx(1.0)
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError, match="dim must be positive"):
+            DistanceKernel(0)
+
+    def test_dimension_mismatch(self):
+        kernel = DistanceKernel(4)
+        with pytest.raises(DimensionMismatchError) as excinfo:
+            kernel.one([1, 2, 3], [1, 2, 3, 4])
+        assert excinfo.value.expected == 4
+        assert excinfo.value.actual == 3
+
+
+class TestCounting:
+    def test_one_counts_single(self):
+        kernel = DistanceKernel(2)
+        kernel.one([0, 0], [1, 1])
+        assert kernel.num_evaluations == 1
+
+    def test_many_counts_rows(self):
+        kernel = DistanceKernel(2)
+        kernel.many([0, 0], np.ones((7, 2)))
+        assert kernel.num_evaluations == 7
+
+    def test_cross_counts_product(self):
+        kernel = DistanceKernel(2)
+        kernel.cross(np.ones((3, 2)), np.ones((5, 2)))
+        assert kernel.num_evaluations == 15
+
+    def test_reset_returns_previous(self):
+        kernel = DistanceKernel(2)
+        kernel.many([0, 0], np.ones((4, 2)))
+        assert kernel.reset_counter() == 4
+        assert kernel.num_evaluations == 0
+
+
+class TestConsistencyAcrossShapes:
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_many_matches_one(self, metric, rng):
+        kernel = DistanceKernel(8, metric)
+        query = rng.standard_normal(8).astype(np.float32)
+        corpus = rng.standard_normal((10, 8)).astype(np.float32)
+        batch = kernel.many(query, corpus)
+        singles = [kernel.one(query, row) for row in corpus]
+        np.testing.assert_allclose(batch, singles, rtol=1e-4, atol=1e-4)
+
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_cross_matches_many(self, metric, rng):
+        kernel = DistanceKernel(8, metric)
+        queries = rng.standard_normal((4, 8)).astype(np.float32)
+        corpus = rng.standard_normal((6, 8)).astype(np.float32)
+        matrix = kernel.cross(queries, corpus)
+        for row, query in enumerate(queries):
+            np.testing.assert_allclose(matrix[row],
+                                       kernel.many(query, corpus),
+                                       rtol=1e-4, atol=1e-4)
+
+
+class TestPairwiseL2Properties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=vectors(6, 5))
+    def test_self_distance_zero(self, data):
+        dists = pairwise_l2(data, data)
+        np.testing.assert_allclose(np.diag(dists), 0.0, atol=1e-2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=vectors(6, 4), b=vectors(6, 3))
+    def test_nonnegative_and_symmetric(self, a, b):
+        forward = pairwise_l2(a, b)
+        backward = pairwise_l2(b, a)
+        assert (forward >= 0).all()
+        np.testing.assert_allclose(forward, backward.T, rtol=1e-3,
+                                   atol=1e-2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=vectors(4, 3), b=vectors(4, 3))
+    def test_matches_direct_expansion(self, a, b):
+        direct = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(pairwise_l2(a, b), direct, rtol=1e-2,
+                                   atol=1e-1)

@@ -1,0 +1,59 @@
+"""Standalone HNSW file persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.hnsw import HnswIndex, HnswParams, load_index, save_index
+
+
+@pytest.fixture(scope="module")
+def index():
+    built = HnswIndex(8, HnswParams(m=8, ef_construction=40, seed=4))
+    built.add(np.random.default_rng(4).standard_normal(
+        (300, 8)).astype(np.float32), labels=list(range(1000, 1300)))
+    return built
+
+
+def test_roundtrip_answers_identically(index, tmp_path):
+    path = tmp_path / "index.dhn"
+    written = save_index(index, path)
+    assert path.stat().st_size == written
+    restored = load_index(path)
+    for query in np.random.default_rng(5).standard_normal(
+            (10, 8)).astype(np.float32):
+        np.testing.assert_array_equal(restored.search(query, 5, ef=32)[0],
+                                      index.search(query, 5, ef=32)[0])
+
+
+def test_restored_index_can_grow(index, tmp_path):
+    path = tmp_path / "index.dhn"
+    save_index(index, path)
+    restored = load_index(path, HnswParams(m=8, ef_construction=40))
+    restored.add_one(np.zeros(8, dtype=np.float32), label=9999)
+    labels, dists = restored.search(np.zeros(8, dtype=np.float32), 1,
+                                    ef=16)
+    assert labels[0] == 9999
+    restored.graph.check_invariants()
+
+
+def test_labels_survive(index, tmp_path):
+    path = tmp_path / "index.dhn"
+    save_index(index, path)
+    assert load_index(path).labels == index.labels
+
+
+def test_corrupt_file_raises_serialization_error(tmp_path):
+    path = tmp_path / "bad.dhn"
+    path.write_bytes(b"definitely not an index")
+    with pytest.raises(SerializationError):
+        load_index(path)
+
+
+def test_empty_index_roundtrip(tmp_path):
+    empty = HnswIndex(4, HnswParams(m=4))
+    path = tmp_path / "empty.dhn"
+    save_index(empty, path)
+    assert len(load_index(path)) == 0

@@ -1,0 +1,55 @@
+"""End-to-end HNSW behaviour under inner-product and cosine metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ground_truth import exact_knn
+from repro.hnsw import HnswIndex, HnswParams, Metric
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((800, 12)).astype(np.float32)
+
+
+@pytest.mark.parametrize("metric", [Metric.INNER_PRODUCT, Metric.COSINE])
+def test_recall_against_exact(metric, corpus):
+    index = HnswIndex(12, HnswParams(m=12, ef_construction=80,
+                                     metric=metric, seed=2))
+    index.add(corpus)
+    rng = np.random.default_rng(6)
+    queries = rng.standard_normal((20, 12)).astype(np.float32)
+    truth = exact_knn(corpus, queries, 10, metric=metric)
+    hits = 0
+    for row, query in enumerate(queries):
+        labels, _ = index.search(query, 10, ef=64)
+        hits += len(set(labels.tolist()) & set(truth[row].tolist()))
+    assert hits / 200 >= 0.80
+
+
+def test_inner_product_prefers_large_vectors():
+    # With IP, a far-but-long vector beats a near-but-short one.
+    corpus = np.array([[1.0, 0.0], [10.0, 0.0]], dtype=np.float32)
+    index = HnswIndex(2, HnswParams(m=4, metric=Metric.INNER_PRODUCT))
+    index.add(corpus)
+    labels, _ = index.search(np.array([1.0, 0.0]), 1)
+    assert labels[0] == 1
+
+
+def test_cosine_ignores_magnitude():
+    corpus = np.array([[100.0, 0.0], [0.7, 0.7]], dtype=np.float32)
+    index = HnswIndex(2, HnswParams(m=4, metric=Metric.COSINE))
+    index.add(corpus)
+    labels, _ = index.search(np.array([0.1, 0.1]), 1)
+    assert labels[0] == 1  # aligned direction wins despite tiny norm
+
+
+def test_cosine_distances_in_unit_range(corpus):
+    index = HnswIndex(12, HnswParams(m=8, metric=Metric.COSINE, seed=1))
+    index.add(corpus[:100])
+    _, dists = index.search(corpus[0], 10, ef=32)
+    assert np.all(dists >= -1e-5)
+    assert np.all(dists <= 2.0 + 1e-5)

@@ -1,0 +1,109 @@
+"""Traversal primitives: greedy descent and beam search on crafted graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hnsw.distance import DistanceKernel
+from repro.hnsw.graph import LayeredGraph
+from repro.hnsw.search import greedy_descent, knn_from_candidates, search_layer
+
+
+def build_line_graph(levels: list[int]) -> tuple[LayeredGraph, DistanceKernel]:
+    """Nodes at positions 0..n-1 on a line, chained with bidirectional
+    edges on every layer both endpoints share."""
+    graph = LayeredGraph(1)
+    for position, level in enumerate(levels):
+        graph.add_node([float(position)], level)
+    for node in range(len(levels) - 1):
+        shared = min(levels[node], levels[node + 1])
+        for layer in range(shared + 1):
+            graph.add_edge(node, node + 1, layer)
+            graph.add_edge(node + 1, node, layer)
+    return graph, DistanceKernel(1)
+
+
+class TestGreedyDescent:
+    def test_walks_to_local_minimum(self):
+        graph, kernel = build_line_graph([1, 1, 1, 1, 1])
+        query = np.array([3.9], dtype=np.float32)
+        entry_dist = kernel.one(query, graph.vector(0))
+        node, dist = greedy_descent(graph, kernel, query, 0, entry_dist,
+                                    from_level=1, to_level=0)
+        assert node == 4
+        assert dist == pytest.approx((3.9 - 4.0) ** 2, abs=1e-5)
+
+    def test_noop_when_levels_equal(self):
+        graph, kernel = build_line_graph([0, 0])
+        query = np.array([1.0], dtype=np.float32)
+        entry_dist = kernel.one(query, graph.vector(0))
+        node, dist = greedy_descent(graph, kernel, query, 0, entry_dist,
+                                    from_level=0, to_level=0)
+        assert node == 0
+        assert dist == entry_dist
+
+
+class TestSearchLayer:
+    def test_finds_global_best_on_connected_layer(self):
+        graph, kernel = build_line_graph([0] * 10)
+        query = np.array([7.2], dtype=np.float32)
+        entry_dist = kernel.one(query, graph.vector(0))
+        results = search_layer(graph, kernel, query, [(entry_dist, 0)],
+                               ef=4, level=0)
+        assert results[0][1] == 7
+        assert [node for _, node in results] == [7, 8, 6, 9]
+
+    def test_results_sorted_ascending(self):
+        graph, kernel = build_line_graph([0] * 8)
+        query = np.array([3.0], dtype=np.float32)
+        entry_dist = kernel.one(query, graph.vector(0))
+        results = search_layer(graph, kernel, query, [(entry_dist, 0)],
+                               ef=5, level=0)
+        dists = [dist for dist, _ in results]
+        assert dists == sorted(dists)
+
+    def test_ef_bounds_result_count(self):
+        graph, kernel = build_line_graph([0] * 20)
+        query = np.array([10.0], dtype=np.float32)
+        entry_dist = kernel.one(query, graph.vector(0))
+        results = search_layer(graph, kernel, query, [(entry_dist, 0)],
+                               ef=3, level=0)
+        assert len(results) == 3
+
+    def test_ef_one_equals_greedy_endpoint(self):
+        graph, kernel = build_line_graph([0] * 12)
+        query = np.array([9.1], dtype=np.float32)
+        entry_dist = kernel.one(query, graph.vector(0))
+        results = search_layer(graph, kernel, query, [(entry_dist, 0)],
+                               ef=1, level=0)
+        assert results[0][1] == 9
+
+    def test_invalid_ef(self):
+        graph, kernel = build_line_graph([0, 0])
+        with pytest.raises(ValueError, match="ef must be >= 1"):
+            search_layer(graph, kernel, np.zeros(1, dtype=np.float32),
+                         [(0.0, 0)], ef=0, level=0)
+
+    def test_isolated_entry_returns_itself(self):
+        graph = LayeredGraph(1)
+        graph.add_node([0.0], 0)
+        kernel = DistanceKernel(1)
+        results = search_layer(graph, kernel,
+                               np.array([5.0], dtype=np.float32),
+                               [(25.0, 0)], ef=4, level=0)
+        assert results == [(25.0, 0)]
+
+
+class TestKnnFromCandidates:
+    def test_takes_k_smallest(self):
+        candidates = [(3.0, 1), (1.0, 2), (2.0, 3), (0.5, 4)]
+        assert knn_from_candidates(candidates, 2) == [(0.5, 4), (1.0, 2)]
+
+    def test_k_zero_or_negative(self):
+        assert knn_from_candidates([(1.0, 0)], 0) == []
+        assert knn_from_candidates([(1.0, 0)], -3) == []
+
+    def test_k_larger_than_candidates(self):
+        candidates = [(1.0, 0)]
+        assert knn_from_candidates(candidates, 10) == [(1.0, 0)]

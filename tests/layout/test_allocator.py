@@ -1,0 +1,190 @@
+"""Region allocator: tail bumping, recycling, coalescing, exhaustion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.allocator import RegionAllocator
+
+
+def fresh(capacity=1000, reserve=100) -> RegionAllocator:
+    return RegionAllocator(capacity, metadata_reserve=reserve)
+
+
+class TestBumpAllocation:
+    def test_tail_starts_after_metadata(self):
+        allocator = fresh()
+        assert allocator.tail == 100
+        assert allocator.free_bytes == 900
+
+    def test_allocations_are_sequential(self):
+        allocator = fresh()
+        assert allocator.allocate(50) == 100
+        assert allocator.allocate(30) == 150
+        assert allocator.tail == 180
+
+    def test_exhaustion_raises_with_context(self):
+        allocator = fresh(capacity=200)
+        allocator.allocate(90)
+        with pytest.raises(LayoutError, match="exhausted"):
+            allocator.allocate(20)
+
+    def test_exact_fill_allowed(self):
+        allocator = fresh(capacity=200)
+        allocator.allocate(100)
+        assert allocator.free_bytes == 0
+
+    def test_nonpositive_allocation_rejected(self):
+        with pytest.raises(LayoutError):
+            fresh().allocate(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(LayoutError):
+            RegionAllocator(0, metadata_reserve=0)
+        with pytest.raises(LayoutError):
+            RegionAllocator(100, metadata_reserve=100)
+        with pytest.raises(LayoutError):
+            RegionAllocator(100, metadata_reserve=0)
+
+
+class TestRecycling:
+    def test_retired_extent_is_reused(self):
+        allocator = fresh()
+        first = allocator.allocate(200)
+        allocator.allocate(50)  # pin the tail past the first extent
+        allocator.retire(first, 200)
+        assert allocator.dead_bytes == 200
+        again = allocator.allocate(180)
+        assert again == first  # recycled, not tail-bumped
+
+    def test_best_fit_chooses_smallest_sufficient(self):
+        allocator = fresh(capacity=4000)
+        big = allocator.allocate(500)
+        allocator.allocate(10)   # separator so the frees cannot coalesce
+        small = allocator.allocate(120)
+        allocator.allocate(10)   # pin tail
+        allocator.retire(big, 500)
+        allocator.retire(small, 120)
+        assert allocator.allocate(100) == small
+
+    def test_split_leaves_remainder_free(self):
+        allocator = fresh()
+        extent = allocator.allocate(300)
+        allocator.allocate(10)
+        allocator.retire(extent, 300)
+        allocator.allocate(100)
+        assert allocator.dead_bytes == 200
+
+    def test_adjacent_extents_coalesce(self):
+        allocator = fresh()
+        left = allocator.allocate(100)
+        right = allocator.allocate(100)
+        allocator.allocate(10)
+        allocator.retire(left, 100)
+        allocator.retire(right, 100)
+        assert allocator.free_extents() == [(left, 200)]
+        # A 150-byte allocation fits only the coalesced extent.
+        assert allocator.allocate(150) == left
+
+    def test_retire_at_tail_shrinks_tail(self):
+        allocator = fresh()
+        extent = allocator.allocate(100)
+        allocator.retire(extent, 100)
+        assert allocator.tail == 100
+        assert allocator.dead_bytes == 0
+
+    def test_exhaustion_message_mentions_fragments(self):
+        allocator = fresh(capacity=400)
+        first = allocator.allocate(100)
+        allocator.allocate(100)
+        allocator.allocate(100)  # region now full to capacity
+        allocator.retire(first, 100)
+        with pytest.raises(LayoutError, match="fragmented free space"):
+            allocator.allocate(150)
+
+
+class TestRetireValidation:
+    def test_retire_outside_allocated_space(self):
+        allocator = fresh()
+        allocator.allocate(50)
+        with pytest.raises(LayoutError, match="outside"):
+            allocator.retire(90, 100)  # extends past tail
+
+    def test_retire_in_metadata_reserve(self):
+        allocator = fresh()
+        allocator.allocate(50)
+        with pytest.raises(LayoutError, match="outside"):
+            allocator.retire(10, 20)
+
+    def test_double_retire_detected(self):
+        allocator = fresh()
+        extent = allocator.allocate(100)
+        allocator.allocate(10)
+        allocator.retire(extent, 100)
+        with pytest.raises(LayoutError, match="double retire"):
+            allocator.retire(extent + 10, 20)
+
+    def test_nonpositive_retire(self):
+        with pytest.raises(LayoutError):
+            fresh().retire(100, 0)
+
+
+class TestAccounting:
+    def test_live_bytes(self):
+        allocator = fresh()
+        first = allocator.allocate(400)
+        allocator.allocate(100)
+        allocator.retire(first, 400)
+        assert allocator.live_bytes == 100
+        assert allocator.fragmentation() == pytest.approx(0.8)
+
+    def test_fragmentation_zero_when_empty(self):
+        assert fresh().fragmentation() == 0.0
+
+    def test_free_extents_roundtrip(self):
+        allocator = fresh()
+        first = allocator.allocate(100)
+        allocator.allocate(50)
+        allocator.retire(first, 100)
+        snapshot = allocator.free_extents()
+        restored = fresh()
+        restored.allocate(150)
+        restored.restore_free_extents(snapshot)
+        assert restored.free_extents() == snapshot
+
+    def test_restore_validates_bounds(self):
+        allocator = fresh()
+        allocator.allocate(50)
+        with pytest.raises(LayoutError):
+            allocator.restore_free_extents([(500, 100)])
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(st.integers(min_value=1, max_value=120),
+                    min_size=1, max_size=30),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_allocate_retire_never_overlaps(ops, seed):
+    """Random allocate/retire sequences: live extents never overlap and
+    accounting stays consistent."""
+    import random
+    rng = random.Random(seed)
+    allocator = RegionAllocator(16_384, metadata_reserve=256)
+    live: dict[int, int] = {}
+    for size in ops:
+        if live and rng.random() < 0.4:
+            offset = rng.choice(sorted(live))
+            allocator.retire(offset, live.pop(offset))
+        else:
+            try:
+                offset = allocator.allocate(size)
+            except LayoutError:
+                continue
+            live[offset] = size
+        intervals = sorted((offset, offset + length)
+                           for offset, length in live.items())
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert end <= start
+        assert allocator.live_bytes >= sum(live.values()) - 1e-9

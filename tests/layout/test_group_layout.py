@@ -1,0 +1,149 @@
+"""Group planning geometry and contiguous read extents."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.group_layout import (
+    OVERFLOW_TAIL_BYTES,
+    cluster_read_extent,
+    overflow_area_size,
+    plan_groups,
+)
+from repro.layout.metadata import GlobalMetadata
+from repro.layout.serializer import overflow_record_size
+
+
+def make_blobs(sizes: list[int]) -> list[tuple[int, bytes]]:
+    return [(cid, bytes([cid % 251]) * size)
+            for cid, size in enumerate(sizes)]
+
+
+def plan_and_metadata(sizes, dim=4, capacity=8, start=4096):
+    blobs = make_blobs(sizes)
+    plans, clusters, groups = plan_groups(blobs, dim, capacity, start)
+    metadata = GlobalMetadata(version=1, dim=dim,
+                              overflow_capacity_records=capacity,
+                              clusters=clusters, groups=groups)
+    return plans, metadata
+
+
+class TestOverflowAreaSize:
+    def test_formula(self):
+        assert overflow_area_size(4, 10) == (OVERFLOW_TAIL_BYTES
+                                             + 10 * overflow_record_size(4))
+
+    def test_zero_capacity(self):
+        assert overflow_area_size(4, 0) == OVERFLOW_TAIL_BYTES
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            overflow_area_size(4, -1)
+
+
+class TestPlanGroups:
+    def test_pairing_adjacent_clusters(self):
+        plans, metadata = plan_and_metadata([100, 200, 300, 400])
+        assert len(plans) == 2
+        assert plans[0].first_cluster_id == 0
+        assert plans[0].second_cluster_id == 1
+        assert plans[1].first_cluster_id == 2
+        assert metadata.clusters[0].group_id == 0
+        assert metadata.clusters[3].group_id == 1
+
+    def test_odd_cluster_gets_own_group(self):
+        plans, metadata = plan_and_metadata([100, 200, 300])
+        assert len(plans) == 2
+        assert plans[1].second_cluster_id is None
+        assert metadata.clusters[2].group_id == 1
+
+    def test_overflow_sits_between_pair(self):
+        plans, metadata = plan_and_metadata([100, 200])
+        plan = plans[0]
+        # Just past the first blob, rounded up for atomic alignment.
+        assert plan.first_offset + 100 <= plan.overflow_offset < (
+            plan.first_offset + 108)
+        assert plan.overflow_offset % 8 == 0
+        assert plan.second_offset == (plan.overflow_offset
+                                      + plan.overflow_area_bytes)
+
+    def test_overflow_tail_always_aligned(self):
+        _, metadata = plan_and_metadata([3, 17, 131, 7, 29], start=4096)
+        for group in metadata.groups:
+            assert group.overflow_offset % 8 == 0
+
+    def test_layout_starts_at_start_offset(self):
+        plans, _ = plan_and_metadata([50, 50], start=8192)
+        assert plans[0].base_offset == 8192
+
+    def test_groups_do_not_overlap(self):
+        plans, _ = plan_and_metadata([10, 600, 30, 70, 999])
+        for before, after in zip(plans, plans[1:]):
+            assert before.end_offset <= after.base_offset
+
+    def test_nondense_ids_rejected(self):
+        with pytest.raises(LayoutError, match="dense"):
+            plan_groups([(0, b"x"), (2, b"y")], 4, 8, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=5000),
+                          min_size=1, max_size=15),
+           capacity=st.integers(min_value=0, max_value=32))
+    def test_every_cluster_placed_without_overlap(self, sizes, capacity):
+        plans, metadata = plan_and_metadata(sizes, capacity=capacity)
+        intervals = []
+        for cid, entry in enumerate(metadata.clusters):
+            assert entry.blob_length == sizes[cid]
+            intervals.append((entry.blob_offset,
+                              entry.blob_offset + entry.blob_length))
+        for group in metadata.groups:
+            area = overflow_area_size(4, capacity)
+            intervals.append((group.overflow_offset,
+                              group.overflow_offset + area))
+        intervals.sort()
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert end <= start
+
+
+class TestReadExtent:
+    def test_first_cluster_extent_covers_blob_and_overflow(self):
+        plans, metadata = plan_and_metadata([100, 200])
+        offset, length = cluster_read_extent(metadata, 0)
+        plan = plans[0]
+        assert offset == plan.first_offset
+        assert offset + length == plan.overflow_offset + plan.overflow_area_bytes
+
+    def test_second_cluster_extent_covers_overflow_and_blob(self):
+        plans, metadata = plan_and_metadata([100, 200])
+        offset, length = cluster_read_extent(metadata, 1)
+        plan = plans[0]
+        assert offset == plan.overflow_offset
+        assert offset + length == plan.end_offset
+
+    def test_lone_cluster_extent(self):
+        plans, metadata = plan_and_metadata([100, 200, 300])
+        offset, length = cluster_read_extent(metadata, 2)
+        assert offset == plans[1].first_offset
+        assert offset + length == plans[1].end_offset
+
+    def test_out_of_range_cluster(self):
+        _, metadata = plan_and_metadata([100])
+        with pytest.raises(LayoutError, match="out of range"):
+            cluster_read_extent(metadata, 5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=2000),
+                          min_size=1, max_size=12))
+    def test_extent_always_contains_blob_and_overflow(self, sizes):
+        _, metadata = plan_and_metadata(sizes)
+        for cid, entry in enumerate(metadata.clusters):
+            offset, length = cluster_read_extent(metadata, cid)
+            group = metadata.groups[entry.group_id]
+            area = overflow_area_size(metadata.dim, group.capacity_records)
+            assert offset <= entry.blob_offset
+            assert entry.blob_offset + entry.blob_length <= offset + length
+            assert offset <= group.overflow_offset
+            assert group.overflow_offset + area <= offset + length

@@ -1,0 +1,105 @@
+"""Fuzzing the serializers: corrupted bytes must fail *cleanly*.
+
+A compute instance deserializes whatever the remote READ returns; if a
+concurrent writer or a bug hands it garbage, the only acceptable
+outcomes are a successful parse (of a still-valid prefix) or a
+:class:`SerializationError`/:class:`LayoutError` — never an unhandled
+IndexError/struct.error/segfault-equivalent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError, SerializationError
+from repro.hnsw import HnswIndex, HnswParams
+from repro.layout.metadata import ClusterEntry, GlobalMetadata, GroupEntry
+from repro.layout.serializer import deserialize_cluster, serialize_cluster
+
+ACCEPTABLE = (SerializationError, LayoutError)
+
+
+@pytest.fixture(scope="module")
+def blob() -> bytes:
+    index = HnswIndex(8, HnswParams(m=6, ef_construction=24, seed=0))
+    index.add(np.random.default_rng(0).standard_normal(
+        (60, 8)).astype(np.float32))
+    return serialize_cluster(index, 3)
+
+
+@pytest.fixture(scope="module")
+def metadata_blob() -> bytes:
+    metadata = GlobalMetadata(
+        version=2, dim=8, overflow_capacity_records=4,
+        clusters=[ClusterEntry(100, 50, 0), ClusterEntry(200, 60, 0)],
+        groups=[GroupEntry(160, 4)])
+    return metadata.pack()
+
+
+class TestClusterBlobFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=10_000))
+    def test_truncation_never_crashes(self, blob, cut):
+        truncated = blob[:min(cut, len(blob))]
+        try:
+            index, _ = deserialize_cluster(truncated)
+            index.graph.check_invariants()
+        except ACCEPTABLE:
+            pass
+
+    @settings(max_examples=120, deadline=None)
+    @given(position=st.integers(min_value=0, max_value=10_000),
+           value=st.integers(min_value=0, max_value=255))
+    def test_byte_corruption_never_crashes(self, blob, position, value):
+        corrupted = bytearray(blob)
+        corrupted[position % len(corrupted)] = value
+        try:
+            deserialize_cluster(bytes(corrupted))
+        except ACCEPTABLE:
+            pass
+        except AssertionError:
+            # Invariant checks are not run by deserialize; a flipped
+            # byte may produce a structurally odd but parseable graph.
+            pytest.fail("deserialize_cluster raised AssertionError")
+
+    @settings(max_examples=60, deadline=None)
+    @given(junk=st.binary(min_size=0, max_size=200))
+    def test_random_bytes_never_crash(self, junk):
+        try:
+            deserialize_cluster(junk)
+        except ACCEPTABLE:
+            pass
+
+
+class TestMetadataFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=500))
+    def test_truncation_never_crashes(self, metadata_blob, cut):
+        try:
+            GlobalMetadata.unpack(metadata_blob[:min(cut,
+                                                     len(metadata_blob))])
+        except ACCEPTABLE:
+            pass
+
+    @settings(max_examples=120, deadline=None)
+    @given(position=st.integers(min_value=0, max_value=500),
+           value=st.integers(min_value=0, max_value=255))
+    def test_byte_corruption_never_crashes(self, metadata_blob, position,
+                                           value):
+        corrupted = bytearray(metadata_blob)
+        corrupted[position % len(corrupted)] = value
+        try:
+            GlobalMetadata.unpack(bytes(corrupted))
+        except ACCEPTABLE:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(junk=st.binary(min_size=0, max_size=100))
+    def test_random_bytes_never_crash(self, junk):
+        try:
+            GlobalMetadata.unpack(junk)
+        except ACCEPTABLE:
+            pass

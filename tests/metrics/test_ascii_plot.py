@@ -1,0 +1,65 @@
+"""ASCII plot rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.ascii_plot import ascii_plot
+
+
+@pytest.fixture()
+def two_series():
+    return {
+        "fast": [(0.5, 10.0), (0.8, 20.0), (0.9, 40.0)],
+        "slow": [(0.5, 1000.0), (0.8, 2000.0), (0.9, 4000.0)],
+    }
+
+
+def test_contains_markers_and_legend(two_series):
+    plot = ascii_plot(two_series, x_label="recall", y_label="latency")
+    assert "o" in plot and "x" in plot
+    assert "o=fast" in plot and "x=slow" in plot
+    assert "x: recall" in plot and "y: latency" in plot
+
+
+def test_log_axis_noted(two_series):
+    plot = ascii_plot(two_series, log_y=True)
+    assert "(log)" in plot
+
+
+def test_log_axis_separates_series(two_series):
+    """On a log axis the slow series must sit strictly above the fast
+    one: the fast markers appear in lower rows."""
+    plot = ascii_plot(two_series, log_y=True)
+    lines = plot.splitlines()
+    first_slow = next(i for i, line in enumerate(lines) if "x" in line)
+    first_fast = next(i for i, line in enumerate(lines) if "o" in line)
+    assert first_slow < first_fast  # earlier line == higher y
+
+
+def test_log_rejects_nonpositive():
+    with pytest.raises(ValueError, match="positive"):
+        ascii_plot({"bad": [(0.1, 0.0)]}, log_y=True)
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError, match="nothing"):
+        ascii_plot({})
+
+
+def test_tiny_canvas_rejected(two_series):
+    with pytest.raises(ValueError, match="legible"):
+        ascii_plot(two_series, width=5, height=2)
+
+
+def test_single_point_does_not_crash():
+    plot = ascii_plot({"one": [(1.0, 1.0)]})
+    assert "o" in plot
+
+
+def test_dimensions(two_series):
+    plot = ascii_plot(two_series, width=40, height=10)
+    lines = plot.splitlines()
+    # height rows + axis + ticks + labels + legend
+    assert len(lines) == 10 + 4
+    assert all(len(line) <= 9 + 2 + 40 + 4 for line in lines[:10])

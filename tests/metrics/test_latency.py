@@ -1,0 +1,45 @@
+"""Latency breakdown arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.latency import LatencyBreakdown
+
+
+def test_total_sums_buckets():
+    breakdown = LatencyBreakdown(network_us=10.0, sub_hnsw_us=5.0,
+                                 meta_hnsw_us=1.0)
+    assert breakdown.total_us == pytest.approx(16.0)
+
+
+def test_add_accumulates():
+    left = LatencyBreakdown(1.0, 2.0, 3.0)
+    left.add(LatencyBreakdown(10.0, 20.0, 30.0))
+    assert left.network_us == pytest.approx(11.0)
+    assert left.sub_hnsw_us == pytest.approx(22.0)
+    assert left.meta_hnsw_us == pytest.approx(33.0)
+
+
+def test_scaled_returns_copy():
+    original = LatencyBreakdown(10.0, 20.0, 30.0)
+    half = original.scaled(0.5)
+    assert half.network_us == pytest.approx(5.0)
+    assert original.network_us == pytest.approx(10.0)
+
+
+def test_scaled_rejects_negative():
+    with pytest.raises(ValueError):
+        LatencyBreakdown().scaled(-1.0)
+
+
+def test_as_dict_keys():
+    data = LatencyBreakdown(1.0, 2.0, 3.0).as_dict()
+    assert set(data) == {"network_us", "sub_hnsw_us", "meta_hnsw_us",
+                         "total_us"}
+    assert data["total_us"] == pytest.approx(6.0)
+
+
+def test_str_mentions_buckets():
+    text = str(LatencyBreakdown(1.0, 2.0, 3.0))
+    assert "network" in text and "sub-HNSW" in text and "meta-HNSW" in text

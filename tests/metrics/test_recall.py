@@ -1,0 +1,58 @@
+"""Recall@k measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.recall import per_query_recall, recall_at_k
+
+GT = np.array([[0, 1, 2], [3, 4, 5]])
+
+
+def test_perfect_recall():
+    assert recall_at_k([[0, 1, 2], [3, 4, 5]], GT, 3) == 1.0
+
+
+def test_order_within_topk_irrelevant():
+    assert recall_at_k([[2, 0, 1], [5, 3, 4]], GT, 3) == 1.0
+
+
+def test_partial_recall():
+    result = recall_at_k([[0, 9, 9], [3, 4, 9]], GT, 3)
+    assert result == pytest.approx((1 / 3 + 2 / 3) / 2)
+
+
+def test_zero_recall():
+    assert recall_at_k([[7, 8, 9], [7, 8, 9]], GT, 3) == 0.0
+
+
+def test_k_smaller_than_gt_depth():
+    # Only the first k columns of ground truth count.
+    assert recall_at_k([[0], [3]], GT, 1) == 1.0
+    assert recall_at_k([[1], [4]], GT, 1) == 0.0
+
+
+def test_short_result_lists_penalized():
+    result = per_query_recall([[0], [3, 4, 5]], GT, 3)
+    assert result[0] == pytest.approx(1 / 3)
+    assert result[1] == 1.0
+
+
+def test_extra_results_beyond_k_ignored():
+    assert recall_at_k([[0, 1, 2, 9, 9], [3, 4, 5, 9, 9]], GT, 3) == 1.0
+
+
+def test_count_mismatch_rejected():
+    with pytest.raises(ValueError, match="result lists"):
+        recall_at_k([[0]], GT, 1)
+
+
+def test_k_deeper_than_gt_rejected():
+    with pytest.raises(ValueError, match="depth"):
+        recall_at_k([[0], [3]], GT, 5)
+
+
+def test_k_validation():
+    with pytest.raises(ValueError):
+        recall_at_k([[0], [3]], GT, 0)

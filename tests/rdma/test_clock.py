@@ -1,0 +1,48 @@
+"""SimClock semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdma.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now_us == 0.0
+
+
+def test_custom_start():
+    assert SimClock(10.5).now_us == 10.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(2.0)
+    clock.advance(3.5)
+    assert clock.now_us == pytest.approx(5.5)
+
+
+def test_advance_returns_new_time():
+    clock = SimClock(1.0)
+    assert clock.advance(4.0) == pytest.approx(5.0)
+
+
+def test_negative_advance_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError, match="negative"):
+        clock.advance(-0.1)
+
+
+def test_zero_advance_allowed():
+    clock = SimClock()
+    clock.advance(0.0)
+    assert clock.now_us == 0.0
+
+
+def test_repr_shows_time():
+    assert "SimClock" in repr(SimClock(3.0))

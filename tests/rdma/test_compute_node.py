@@ -1,0 +1,76 @@
+"""Compute-instance DRAM budget and compute-time charging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rdma import ComputeNode, CostModel, MemoryNode
+
+
+@pytest.fixture()
+def node() -> ComputeNode:
+    return ComputeNode(MemoryNode(), CostModel(), dram_budget_bytes=1000)
+
+
+class TestDramAccounting:
+    def test_initially_empty(self, node):
+        assert node.dram_used_bytes == 0
+        assert node.dram_free_bytes == 1000
+
+    def test_reserve_and_release(self, node):
+        assert node.reserve_dram(400)
+        assert node.dram_free_bytes == 600
+        node.release_dram(150)
+        assert node.dram_used_bytes == 250
+
+    def test_over_reservation_refused_not_raised(self, node):
+        assert node.reserve_dram(900)
+        assert not node.reserve_dram(200)
+        assert node.dram_used_bytes == 900  # refused reserve changed nothing
+
+    def test_exact_fit_allowed(self, node):
+        assert node.reserve_dram(1000)
+        assert node.dram_free_bytes == 0
+
+    def test_release_more_than_reserved(self, node):
+        node.reserve_dram(10)
+        with pytest.raises(ValueError, match="releasing"):
+            node.release_dram(11)
+
+    def test_negative_amounts_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.reserve_dram(-1)
+        with pytest.raises(ValueError):
+            node.release_dram(-1)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            ComputeNode(MemoryNode(), CostModel(), dram_budget_bytes=0)
+
+
+class TestComputeCharging:
+    def test_charge_compute_advances_clock(self, node):
+        elapsed = node.charge_compute(100, 128)
+        assert elapsed > 0
+        assert node.clock.now_us == pytest.approx(elapsed)
+        assert node.compute_time_us == pytest.approx(elapsed)
+
+    def test_charge_time_accumulates(self, node):
+        node.charge_time(5.0)
+        node.charge_time(2.5)
+        assert node.compute_time_us == pytest.approx(7.5)
+
+    def test_qp_ready_out_of_the_box(self, node):
+        region = node.qp.memory_node.register(64)
+        node.qp.post_write(region.rkey, region.base_addr, b"ok")
+        assert node.qp.post_read(region.rkey, region.base_addr, 2) == b"ok"
+
+    def test_network_and_compute_tracked_separately(self, node):
+        region = node.qp.memory_node.register(64)
+        node.qp.post_read(region.rkey, region.base_addr, 8)
+        node.charge_compute(10, 16)
+        assert node.stats.network_time_us > 0
+        assert node.compute_time_us > 0
+        assert node.clock.now_us == pytest.approx(
+            node.stats.network_time_us + node.compute_time_us)

@@ -1,0 +1,105 @@
+"""Control-path RPC: the memory daemon and its compute-side stub."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.rdma import CostModel, MemoryNode, SimClock
+from repro.rdma.control import ControlClient, MemoryDaemon, RpcError
+
+
+@pytest.fixture()
+def setup():
+    node = MemoryNode("mem-a")
+    daemon = MemoryDaemon(node)
+    clock = SimClock()
+    client = ControlClient(daemon, clock, CostModel())
+    return node, daemon, clock, client
+
+
+class TestOps:
+    def test_ping(self, setup):
+        _, _, _, client = setup
+        assert client.ping() == "mem-a"
+
+    def test_alloc_region_registers(self, setup):
+        node, _, _, client = setup
+        rkey, base_addr, length = client.alloc_region(4096)
+        region = node.get_region(rkey)
+        assert (region.base_addr, region.length) == (base_addr, length)
+        assert length == 4096
+
+    def test_region_info_roundtrip(self, setup):
+        _, _, _, client = setup
+        rkey, base_addr, length = client.alloc_region(1024)
+        assert client.region_info(rkey) == (base_addr, length)
+
+    def test_dereg_region(self, setup):
+        node, _, _, client = setup
+        rkey, _, _ = client.alloc_region(64)
+        client.dereg_region(rkey)
+        with pytest.raises(RpcError, match="unknown rkey"):
+            client.region_info(rkey)
+
+    def test_stats_op(self, setup):
+        _, _, _, client = setup
+        client.alloc_region(100)
+        result = client.call("stats")
+        assert result["registered_bytes"] == 100
+
+
+class TestErrorHandling:
+    def test_unknown_op_is_rpc_error(self, setup):
+        _, _, _, client = setup
+        with pytest.raises(RpcError, match="unknown op"):
+            client.call("format_disk")
+
+    def test_malformed_request_handled_server_side(self, setup):
+        _, daemon, _, _ = setup
+        reply = json.loads(daemon.handle(b"\xff\xfe not json"))
+        assert reply["ok"] is False
+        assert "malformed" in reply["error"]
+
+    def test_invalid_alloc_is_rpc_error(self, setup):
+        _, _, _, client = setup
+        with pytest.raises(RpcError):
+            client.alloc_region(0)
+
+    def test_errors_do_not_crash_daemon(self, setup):
+        _, daemon, _, client = setup
+        with pytest.raises(RpcError):
+            client.call("nope")
+        assert client.ping() == "mem-a"
+        assert daemon.requests_served == 2
+
+
+class TestAccounting:
+    def test_client_time_and_traffic_charged(self, setup):
+        _, _, clock, client = setup
+        client.ping()
+        assert clock.now_us > 0
+        assert client.stats.requests == 1
+        assert client.stats.bytes_sent > 0
+        assert client.stats.bytes_received > 0
+        assert client.stats.time_us == pytest.approx(clock.now_us)
+
+    def test_server_cpu_tracked(self, setup):
+        _, daemon, _, client = setup
+        client.ping()
+        client.ping()
+        assert daemon.requests_served == 2
+        assert daemon.cpu_time_us > 0
+
+
+class TestIntegrationWithDeployment:
+    def test_builder_registers_via_daemon(self, built_deployment):
+        layout = built_deployment.layout
+        assert layout.daemon is not None
+        assert layout.daemon.requests_served >= 1
+
+    def test_client_verifies_region_at_startup(self, built_deployment):
+        client = built_deployment.client(0)
+        assert client.control is not None
+        assert client.control.stats.requests >= 1

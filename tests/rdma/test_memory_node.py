@@ -1,0 +1,139 @@
+"""Registered regions, protection checks, and 8-byte atomics."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.rdma.memory_node import MemoryNode
+
+
+@pytest.fixture()
+def node() -> MemoryNode:
+    return MemoryNode("test-mem")
+
+
+class TestRegistration:
+    def test_register_returns_distinct_keys(self, node):
+        first = node.register(100)
+        second = node.register(100)
+        assert first.rkey != second.rkey
+
+    def test_regions_do_not_overlap(self, node):
+        first = node.register(5000)
+        second = node.register(5000)
+        assert (first.base_addr + first.length <= second.base_addr
+                or second.base_addr + second.length <= first.base_addr)
+
+    def test_zero_length_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.register(0)
+
+    def test_registered_bytes_tracks_total(self, node):
+        node.register(100)
+        node.register(200)
+        assert node.registered_bytes == 300
+
+    def test_deregister_blocks_access(self, node):
+        region = node.register(64)
+        node.deregister(region.rkey)
+        with pytest.raises(ProtectionError):
+            node.read(region.rkey, region.base_addr, 8)
+
+    def test_deregister_unknown_key(self, node):
+        with pytest.raises(ProtectionError):
+            node.deregister(999)
+
+
+class TestReadWrite:
+    def test_roundtrip(self, node):
+        region = node.register(32)
+        node.write(region.rkey, region.base_addr + 4, b"hello")
+        assert node.read(region.rkey, region.base_addr + 4, 5) == b"hello"
+
+    def test_fresh_region_zeroed(self, node):
+        region = node.register(16)
+        assert node.read(region.rkey, region.base_addr, 16) == bytes(16)
+
+    def test_read_past_end_rejected(self, node):
+        region = node.register(16)
+        with pytest.raises(ProtectionError) as excinfo:
+            node.read(region.rkey, region.base_addr + 10, 8)
+        assert excinfo.value.addr == region.base_addr + 10
+
+    def test_read_before_start_rejected(self, node):
+        region = node.register(16)
+        with pytest.raises(ProtectionError):
+            node.read(region.rkey, region.base_addr - 1, 4)
+
+    def test_unknown_rkey_rejected(self, node):
+        node.register(16)
+        with pytest.raises(ProtectionError, match="unknown rkey"):
+            node.read(424242, 0, 1)
+
+    def test_negative_length_rejected(self, node):
+        region = node.register(16)
+        with pytest.raises(ProtectionError, match="negative"):
+            node.read(region.rkey, region.base_addr, -4)
+
+    def test_write_respects_bounds(self, node):
+        region = node.register(8)
+        with pytest.raises(ProtectionError):
+            node.write(region.rkey, region.base_addr + 4, b"too long")
+
+    def test_guard_gap_between_regions(self, node):
+        first = node.register(10)
+        node.register(10)
+        # Reading just past the first region must fail even though the
+        # second region exists nearby.
+        with pytest.raises(ProtectionError):
+            node.read(first.rkey, first.base_addr + 10, 1)
+
+
+class TestAtomics:
+    def test_faa_returns_prior_and_adds(self, node):
+        region = node.register(16)
+        addr = region.base_addr
+        assert node.fetch_and_add(region.rkey, addr, 5) == 0
+        assert node.fetch_and_add(region.rkey, addr, 3) == 5
+        (value,) = struct.unpack("<Q", node.read(region.rkey, addr, 8))
+        assert value == 8
+
+    def test_faa_negative_delta_wraps_u64(self, node):
+        region = node.register(16)
+        addr = region.base_addr
+        node.fetch_and_add(region.rkey, addr, 1)
+        assert node.fetch_and_add(region.rkey, addr, -1) == 1
+        (value,) = struct.unpack("<Q", node.read(region.rkey, addr, 8))
+        assert value == 0
+
+    def test_cas_success(self, node):
+        region = node.register(16)
+        addr = region.base_addr
+        assert node.compare_and_swap(region.rkey, addr, 0, 42) == 0
+        (value,) = struct.unpack("<Q", node.read(region.rkey, addr, 8))
+        assert value == 42
+
+    def test_cas_failure_leaves_value(self, node):
+        region = node.register(16)
+        addr = region.base_addr
+        node.compare_and_swap(region.rkey, addr, 0, 42)
+        observed = node.compare_and_swap(region.rkey, addr, 0, 99)
+        assert observed == 42
+        (value,) = struct.unpack("<Q", node.read(region.rkey, addr, 8))
+        assert value == 42
+
+    def test_unaligned_atomic_rejected(self, node):
+        region = node.register(32)
+        with pytest.raises(ProtectionError, match="unaligned"):
+            node.fetch_and_add(region.rkey, region.base_addr + 3, 1)
+
+    def test_atomic_bounds_checked(self, node):
+        region = node.register(8)
+        # Last aligned slot inside the region works ...
+        node.fetch_and_add(region.rkey, region.base_addr, 1)
+        # ... the next one does not.
+        with pytest.raises(ProtectionError):
+            node.fetch_and_add(region.rkey, region.base_addr + 8, 1)

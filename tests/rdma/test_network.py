@@ -1,0 +1,120 @@
+"""Cost-model arithmetic: the foundation of every latency number."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.rdma.network import CostModel
+
+
+@pytest.fixture()
+def model() -> CostModel:
+    return CostModel(base_rtt_us=2.0, bandwidth_gbps=100.0,
+                     pcie_us_per_wqe=0.3, doorbell_limit=4,
+                     doorbell_split_penalty_us=1.0)
+
+
+class TestBasics:
+    def test_bytes_per_us(self, model):
+        # 100 Gb/s = 12.5 GB/s = 12500 bytes/us.
+        assert model.bytes_per_us == pytest.approx(12500.0)
+
+    def test_read_time_includes_all_terms(self, model):
+        assert model.read_us(12500) == pytest.approx(2.0 + 0.3 + 1.0)
+
+    def test_zero_byte_read_is_rtt_plus_pcie(self, model):
+        assert model.read_us(0) == pytest.approx(2.3)
+
+    def test_write_equals_read(self, model):
+        assert model.write_us(5000) == model.read_us(5000)
+
+    def test_atomic_time(self, model):
+        assert model.atomic_us() == pytest.approx(2.3)
+
+    def test_negative_bytes_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.transfer_us(-1)
+
+
+class TestDoorbell:
+    def test_rings_ceiling(self, model):
+        assert model.doorbell_rings(1) == 1
+        assert model.doorbell_rings(4) == 1
+        assert model.doorbell_rings(5) == 2
+        assert model.doorbell_rings(9) == 3
+
+    def test_rings_rejects_nonpositive(self, model):
+        with pytest.raises(ValueError):
+            model.doorbell_rings(0)
+
+    def test_empty_batch_is_free(self, model):
+        assert model.doorbell_read_us([]) == 0.0
+
+    def test_single_ring_cost(self, model):
+        # 3 WQEs of 12500 B: 1 RTT + 3 PCIe + 3 us transfer.
+        expected = 2.0 + 3 * 0.3 + 3.0
+        assert model.doorbell_read_us([12500] * 3) == pytest.approx(expected)
+
+    def test_split_batch_pays_penalty(self, model):
+        # 5 WQEs with limit 4: 2 rings -> 2 RTTs + 1 split penalty.
+        cost = model.doorbell_read_us([0] * 5)
+        assert cost == pytest.approx(2 * 2.0 + 1.0 + 5 * 0.3)
+
+    def test_doorbell_beats_individual_reads(self, model):
+        sizes = [10_000] * 4
+        individual = sum(model.read_us(size) for size in sizes)
+        assert model.doorbell_read_us(sizes) < individual
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=1_000_000),
+                          min_size=1, max_size=40))
+    def test_doorbell_never_beats_pure_payload(self, sizes):
+        model = CostModel(doorbell_limit=4)
+        assert model.doorbell_read_us(sizes) >= model.transfer_us(sum(sizes))
+
+
+class TestCompute:
+    def test_linear_in_count_and_dim(self, model):
+        one = model.compute_us(1, 128)
+        assert model.compute_us(10, 128) == pytest.approx(10 * one)
+        assert model.compute_us(1, 256) > one
+
+    def test_zero_distances_free(self, model):
+        assert model.compute_us(0, 128) == 0.0
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.compute_us(-1, 4)
+
+    def test_deserialize_scales_with_bytes(self, model):
+        assert model.deserialize_us(2048) == pytest.approx(
+            2 * model.deserialize_us(1024))
+        with pytest.raises(ValueError):
+            model.deserialize_us(-1)
+
+
+class TestSharedBy:
+    def test_fair_share_divides_bandwidth(self, model):
+        shared = model.shared_by(4)
+        assert shared.bandwidth_gbps == pytest.approx(25.0)
+        assert shared.base_rtt_us == model.base_rtt_us
+
+    def test_one_sharer_is_identity(self, model):
+        assert model.shared_by(1) == model
+
+    def test_invalid_sharers(self, model):
+        with pytest.raises(ConfigError):
+            model.shared_by(0)
+
+
+class TestValidation:
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(base_rtt_us=-1.0)
+
+    def test_zero_doorbell_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(doorbell_limit=0)

@@ -1,0 +1,139 @@
+"""Queue-pair verbs: state machine, time charging, stats recording."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QpStateError
+from repro.rdma import (
+    CostModel,
+    MemoryNode,
+    QpState,
+    QueuePair,
+    ReadDescriptor,
+    SimClock,
+)
+
+
+@pytest.fixture()
+def setup():
+    node = MemoryNode()
+    region = node.register(4096)
+    clock = SimClock()
+    qp = QueuePair(node, clock, CostModel(doorbell_limit=4))
+    qp.connect()
+    return node, region, clock, qp
+
+
+class TestStateMachine:
+    def test_verb_before_connect_rejected(self):
+        node = MemoryNode()
+        region = node.register(64)
+        qp = QueuePair(node, SimClock(), CostModel())
+        with pytest.raises(QpStateError):
+            qp.post_read(region.rkey, region.base_addr, 8)
+
+    def test_verb_after_close_rejected(self, setup):
+        _, region, _, qp = setup
+        qp.close()
+        with pytest.raises(QpStateError):
+            qp.post_read(region.rkey, region.base_addr, 8)
+
+    def test_reconnect_after_close_rejected(self, setup):
+        _, _, _, qp = setup
+        qp.close()
+        with pytest.raises(QpStateError):
+            qp.connect()
+
+    def test_states_transition(self):
+        qp = QueuePair(MemoryNode(), SimClock(), CostModel())
+        assert qp.state is QpState.RESET
+        qp.connect()
+        assert qp.state is QpState.READY
+        qp.close()
+        assert qp.state is QpState.CLOSED
+
+
+class TestVerbs:
+    def test_write_then_read(self, setup):
+        _, region, _, qp = setup
+        qp.post_write(region.rkey, region.base_addr, b"abcdef")
+        assert qp.post_read(region.rkey, region.base_addr, 6) == b"abcdef"
+
+    def test_read_advances_clock(self, setup):
+        _, region, clock, qp = setup
+        model = qp.cost_model
+        qp.post_read(region.rkey, region.base_addr, 1000)
+        assert clock.now_us == pytest.approx(model.read_us(1000))
+
+    def test_faa_roundtrip(self, setup):
+        _, region, _, qp = setup
+        assert qp.post_faa(region.rkey, region.base_addr, 7) == 0
+        assert qp.post_faa(region.rkey, region.base_addr, 1) == 7
+
+    def test_cas_roundtrip(self, setup):
+        _, region, _, qp = setup
+        assert qp.post_cas(region.rkey, region.base_addr, 0, 5) == 0
+        assert qp.post_cas(region.rkey, region.base_addr, 5, 9) == 5
+
+    def test_stats_record_each_verb(self, setup):
+        _, region, _, qp = setup
+        qp.post_write(region.rkey, region.base_addr, b"xy")
+        qp.post_read(region.rkey, region.base_addr, 2)
+        qp.post_faa(region.rkey, region.base_addr + 8, 1)
+        stats = qp.stats
+        assert stats.write_ops == 1
+        assert stats.read_ops == 1
+        assert stats.atomic_ops == 1
+        assert stats.round_trips == 3
+        assert stats.bytes_written == 2
+        assert stats.bytes_read == 2
+        assert stats.network_time_us > 0
+
+
+class TestDoorbellBatch:
+    def test_returns_payloads_in_order(self, setup):
+        _, region, _, qp = setup
+        qp.post_write(region.rkey, region.base_addr, b"AA")
+        qp.post_write(region.rkey, region.base_addr + 100, b"BB")
+        payloads = qp.post_read_batch([
+            ReadDescriptor(region.rkey, region.base_addr, 2),
+            ReadDescriptor(region.rkey, region.base_addr + 100, 2),
+        ])
+        assert payloads == [b"AA", b"BB"]
+
+    def test_empty_batch_noop(self, setup):
+        _, _, clock, qp = setup
+        assert qp.post_read_batch([]) == []
+        assert clock.now_us == 0.0
+        assert qp.stats.round_trips == 0
+
+    def test_one_ring_counts_one_round_trip(self, setup):
+        _, region, _, qp = setup
+        descriptors = [ReadDescriptor(region.rkey, region.base_addr + i, 1)
+                       for i in range(4)]  # limit is 4
+        qp.post_read_batch(descriptors)
+        assert qp.stats.round_trips == 1
+        assert qp.stats.read_ops == 4
+        assert qp.stats.doorbell_batches == 1
+
+    def test_oversized_batch_splits_rings(self, setup):
+        _, region, _, qp = setup
+        descriptors = [ReadDescriptor(region.rkey, region.base_addr + i, 1)
+                       for i in range(9)]  # limit 4 -> 3 rings
+        qp.post_read_batch(descriptors)
+        assert qp.stats.round_trips == 3
+
+    def test_doorbell_cheaper_than_individual(self, setup):
+        node, region, _, qp = setup
+        descriptors = [ReadDescriptor(region.rkey, region.base_addr + 64 * i,
+                                      64) for i in range(4)]
+        qp.post_read_batch(descriptors)
+        batched_time = qp.stats.network_time_us
+
+        other = QueuePair(node, SimClock(), qp.cost_model)
+        other.connect()
+        for descriptor in descriptors:
+            other.post_read(descriptor.rkey, descriptor.addr,
+                            descriptor.length)
+        assert batched_time < other.stats.network_time_us

@@ -1,0 +1,149 @@
+"""Product quantization: codebooks, ADC, re-ranked search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import exact_knn
+from repro.errors import ConfigError, EmptyIndexError
+from repro.pq import PqCodebook, PqRerankIndex
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((1500, 16)).astype(np.float32)
+    queries = rng.standard_normal((20, 16)).astype(np.float32)
+    return data, queries, exact_knn(data, queries, 10)
+
+
+@pytest.fixture(scope="module")
+def codebook(corpus):
+    data, _, _ = corpus
+    book = PqCodebook(16, num_subspaces=4, bits=6, seed=1)
+    book.train(data)
+    return book
+
+
+class TestCodebook:
+    def test_construction_validation(self):
+        with pytest.raises(ConfigError, match="divide"):
+            PqCodebook(10, num_subspaces=3)
+        with pytest.raises(ConfigError, match="bits"):
+            PqCodebook(8, num_subspaces=2, bits=9)
+
+    def test_untrained_rejects_encode(self):
+        book = PqCodebook(8, num_subspaces=2, bits=4)
+        with pytest.raises(ConfigError, match="not trained"):
+            book.encode(np.zeros((1, 8), dtype=np.float32))
+
+    def test_training_sample_too_small(self):
+        book = PqCodebook(8, num_subspaces=2, bits=8)
+        with pytest.raises(ConfigError, match="training"):
+            book.train(np.zeros((10, 8), dtype=np.float32))
+
+    def test_code_shape_and_range(self, codebook, corpus):
+        data, _, _ = corpus
+        codes = codebook.encode(data[:50])
+        assert codes.shape == (50, 4)
+        assert codes.dtype == np.uint8
+        assert codes.max() < codebook.num_centroids
+
+    def test_code_bytes(self, codebook):
+        assert codebook.code_bytes == 4  # vs 64 B of float32
+
+    def test_reconstruction_beats_zero_baseline(self, codebook, corpus):
+        data, _, _ = corpus
+        error = codebook.quantization_error(data[:200])
+        zero_error = float((data[:200] ** 2).sum(axis=1).mean())
+        assert 0 < error < zero_error / 2
+
+    def test_more_subspaces_less_error(self, corpus):
+        data, _, _ = corpus
+        coarse = PqCodebook(16, num_subspaces=2, bits=6, seed=2)
+        fine = PqCodebook(16, num_subspaces=8, bits=6, seed=2)
+        coarse.train(data)
+        fine.train(data)
+        assert (fine.quantization_error(data[:200])
+                < coarse.quantization_error(data[:200]))
+
+    def test_decode_encode_fixed_point(self, codebook, corpus):
+        """Decoding then re-encoding must be a fixed point: centroids
+        quantize to themselves."""
+        data, _, _ = corpus
+        codes = codebook.encode(data[:30])
+        recoded = codebook.encode(codebook.decode(codes))
+        np.testing.assert_array_equal(codes, recoded)
+
+
+class TestAdc:
+    def test_adc_matches_distance_to_reconstruction(self, codebook,
+                                                    corpus):
+        data, queries, _ = corpus
+        codes = codebook.encode(data[:100])
+        reconstructed = codebook.decode(codes)
+        adc = codebook.adc_distances(queries[0], codes)
+        from repro.hnsw.distance import DistanceKernel
+        exact = DistanceKernel(16).many(queries[0], reconstructed)
+        np.testing.assert_allclose(adc, exact, rtol=1e-3, atol=1e-2)
+
+    def test_adc_table_shape(self, codebook, corpus):
+        _, queries, _ = corpus
+        tables = codebook.adc_tables(queries[0])
+        assert tables.shape == (4, codebook.num_centroids)
+        assert (tables >= 0).all()
+
+
+class TestPqRerankIndex:
+    @pytest.fixture(scope="class")
+    def index(self, codebook, corpus):
+        data, _, _ = corpus
+        built = PqRerankIndex(codebook)
+        built.add(data)
+        return built
+
+    def test_requires_trained_codebook(self):
+        with pytest.raises(ConfigError):
+            PqRerankIndex(PqCodebook(8, num_subspaces=2, bits=4))
+
+    def test_reranked_recall_beats_pure_adc(self, index, corpus):
+        _, queries, truth = corpus
+
+        def recall(rerank):
+            hits = 0
+            for row, query in enumerate(queries):
+                labels, _ = index.search(query, 10, rerank=rerank)
+                hits += len(set(labels.tolist())
+                            & set(truth[row].tolist()))
+            return hits / 200
+
+        assert recall(100) > recall(0)
+        assert recall(100) >= 0.85
+
+    def test_compression_ratio(self, index):
+        # 4 code bytes vs 64 float bytes per vector: 16x.
+        assert index.full_bytes / index.compressed_bytes == 16.0
+
+    def test_rerank_zero_uses_no_exact_distances(self, index, corpus):
+        _, queries, _ = corpus
+        index.reset_compute_counter()
+        index.search(queries[0], 5, rerank=0)
+        assert index.compute_count == 0
+
+    def test_rerank_bounds_exact_work(self, index, corpus):
+        _, queries, _ = corpus
+        index.reset_compute_counter()
+        index.search(queries[0], 5, rerank=37)
+        assert index.compute_count == 37
+
+    def test_empty_index(self, codebook):
+        with pytest.raises(EmptyIndexError):
+            PqRerankIndex(codebook).search(np.zeros(16), 1)
+
+    def test_custom_labels(self, codebook, corpus):
+        data, _, _ = corpus
+        built = PqRerankIndex(codebook)
+        built.add(data[:10], labels=range(700, 710))
+        labels, _ = built.search(data[3], 1)
+        assert labels[0] == 703

@@ -1,0 +1,142 @@
+"""Trace record/replay: JSONL round-trip and client driving."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.replay import ReplayResult, TraceOp, TraceWriter, read_trace, replay
+
+
+class TestTraceOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            TraceOp(kind="update", vector=np.zeros(2))
+
+    def test_insert_requires_gid(self):
+        with pytest.raises(ValueError, match="global_id"):
+            TraceOp(kind="insert", vector=np.zeros(2))
+
+
+class TestFileRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        with TraceWriter(path) as trace:
+            trace.search([1.0, 2.0], k=5, ef_search=7)
+            trace.insert([3.0, 4.0], global_id=42)
+            trace.delete([5.0, 6.0], global_id=42)
+        ops = list(read_trace(path))
+        assert [op.kind for op in ops] == ["search", "insert", "delete"]
+        assert ops[0].k == 5 and ops[0].ef_search == 7
+        assert ops[1].global_id == 42
+        np.testing.assert_array_equal(ops[2].vector,
+                                      np.array([5.0, 6.0],
+                                               dtype=np.float32))
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        with TraceWriter(path) as trace:
+            trace.search([1.0], k=1)
+        with TraceWriter(path) as trace:
+            trace.search([2.0], k=1)
+        assert len(list(read_trace(path))) == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        path.write_text('{"kind": "search", "vector": [1.0]}\n\n')
+        assert len(list(read_trace(path))) == 1
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        path.write_text('{"kind": "search", "vector": [1.0]}\nnot json\n')
+        with pytest.raises(SerializationError, match=":2:"):
+            list(read_trace(path))
+
+
+class TestReplay:
+    class FakeClient:
+        """Minimal client double that records calls."""
+
+        def __init__(self):
+            self.batches = []
+            self.inserted = []
+            self.deleted = []
+
+        def search_batch(self, queries, k, ef_search=None):
+            import dataclasses
+
+            self.batches.append((queries.shape[0], k, ef_search))
+
+            @dataclasses.dataclass
+            class Result:
+                ids: np.ndarray
+
+            @dataclasses.dataclass
+            class Batch:
+                results: list
+
+            return Batch(results=[Result(ids=np.arange(k))
+                                  for _ in range(queries.shape[0])])
+
+        def insert(self, vector, gid):
+            self.inserted.append(gid)
+            return type("Report", (), {"triggered_rebuild": False})()
+
+        def delete(self, vector, gid):
+            self.deleted.append(gid)
+            return type("Report", (), {"triggered_rebuild": True})()
+
+    def test_consecutive_searches_batch_together(self):
+        client = self.FakeClient()
+        ops = [TraceOp("search", np.zeros(2), k=3, ef_search=8)
+               for _ in range(5)]
+        result = replay(client, ops)
+        assert client.batches == [(5, 3, 8)]
+        assert result.searches == 5
+        assert result.search_batches == 1
+        assert result.total_results == 15
+
+    def test_parameter_change_splits_batch(self):
+        client = self.FakeClient()
+        ops = [TraceOp("search", np.zeros(2), k=3, ef_search=8),
+               TraceOp("search", np.zeros(2), k=3, ef_search=16)]
+        replay(client, ops)
+        assert client.batches == [(1, 3, 8), (1, 3, 16)]
+
+    def test_mutations_flush_search_run(self):
+        client = self.FakeClient()
+        ops = [TraceOp("search", np.zeros(2)),
+               TraceOp("insert", np.zeros(2), global_id=1),
+               TraceOp("search", np.zeros(2)),
+               TraceOp("delete", np.zeros(2), global_id=1)]
+        result = replay(client, ops)
+        assert len(client.batches) == 2
+        assert client.inserted == [1]
+        assert client.deleted == [1]
+        assert result.operations == 4
+        assert result.rebuilds == 1
+
+    def test_empty_trace(self):
+        assert replay(self.FakeClient(), []).operations == 0
+
+
+class TestReplayAgainstRealClient:
+    def test_end_to_end_trace(self, tmp_path, mutable_deployment,
+                              small_dataset):
+        path = tmp_path / "real.jsonl"
+        with TraceWriter(path) as trace:
+            for query in small_dataset.queries[:4]:
+                trace.search(query, k=3, ef_search=16)
+            trace.insert(small_dataset.queries[0], global_id=77_000)
+            trace.search(small_dataset.queries[0], k=1, ef_search=16)
+            trace.delete(small_dataset.queries[0], global_id=77_000)
+
+        client = mutable_deployment.client(0)
+        result = replay(client, read_trace(path))
+        assert result == ReplayResult(searches=5, inserts=1, deletes=1,
+                                      search_batches=2, rebuilds=0,
+                                      total_results=13)
+        # Net effect of insert+delete: the id is gone.
+        final = client.search(small_dataset.queries[0], 1, ef_search=32)
+        assert final.ids[0] != 77_000

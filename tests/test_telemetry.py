@@ -1,0 +1,93 @@
+"""Telemetry snapshots and the operator report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    CacheTelemetry,
+    ClientTelemetry,
+    DeploymentTelemetry,
+    render_report,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot(built_deployment, small_dataset):
+    client = built_deployment.client(0)
+    client.search_batch(small_dataset.queries, 5, ef_search=16)
+    client.search_batch(small_dataset.queries, 5, ef_search=16)
+    return DeploymentTelemetry.from_deployment(built_deployment)
+
+
+class TestClientTelemetry:
+    def test_counters_populated(self, snapshot):
+        client = snapshot.clients[0]
+        assert client.round_trips > 0
+        assert client.bytes_read > 0
+        assert client.network_time_us > 0
+        assert client.compute_time_us > 0
+        assert client.metadata_version >= 1
+
+    def test_cache_counters(self, snapshot):
+        cache = snapshot.clients[0].cache
+        assert cache.capacity_clusters >= 1
+        assert cache.resident_clusters <= cache.capacity_clusters
+        assert cache.hits + cache.misses > 0
+        assert 0.0 <= cache.hit_rate <= 1.0
+
+    def test_dram_within_budget(self, snapshot):
+        client = snapshot.clients[0]
+        assert 0 < client.dram_used_bytes <= client.dram_budget_bytes
+
+    def test_control_path_counted(self, snapshot):
+        assert snapshot.clients[0].control_requests >= 1
+
+
+class TestDeploymentTelemetry:
+    def test_memory_pool_numbers(self, snapshot):
+        assert snapshot.registered_bytes >= snapshot.region_capacity_bytes
+        assert snapshot.allocator_live_bytes > 0
+        assert snapshot.num_clusters == 12
+        assert snapshot.num_groups == 6
+
+    def test_daemon_counted(self, snapshot):
+        assert snapshot.daemon_requests >= 1
+        assert snapshot.daemon_cpu_us > 0
+
+    def test_aggregates(self, snapshot):
+        assert snapshot.total_round_trips == sum(
+            client.round_trips for client in snapshot.clients)
+        assert snapshot.total_bytes_read == sum(
+            client.bytes_read for client in snapshot.clients)
+
+
+class TestRenderReport:
+    def test_report_sections(self, snapshot):
+        report = render_report(snapshot)
+        assert "=== memory pool ===" in report
+        assert "=== compute pool ===" in report
+        assert "metadata v1" in report
+
+    def test_report_lists_every_instance(self, snapshot):
+        report = render_report(snapshot)
+        for client in snapshot.clients:
+            assert client.name in report
+
+
+class TestHitRateEdgeCases:
+    def test_zero_lookups(self):
+        cache = CacheTelemetry(capacity_clusters=1, resident_clusters=0,
+                               cached_bytes=0, hits=0, misses=0,
+                               evictions=0, invalidations=0)
+        assert cache.hit_rate == 0.0
+
+    def test_from_client_no_control(self, built_deployment):
+        client = built_deployment.client(0)
+        saved_control = client.control
+        client.control = None
+        try:
+            telemetry = ClientTelemetry.from_client(client)
+            assert telemetry.control_requests == 0
+        finally:
+            client.control = saved_control

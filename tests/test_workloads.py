@@ -1,0 +1,135 @@
+"""Workload generators: shapes, skew, and stream semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    MixedWorkload,
+    OpKind,
+    bursty_topics,
+    uniform_queries,
+    zipfian_queries,
+)
+
+
+@pytest.fixture()
+def corpus():
+    return np.random.default_rng(0).random((200, 8), dtype=np.float32)
+
+
+class TestUniformQueries:
+    def test_shape_and_dtype(self, corpus):
+        queries = uniform_queries(corpus, 50, np.random.default_rng(1))
+        assert queries.shape == (50, 8)
+        assert queries.dtype == np.float32
+
+    def test_zero_noise_yields_corpus_rows(self, corpus):
+        queries = uniform_queries(corpus, 20, np.random.default_rng(1))
+        corpus_set = {row.tobytes() for row in corpus}
+        assert all(query.tobytes() in corpus_set for query in queries)
+
+    def test_noise_perturbs(self, corpus):
+        queries = uniform_queries(corpus, 20, np.random.default_rng(1),
+                                  noise_std=0.1)
+        corpus_set = {row.tobytes() for row in corpus}
+        assert not all(query.tobytes() in corpus_set for query in queries)
+
+    def test_validation(self, corpus):
+        with pytest.raises(ConfigError):
+            uniform_queries(corpus, 0, np.random.default_rng(0))
+
+
+class TestZipfianQueries:
+    def test_skew_concentrates_mass(self, corpus):
+        queries = zipfian_queries(corpus, 2000, np.random.default_rng(2),
+                                  skew=2.0)
+        _, counts = np.unique(queries, axis=0, return_counts=True)
+        top_share = np.sort(counts)[::-1][:5].sum() / 2000
+        assert top_share > 0.5  # top-5 vectors dominate
+
+    def test_stronger_skew_more_concentrated(self, corpus):
+        rng = np.random.default_rng
+        mild = zipfian_queries(corpus, 2000, rng(3), skew=3.0)
+        assert len(np.unique(mild, axis=0)) < 50
+
+    def test_invalid_skew(self, corpus):
+        with pytest.raises(ConfigError):
+            zipfian_queries(corpus, 10, np.random.default_rng(0), skew=1.0)
+
+
+class TestBurstyTopics:
+    def test_yields_requested_batches(self, corpus):
+        batches = list(bursty_topics(corpus, 4, 16,
+                                     np.random.default_rng(4)))
+        assert len(batches) == 4
+        assert all(batch.shape == (16, 8) for batch in batches)
+
+    def test_within_burst_queries_cluster(self, corpus):
+        (batch,) = bursty_topics(corpus, 1, 64, np.random.default_rng(5),
+                                 topics_per_burst=2, noise_std=0.01)
+        # 64 queries around 2 anchors: pairwise spread is bimodal and
+        # small within a topic.
+        from repro.hnsw.distance import pairwise_l2
+        dists = pairwise_l2(batch, batch)
+        near = (dists < 0.1).sum()
+        assert near > 64  # many near-duplicate pairs beyond the diagonal
+
+    def test_validation(self, corpus):
+        with pytest.raises(ConfigError):
+            list(bursty_topics(corpus, 0, 4, np.random.default_rng(0)))
+        with pytest.raises(ConfigError):
+            list(bursty_topics(corpus, 1, 4, np.random.default_rng(0),
+                               topics_per_burst=0))
+
+
+class TestMixedWorkload:
+    def test_write_ratio_respected(self, corpus):
+        stream = MixedWorkload(corpus, write_ratio=0.3,
+                               rng=np.random.default_rng(6),
+                               first_insert_id=1000)
+        ops = stream.take(1000)
+        writes = sum(op.kind is OpKind.INSERT for op in ops)
+        assert 230 <= writes <= 370
+
+    def test_insert_ids_sequential_from_base(self, corpus):
+        stream = MixedWorkload(corpus, write_ratio=1.0,
+                               rng=np.random.default_rng(7),
+                               first_insert_id=500)
+        ops = stream.take(5)
+        assert [op.global_id for op in ops] == [500, 501, 502, 503, 504]
+
+    def test_search_ops_have_no_id(self, corpus):
+        stream = MixedWorkload(corpus, write_ratio=0.0,
+                               rng=np.random.default_rng(8),
+                               first_insert_id=0)
+        ops = stream.take(10)
+        assert all(op.kind is OpKind.SEARCH and op.global_id is None
+                   for op in ops)
+
+    def test_inserted_count_tracked(self, corpus):
+        stream = MixedWorkload(corpus, write_ratio=1.0,
+                               rng=np.random.default_rng(9),
+                               first_insert_id=0)
+        stream.take(7)
+        assert stream.inserted_count == 7
+
+    def test_searches_can_target_inserted_vectors(self, corpus):
+        rng = np.random.default_rng(10)
+        stream = MixedWorkload(corpus, write_ratio=0.5, rng=rng,
+                               first_insert_id=10_000,
+                               insert_noise_std=0.0)
+        stream.take(500)
+        assert stream.inserted_count > 100
+
+    def test_validation(self, corpus):
+        with pytest.raises(ConfigError):
+            MixedWorkload(corpus, write_ratio=1.5,
+                          rng=np.random.default_rng(0), first_insert_id=0)
+        stream = MixedWorkload(corpus, write_ratio=0.5,
+                               rng=np.random.default_rng(0),
+                               first_insert_id=0)
+        with pytest.raises(ConfigError):
+            stream.take(-1)
