@@ -1,0 +1,2 @@
+"""Wall-clock performance harness (not part of the simulated-latency
+benchmarks — see ``benchmarks/perf/bench_search.py``)."""

@@ -47,6 +47,7 @@ class ClusterCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self._cached_bytes = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -57,8 +58,8 @@ class ClusterCache:
 
     @property
     def cached_bytes(self) -> int:
-        """Sum of cached entries' sizes."""
-        return sum(entry.nbytes for entry in self._entries.values())
+        """Sum of cached entries' sizes (a running total, O(1))."""
+        return self._cached_bytes
 
     def get(self, cluster_id: int) -> CachedCluster | None:
         """Look up a cluster, refreshing its recency; counts hit/miss."""
@@ -77,13 +78,16 @@ class ClusterCache:
     def put(self, entry: CachedCluster) -> list[CachedCluster]:
         """Insert (or replace) an entry; returns any evicted entries."""
         evicted = []
-        if entry.cluster_id in self._entries:
-            del self._entries[entry.cluster_id]
+        previous = self._entries.pop(entry.cluster_id, None)
+        if previous is not None:
+            self._cached_bytes -= previous.nbytes
         while len(self._entries) >= self.capacity_clusters:
             _, victim = self._entries.popitem(last=False)
             self.evictions += 1
+            self._cached_bytes -= victim.nbytes
             evicted.append(victim)
         self._entries[entry.cluster_id] = entry
+        self._cached_bytes += entry.nbytes
         return evicted
 
     def pop_lru(self) -> CachedCluster | None:
@@ -92,12 +96,14 @@ class ClusterCache:
             return None
         _, victim = self._entries.popitem(last=False)
         self.evictions += 1
+        self._cached_bytes -= victim.nbytes
         return victim
 
     def invalidate(self, cluster_id: int) -> bool:
         """Drop one entry (stale after a rebuild); True if it was cached."""
-        if cluster_id in self._entries:
-            del self._entries[cluster_id]
+        victim = self._entries.pop(cluster_id, None)
+        if victim is not None:
+            self._cached_bytes -= victim.nbytes
             self.invalidations += 1
             return True
         return False
@@ -106,6 +112,7 @@ class ClusterCache:
         """Drop everything (metadata version change)."""
         self.invalidations += len(self._entries)
         self._entries.clear()
+        self._cached_bytes = 0
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache."""

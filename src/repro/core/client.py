@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import heapq
 import struct
 from typing import Callable
 
@@ -53,6 +54,7 @@ from repro.rdma.qp import ReadDescriptor, WriteDescriptor
 __all__ = ["DHnswClient", "InsertReport"]
 
 _U64 = struct.Struct("<Q")
+_INF = float("inf")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,16 +74,29 @@ class DHnswClient:
                  config: DHnswConfig | None = None,
                  scheme: Scheme = Scheme.DHNSW,
                  cost_model: CostModel | None = None,
-                 name: str = "compute0") -> None:
+                 name: str = "compute0",
+                 compiled_engine: bool = True) -> None:
         self.layout = layout
         self.config = config if config is not None else DHnswConfig()
         self.scheme = scheme
         self.policy: SchemePolicy = policy_for(scheme)
         self.cost_model = (cost_model if cost_model is not None
                            else CostModel())
+        # ``compiled_engine`` selects the wall-clock traversal engine
+        # (bit-identical results either way): the compiled CSR flat graph
+        # with per-cluster query batching, or the reference adjacency-list
+        # path.  The flag exists so ``benchmarks/perf`` can measure both
+        # in one run; production use keeps the default.
+        self.compiled_engine = compiled_engine
         # Each instance caches its own copy of the lightweight meta-HNSW
         # (§3.1: "we cache the lightweight meta-HNSW in the compute pool").
+        # The meta-HNSW is consulted on every query and never mutated, so
+        # compile it to the flat-graph engine once at startup.
         self.meta = copy.deepcopy(meta)
+        if compiled_engine:
+            self.meta.compile()
+        else:
+            self.meta.index.prefer_compiled = False
 
         capacity = self.config.cache_capacity_clusters(
             layout.metadata.num_clusters)
@@ -187,9 +202,8 @@ class DHnswClient:
                 query, self.config.nprobe, self.config.ef_meta,
                 self.config.adaptive_alpha) for query in queries]
         else:
-            required = [self.meta.route(query, self.config.nprobe,
-                                        self.config.ef_meta)
-                        for query in queries]
+            required = self.meta.route_batch(queries, self.config.nprobe,
+                                             self.config.ef_meta)
         meta_evals = self.meta.reset_compute_counter()
         breakdown.meta_hnsw_us += self.node.charge_compute(
             meta_evals, self.meta.dim)
@@ -224,9 +238,13 @@ class DHnswClient:
         # --- finalize ---------------------------------------------------
         results = []
         for per_query in merged:
-            candidates = ((dist, gid) for gid, dist in per_query.items()
-                          if filter_fn is None or filter_fn(gid))
-            top = sorted(candidates)[:k]
+            if filter_fn is None:
+                candidates = [(dist, gid)
+                              for gid, dist in per_query.items()]
+            else:
+                candidates = [(dist, gid) for gid, dist in per_query.items()
+                              if filter_fn(gid)]
+            top = heapq.nsmallest(k, candidates)
             results.append(QueryResult(
                 ids=np.array([gid for _, gid in top], dtype=np.int64),
                 distances=np.array([dist for dist, _ in top],
@@ -284,16 +302,33 @@ class DHnswClient:
                         hit_count += 1
                     entries[cid] = entry
             wave_evals = 0
-            for query_index, cid in wave.serviced:
-                entry = entries.get(cid)
-                if entry is None:
-                    entry = self.cache.peek(cid)
-                if entry is None:
-                    raise LayoutError(
-                        f"planned cluster {cid} missing during wave")
-                wave_evals += self._search_cluster(
-                    entry, queries[query_index], k, ef,
-                    merged[query_index])
+            if self.compiled_engine:
+                # Batched per-cluster execution: run every query headed
+                # for the same cluster together, so overflow replay and
+                # the CSR compilation are amortized across the group.
+                by_cluster: dict[int, list[int]] = {}
+                for query_index, cid in wave.serviced:
+                    by_cluster.setdefault(cid, []).append(query_index)
+                for cid, query_indices in by_cluster.items():
+                    entry = entries.get(cid)
+                    if entry is None:
+                        entry = self.cache.peek(cid)
+                    if entry is None:
+                        raise LayoutError(
+                            f"planned cluster {cid} missing during wave")
+                    wave_evals += self._search_cluster_batch(
+                        entry, queries, query_indices, k, ef, merged)
+            else:
+                for query_index, cid in wave.serviced:
+                    entry = entries.get(cid)
+                    if entry is None:
+                        entry = self.cache.peek(cid)
+                    if entry is None:
+                        raise LayoutError(
+                            f"planned cluster {cid} missing during wave")
+                    wave_evals += self._search_cluster(
+                        entry, queries[query_index], k, ef,
+                        merged[query_index])
             sub_evals += wave_evals
             if self.config.pipeline_waves:
                 fetch_us = self.node.stats.network_time_us - fetch_before
@@ -389,6 +424,9 @@ class DHnswClient:
         blob_start = cluster.blob_offset - extent_offset
         blob = payload[blob_start:blob_start + cluster.blob_length]
         index, parsed_cid = deserialize_cluster(blob, self.config.sub_params)
+        # Sub-HNSWs are frozen after deserialization; bind them to this
+        # client's engine choice so benchmarks can compare both paths.
+        index.prefer_compiled = self.compiled_engine
         if parsed_cid != cluster_id:
             raise LayoutError(
                 f"extent for cluster {cluster_id} contained blob of "
@@ -490,23 +528,54 @@ class DHnswClient:
         filtered out, superseded ids are served from their latest record.
         Returns distance evaluations performed.
         """
+        query = np.atleast_2d(np.asarray(query, dtype=np.float32))
+        return self._search_cluster_batch(entry, query, [0], k, ef,
+                                          [accumulator])
+
+    def _search_cluster_batch(self, entry: CachedCluster,
+                              queries: np.ndarray,
+                              query_indices: list[int], k: int, ef: int,
+                              merged: list[dict[int, float]]) -> int:
+        """Search one cluster for every query in ``query_indices``.
+
+        Semantically identical to calling :meth:`_search_cluster` once per
+        query, but the overflow replay, the live-record matrix, and (on
+        the compiled engine) the CSR compilation are computed once for the
+        whole group rather than per query.  Returns total distance
+        evaluations, which match the per-query path exactly.
+        """
         kernel = entry.index.kernel
         evals_before = kernel.num_evaluations
         state = self._replay_overflow(entry.overflow)
-        if len(entry.index) > 0:
-            for dist, node in entry.index.search_candidates(query, k, ef):
-                gid = entry.index.label_of(node)
-                if gid in state:
-                    continue  # deleted or superseded by an overflow record
-                if dist < accumulator.get(gid, float("inf")):
-                    accumulator[gid] = dist
         live = [record for record in state.values() if record is not None]
-        if live:
-            matrix = np.stack([record.vector for record in live])
-            dists = kernel.many(np.asarray(query, dtype=np.float32), matrix)
-            for record, dist in zip(live, dists.tolist()):
-                if dist < accumulator.get(record.global_id, float("inf")):
-                    accumulator[record.global_id] = float(dist)
+        matrix = np.stack([record.vector for record in live]) if live \
+            else None
+        labels = entry.index.labels
+        if len(entry.index) > 0:
+            candidate_lists = entry.index.search_candidates_batch(
+                queries[query_indices], k, ef)
+        else:
+            candidate_lists = [[] for _ in query_indices]
+        for query_index, candidates in zip(query_indices, candidate_lists):
+            accumulator = merged[query_index]
+            previous_of = accumulator.get
+            if state:
+                for dist, node in candidates:
+                    gid = labels[node]
+                    if gid in state:
+                        continue  # deleted or superseded by overflow
+                    if dist < previous_of(gid, _INF):
+                        accumulator[gid] = dist
+            else:
+                for dist, node in candidates:
+                    gid = labels[node]
+                    if dist < previous_of(gid, _INF):
+                        accumulator[gid] = dist
+            if matrix is not None:
+                dists = kernel.many(queries[query_index], matrix)
+                for record, dist in zip(live, dists.tolist()):
+                    if dist < accumulator.get(record.global_id, _INF):
+                        accumulator[record.global_id] = float(dist)
         return kernel.num_evaluations - evals_before
 
     # ------------------------------------------------------------------

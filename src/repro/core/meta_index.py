@@ -18,6 +18,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.hnsw.index import HnswIndex
 from repro.hnsw.params import HnswParams
+from repro.hnsw.search import knn_from_candidates
 from repro.layout.serializer import serialize_cluster
 
 __all__ = ["MetaHnsw", "sample_representatives"]
@@ -97,6 +98,15 @@ class MetaHnsw:
         return levels
 
     # ------------------------------------------------------------------
+    def compile(self) -> None:
+        """Compile the flat-graph engine up front (client startup).
+
+        The meta-HNSW is consulted on every query and never mutated after
+        construction, so eagerly building its CSR compilation moves the
+        one-time cost out of the first query's latency.
+        """
+        self.index.compiled()
+
     @property
     def num_partitions(self) -> int:
         """One partition per representative."""
@@ -119,6 +129,27 @@ class MetaHnsw:
         nprobe = min(nprobe, self.num_partitions)
         labels, _ = self.index.search(query, nprobe, ef=max(ef, nprobe))
         return [int(x) for x in labels]
+
+    def route_batch(self, queries: np.ndarray, nprobe: int,
+                    ef: int) -> list[list[int]]:
+        """:meth:`route` for every row of ``queries``.
+
+        Routing decisions, distance-evaluation totals, and therefore the
+        simulated meta-HNSW latency are identical to per-query
+        :meth:`route` calls; on the compiled engine the whole batch
+        shares one distance-table computation
+        (:meth:`~repro.hnsw.index.HnswIndex.search_candidates_batch`).
+        """
+        if nprobe < 1:
+            raise ConfigError(f"nprobe must be >= 1, got {nprobe}")
+        nprobe = min(nprobe, self.num_partitions)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        candidate_lists = self.index.search_candidates_batch(
+            queries, nprobe, ef=max(ef, nprobe))
+        labels = self.index.labels
+        return [[int(labels[node])
+                 for _, node in knn_from_candidates(candidates, nprobe)]
+                for candidates in candidate_lists]
 
     def route_with_distances(self, query: np.ndarray, nprobe: int,
                              ef: int) -> tuple[list[int], list[float]]:

@@ -1,0 +1,376 @@
+"""Compiled flat-graph search engine: CSR adjacency + epoch-tagged visits.
+
+The reference traversal (:mod:`repro.hnsw.search`) walks
+``LayeredGraph.adjacency`` — a list of lists of Python lists — and tracks
+visited nodes in a Python ``set``.  That is the right structure *while the
+graph is mutating* (construction inserts edges one at a time), but it is
+the wall-clock bottleneck of every query once the graph is frozen: each
+hop pays list building, set churn, a fancy index driven by a fresh Python
+list, and the full validation prologue of :meth:`DistanceKernel.many`.
+
+:class:`CsrGraph` is an immutable compiled snapshot of a
+:class:`~repro.hnsw.graph.LayeredGraph`:
+
+* per-layer ``indptr`` / ``indices`` int32 CSR arrays plus one contiguous
+  float32 vector matrix — the canonical compiled form, and what the
+  distance gathers run on;
+* a per-node Python mirror of the CSR arrays (``adjacency_py``) so the
+  interpreter-bound hop loop iterates machine ints directly instead of
+  NumPy scalar boxing (NumPy per-element access costs more than the
+  arithmetic it feeds at typical neighbour-list lengths);
+* a :class:`VisitedPool` — hnswlib's VisitedListPool pattern: a reusable
+  tag array whose "visited" marker is an epoch counter bumped per query,
+  so no per-query allocation survives steady state.
+
+Two traversal engines share those structures:
+
+* :func:`greedy_descent` / :func:`search_layer` — drop-in twins of the
+  reference routines that batch each hop's distance evaluations through
+  :meth:`DistanceKernel.many_prechecked`.  They work for every metric and
+  any graph size.
+* :func:`greedy_descent_table` / :func:`search_layer_table` — the small-
+  graph fast path that dominates d-HNSW query serving, where every
+  sub-HNSW holds a few hundred nodes.  One *uncounted* einsum
+  (:meth:`DistanceKernel.l2_table`) evaluates the query against the whole
+  cluster up front; the hop loop then runs on plain Python floats with no
+  per-hop NumPy dispatch at all.  Evaluations are credited to the kernel
+  exactly as the traversal visits nodes, so counters match the reference
+  hop-by-hop arithmetic.  Bitwise safety: NumPy's last-axis einsum
+  reduction is row-independent, so the full-corpus table rows equal the
+  per-hop row-subset evaluations bit for bit.  The dot-product metrics go
+  through BLAS matrix-vector products whose result is not guaranteed
+  stable across corpus shapes, so they always use the per-hop engine with
+  the reference call shapes.
+
+Equivalence contract (enforced by ``tests/hnsw/test_csr_equivalence.py``):
+every routine here returns bit-identical ``(distance, node)`` results
+*and* performs exactly the same number of
+:class:`~repro.hnsw.distance.DistanceKernel` evaluations as the reference
+beam search, so counters — and therefore every simulated latency in
+``benchmarks/results/`` — are unchanged.  The reference implementation
+stays the build-time path and the oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.hnsw.distance import DistanceKernel, Metric
+from repro.hnsw.graph import LayeredGraph
+
+__all__ = ["CsrGraph", "VisitedPool", "TABLE_NODES_MAX", "greedy_descent",
+           "search_layer", "greedy_descent_table", "search_layer_table"]
+
+#: Largest graph served by the distance-table engine.  A table costs one
+#: ``O(num_nodes * dim)`` einsum plus a ``tolist`` regardless of how much
+#: of the graph the beam actually visits; beyond a couple thousand nodes
+#: a beam with typical ``ef`` visits a small fraction of the graph and
+#: the per-hop engine's on-demand gathers win.  d-HNSW sub-clusters and
+#: the meta-HNSW (a few hundred nodes each) sit far below the cutoff.
+TABLE_NODES_MAX = 2048
+
+
+class VisitedPool:
+    """A reusable epoch-tagged visited list (hnswlib's VisitedListPool).
+
+    ``acquire()`` bumps the epoch and returns ``(tags, epoch)``; a node is
+    visited iff ``tags[node] == epoch``.  Marking is a list store and
+    clearing is free — no per-query ``set`` allocation, no O(n) reset.
+    Tags are a plain Python list because the traversal loop reads and
+    writes them one node at a time.
+    """
+
+    __slots__ = ("_tags", "_epoch")
+
+    def __init__(self, num_nodes: int) -> None:
+        self._tags: list[int] = [0] * max(num_nodes, 1)
+        self._epoch = 0
+
+    def acquire(self) -> tuple[list[int], int]:
+        """Start a fresh traversal: returns the tag list and its epoch."""
+        self._epoch += 1
+        return self._tags, self._epoch
+
+
+class CsrGraph:
+    """Immutable CSR compilation of a :class:`LayeredGraph`.
+
+    Attributes
+    ----------
+    vectors:
+        ``(num_nodes, dim)`` float32, C-contiguous (private copy, decoupled
+        from the source graph's growable buffer).
+    indptr / indices:
+        One int32 pair per layer, bottom-up.  ``indices[level]``
+        concatenates the neighbour lists in node order (adjacency order is
+        preserved — the equivalence contract depends on it);
+        ``indptr[level]`` has ``num_nodes + 1`` entries.  Nodes absent
+        from a layer simply have an empty range.
+    adjacency_py:
+        ``adjacency_py[level][node]`` is that node's neighbour list as
+        plain Python ints — the hop loop's working form.
+    """
+
+    __slots__ = ("dim", "num_nodes", "max_level", "entry_point", "vectors",
+                 "indptr", "indices", "adjacency_py", "visited_pool")
+
+    def __init__(self, dim: int, num_nodes: int, max_level: int,
+                 entry_point: int | None, vectors: np.ndarray,
+                 indptr: list[np.ndarray], indices: list[np.ndarray]) -> None:
+        self.dim = dim
+        self.num_nodes = num_nodes
+        self.max_level = max_level
+        self.entry_point = entry_point
+        self.vectors = vectors
+        self.indptr = indptr
+        self.indices = indices
+        self.adjacency_py = []
+        for offsets, ids in zip(indptr, indices):
+            bounds = offsets.tolist()
+            flat = ids.tolist()
+            self.adjacency_py.append(
+                [flat[bounds[node]:bounds[node + 1]]
+                 for node in range(num_nodes)])
+        self.visited_pool = VisitedPool(num_nodes)
+
+    @classmethod
+    def from_layered(cls, graph: LayeredGraph) -> "CsrGraph":
+        """Compile a (from now on frozen) layered graph to CSR."""
+        num_nodes = len(graph)
+        vectors = np.array(graph.vectors, dtype=np.float32, copy=True,
+                           order="C")
+        indptr: list[np.ndarray] = []
+        indices: list[np.ndarray] = []
+        for level in range(graph.max_level + 1):
+            offsets = np.zeros(num_nodes + 1, dtype=np.int32)
+            flat: list[int] = []
+            for node, layers in enumerate(graph.adjacency):
+                if level < len(layers):
+                    flat.extend(layers[level])
+                offsets[node + 1] = len(flat)
+            indptr.append(offsets)
+            indices.append(np.asarray(flat, dtype=np.int32))
+        return cls(dim=graph.dim, num_nodes=num_nodes,
+                   max_level=graph.max_level, entry_point=graph.entry_point,
+                   vectors=vectors, indptr=indptr, indices=indices)
+
+    def neighbors(self, node: int, level: int) -> np.ndarray:
+        """Neighbour ids of ``node`` at ``level`` (read-only view)."""
+        offsets = self.indptr[level]
+        return self.indices[level][offsets[node]:offsets[node + 1]]
+
+    def table_mode(self, kernel: DistanceKernel) -> bool:
+        """Whether the distance-table engine serves this graph."""
+        return (kernel.metric is Metric.L2
+                and self.num_nodes <= TABLE_NODES_MAX)
+
+    def nbytes(self) -> int:
+        """In-memory footprint of the compiled NumPy arrays."""
+        total = self.vectors.nbytes
+        for offsets, ids in zip(self.indptr, self.indices):
+            total += offsets.nbytes + ids.nbytes
+        return total
+
+
+def greedy_descent(csr: CsrGraph, kernel: DistanceKernel, query: np.ndarray,
+                   entry: int, entry_dist: float, from_level: int,
+                   to_level: int) -> tuple[int, float]:
+    """Compiled twin of :func:`repro.hnsw.search.greedy_descent`.
+
+    Evaluates distances to *all* neighbours of the current node per hop
+    (no visited filter), exactly like the reference, so counters agree.
+    """
+    current, current_dist = entry, entry_dist
+    vectors = csr.vectors
+    many = kernel.many_prechecked
+    for level in range(from_level, to_level, -1):
+        neigh = csr.adjacency_py[level]
+        improved = True
+        while improved:
+            improved = False
+            neighbor_ids = neigh[current]
+            if not neighbor_ids:
+                continue
+            dists = many(query, vectors[neighbor_ids])
+            best = int(np.argmin(dists))
+            if dists[best] < current_dist:
+                current = neighbor_ids[best]
+                current_dist = float(dists[best])
+                improved = True
+    return current, current_dist
+
+
+def search_layer(csr: CsrGraph, kernel: DistanceKernel, query: np.ndarray,
+                 entries: list[tuple[float, int]], ef: int,
+                 level: int) -> list[tuple[float, int]]:
+    """Compiled twin of :func:`repro.hnsw.search.search_layer`.
+
+    Same beam search, same heap tie-breaking (``(distance, node)`` tuples
+    of Python floats/ints), same per-hop distance batching over unvisited
+    neighbours in adjacency order — over the compiled flat graph with an
+    epoch-tagged visited pool instead of adjacency lists and a ``set``.
+    """
+    if ef < 1:
+        raise ValueError(f"ef must be >= 1, got {ef}")
+    tags, epoch = csr.visited_pool.acquire()
+    for _, node in entries:
+        tags[node] = epoch
+    candidates = list(entries)
+    heapq.heapify(candidates)
+    results = [(-dist, node) for dist, node in entries]
+    heapq.heapify(results)
+    while len(results) > ef:
+        heapq.heappop(results)
+
+    neigh = csr.adjacency_py[level]
+    vectors = csr.vectors
+    many = kernel.many_prechecked
+    push = heapq.heappush
+    pop = heapq.heappop
+    pushpop = heapq.heappushpop
+    num_results = len(results)
+    # ``worst`` tracks ``-results[0][0]`` incrementally: results only
+    # changes inside the accept branch, which refreshes it.
+    worst = -results[0][0]
+    while candidates:
+        dist, node = pop(candidates)
+        if dist > worst and num_results >= ef:
+            break
+        unvisited = []
+        mark = unvisited.append
+        for neighbor in neigh[node]:
+            if tags[neighbor] != epoch:
+                tags[neighbor] = epoch
+                mark(neighbor)
+        if not unvisited:
+            continue
+        dists = many(query, vectors[unvisited])
+        for neighbor, neighbor_dist in zip(unvisited, dists.tolist()):
+            if num_results < ef or neighbor_dist < worst:
+                push(candidates, (neighbor_dist, neighbor))
+                # push-then-pop-max fused into one sift; heap elements
+                # are unique, totally ordered tuples, so every
+                # observable (the root and the final content) matches
+                # the reference's separate push + pop.
+                if num_results >= ef:
+                    pushpop(results, (-neighbor_dist, neighbor))
+                else:
+                    push(results, (-neighbor_dist, neighbor))
+                    num_results += 1
+                worst = -results[0][0]
+    output = [(-negated, node) for negated, node in results]
+    output.sort()
+    return output
+
+
+def greedy_descent_table(csr: CsrGraph, kernel: DistanceKernel,
+                         table: list[float], entry: int, entry_dist: float,
+                         from_level: int, to_level: int) -> tuple[int, float]:
+    """Table-engine twin of :func:`greedy_descent`.
+
+    ``table`` holds the query's distance to every node (Python floats from
+    :meth:`DistanceKernel.l2_table`).  The reference evaluates *all*
+    neighbours of the current node per hop — revisits included — so the
+    same count is credited here per hop; the first-minimum tie-break of
+    ``np.argmin`` is preserved by the strict ``<`` scan.
+    """
+    current, current_dist = entry, entry_dist
+    evaluations = 0
+    for level in range(from_level, to_level, -1):
+        neigh = csr.adjacency_py[level]
+        improved = True
+        while improved:
+            improved = False
+            neighbor_ids = neigh[current]
+            if not neighbor_ids:
+                continue
+            evaluations += len(neighbor_ids)
+            best = neighbor_ids[0]
+            best_dist = table[best]
+            for neighbor in neighbor_ids:
+                neighbor_dist = table[neighbor]
+                if neighbor_dist < best_dist:
+                    best = neighbor
+                    best_dist = neighbor_dist
+            if best_dist < current_dist:
+                current = best
+                current_dist = best_dist
+                improved = True
+    kernel.num_evaluations += evaluations
+    return current, current_dist
+
+
+def search_layer_table(csr: CsrGraph, kernel: DistanceKernel,
+                       table: list[float], entries: list[tuple[float, int]],
+                       ef: int, level: int) -> list[tuple[float, int]]:
+    """Table-engine twin of :func:`search_layer`.
+
+    The mark / evaluate / push phases of a hop fuse into one pure-Python
+    loop: a node's distance is a list lookup, so no per-hop NumPy call
+    remains.  One evaluation is credited per newly visited neighbour —
+    exactly the rows the reference hands to ``kernel.many`` — including
+    neighbours that fail the beam test, and dead pops and the termination
+    pop credit nothing, matching the reference accounting.
+    """
+    if ef < 1:
+        raise ValueError(f"ef must be >= 1, got {ef}")
+    tags, epoch = csr.visited_pool.acquire()
+    for _, node in entries:
+        tags[node] = epoch
+    candidates = list(entries)
+    heapq.heapify(candidates)
+    results = [(-dist, node) for dist, node in entries]
+    heapq.heapify(results)
+    while len(results) > ef:
+        heapq.heappop(results)
+
+    neigh = csr.adjacency_py[level]
+    push = heapq.heappush
+    pop = heapq.heappop
+    pushpop = heapq.heappushpop
+    num_results = len(results)
+    evaluations = 0
+    # ``worst`` tracks ``-results[0][0]`` incrementally: results only
+    # changes inside the accept branches, each of which refreshes it.
+    worst = -results[0][0]
+    # Filling phase: the beam has fewer than ``ef`` members, so the
+    # early-termination test cannot fire and every new neighbour is
+    # accepted unconditionally.
+    while candidates and num_results < ef:
+        dist, node = pop(candidates)
+        for neighbor in neigh[node]:
+            if tags[neighbor] != epoch:
+                tags[neighbor] = epoch
+                evaluations += 1
+                neighbor_dist = table[neighbor]
+                if num_results < ef or neighbor_dist < worst:
+                    push(candidates, (neighbor_dist, neighbor))
+                    # Fused push + pop-max (see search_layer): identical
+                    # observables on a heap of unique ordered tuples.
+                    if num_results >= ef:
+                        pushpop(results, (-neighbor_dist, neighbor))
+                    else:
+                        push(results, (-neighbor_dist, neighbor))
+                        num_results += 1
+                    worst = -results[0][0]
+    # Steady phase: the beam is full (``num_results == ef`` for good),
+    # so the fill checks drop out of the per-neighbour work entirely.
+    while candidates:
+        dist, node = pop(candidates)
+        if dist > worst:
+            break
+        for neighbor in neigh[node]:
+            if tags[neighbor] != epoch:
+                tags[neighbor] = epoch
+                evaluations += 1
+                neighbor_dist = table[neighbor]
+                if neighbor_dist < worst:
+                    push(candidates, (neighbor_dist, neighbor))
+                    pushpop(results, (-neighbor_dist, neighbor))
+                    worst = -results[0][0]
+    kernel.num_evaluations += evaluations
+    output = [(-negated, node) for negated, node in results]
+    output.sort()
+    return output

@@ -66,6 +66,19 @@ def pairwise_l2(queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
     return out
 
 
+def _guarded_cosine_sims(dots: np.ndarray, denom: np.ndarray) -> np.ndarray:
+    """Cosine similarities with a zero-norm guard, float32 in -> float32 out.
+
+    A zero vector has no direction; its similarity to anything is defined
+    as 0 (distance 1), matching :meth:`DistanceKernel.one`.  The guard
+    substitutes the denominator exactly once — ``many`` and ``cross``
+    historically each had their own guard (and ``cross`` silently promoted
+    to float64); this is now the single shared implementation.
+    """
+    safe = np.where(denom == 0.0, np.float32(1.0), denom)
+    return np.where(denom > 0.0, dots / safe, np.float32(0.0))
+
+
 class DistanceKernel:
     """A metric bound to a dimensionality, with an evaluation counter.
 
@@ -111,6 +124,25 @@ class DistanceKernel:
             return 1.0
         return float(1.0 - (a @ b) / denom)
 
+    def one_prechecked(self, a: np.ndarray, b: np.ndarray) -> float:
+        """:meth:`one` minus input validation, for pre-validated arrays.
+
+        Same arithmetic and counting; both operands must already be
+        float32 vectors of the kernel's dimensionality.  Used by the
+        compiled engine's batch loop, which validates the query matrix
+        once instead of twice per query.
+        """
+        self.num_evaluations += 1
+        if self.metric is Metric.L2:
+            diff = a - b
+            return float(diff @ diff)
+        if self.metric is Metric.INNER_PRODUCT:
+            return float(-(a @ b))
+        denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+        if denom == 0.0:
+            return 1.0
+        return float(1.0 - (a @ b) / denom)
+
     def many(self, query: np.ndarray, corpus: np.ndarray) -> np.ndarray:
         """Distances from one query vector to every row of ``corpus``.
 
@@ -119,17 +151,66 @@ class DistanceKernel:
         """
         query = self._check(query)
         corpus = self._check(np.atleast_2d(corpus))
+        return self.many_prechecked(query, corpus)
+
+    def many_prechecked(self, query: np.ndarray,
+                        corpus: np.ndarray) -> np.ndarray:
+        """:meth:`many` minus input validation, for pre-validated arrays.
+
+        The compiled flat-graph engine (:mod:`repro.hnsw.csr`) calls this
+        once per hop with arrays it gathered itself; ``query`` must be a
+        float32 vector and ``corpus`` a float32 matrix of matching width.
+        Arithmetic and counting are exactly :meth:`many`'s, so results
+        stay bit-identical between the two entry points.
+        """
         self.num_evaluations += corpus.shape[0]
         if self.metric is Metric.L2:
             diff = corpus - query
             return np.einsum("ij,ij->i", diff, diff)
         if self.metric is Metric.INNER_PRODUCT:
             return -(corpus @ query)
-        corpus_norms = np.linalg.norm(corpus, axis=1)
-        query_norm = float(np.linalg.norm(query))
-        denom = corpus_norms * query_norm
-        sims = np.where(denom > 0.0, (corpus @ query) / np.where(denom == 0.0, 1.0, denom), 0.0)
-        return 1.0 - sims
+        denom = np.linalg.norm(corpus, axis=1) * float(np.linalg.norm(query))
+        return 1.0 - _guarded_cosine_sims(corpus @ query, denom)
+
+    #: Ceiling on the ``(chunk, nodes, dim)`` float32 broadcast temporary
+    #: of a batched :meth:`l2_table` call, in scalar elements (~16 MB).
+    TABLE_CHUNK_ELEMENTS = 4_000_000
+
+    def l2_table(self, queries: np.ndarray,
+                 corpus: np.ndarray) -> np.ndarray:
+        """**Uncounted** L2 distances from each query to every corpus row.
+
+        The compiled table engine (:mod:`repro.hnsw.csr`) evaluates a
+        whole small graph up front and credits ``num_evaluations`` only
+        for the rows the traversal actually visits, so this method does
+        not touch the counter — every other kernel entry point counts.
+
+        The arithmetic is row-for-row :meth:`many`'s L2 branch (subtract,
+        then a last-axis einsum reduction, which NumPy computes per row
+        independent of the corpus shape), so any row subset of the result
+        is bit-identical to evaluating that subset directly.  L2 only:
+        the dot-product metrics run through BLAS products whose blocking
+        varies with the operand shapes.
+
+        A 1-D ``queries`` yields a ``(nodes,)`` table; a 2-D batch yields
+        ``(num_queries, nodes)``, computed in query chunks to bound the
+        broadcast temporary.
+        """
+        if self.metric is not Metric.L2:
+            raise NotImplementedError(
+                "distance tables are only bit-reproducible for L2")
+        if queries.ndim == 1:
+            diff = corpus - queries
+            return np.einsum("ij,ij->i", diff, diff)
+        num_queries = queries.shape[0]
+        per_query = corpus.shape[0] * corpus.shape[1]
+        chunk = max(1, self.TABLE_CHUNK_ELEMENTS // max(per_query, 1))
+        out = np.empty((num_queries, corpus.shape[0]), dtype=np.float32)
+        for start in range(0, num_queries, chunk):
+            block = queries[start:start + chunk]
+            diff = corpus[None, :, :] - block[:, None, :]
+            np.einsum("qij,qij->qi", diff, diff, out=out[start:start + len(block)])
+        return out
 
     def cross(self, queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
         """Full distance matrix between query rows and corpus rows."""
@@ -140,11 +221,6 @@ class DistanceKernel:
             return pairwise_l2(queries, corpus)
         if self.metric is Metric.INNER_PRODUCT:
             return -(queries @ corpus.T)
-        q_norms = np.linalg.norm(queries, axis=1)[:, None]
-        c_norms = np.linalg.norm(corpus, axis=1)[None, :]
-        denom = q_norms * c_norms
-        sims = np.divide(queries @ corpus.T, denom,
-                         out=np.zeros((queries.shape[0], corpus.shape[0]),
-                                      dtype=np.float64),
-                         where=denom > 0.0)
-        return 1.0 - sims
+        denom = (np.linalg.norm(queries, axis=1)[:, None]
+                 * np.linalg.norm(corpus, axis=1)[None, :])
+        return 1.0 - _guarded_cosine_sims(queries @ corpus.T, denom)

@@ -82,6 +82,28 @@ class TestBookkeeping:
         cache.put(make_entry(2, 30))
         assert cache.cached_bytes == 40
 
+    def test_cached_bytes_matches_brute_force_sum(self):
+        """The O(1) running total tracks the true sum through every
+        mutating operation (put/replace/evict/pop/invalidate/clear)."""
+        rng = np.random.default_rng(7)
+        cache = ClusterCache(5)
+        for step in range(300):
+            op = rng.integers(0, 5)
+            cid = int(rng.integers(0, 12))
+            if op <= 1:
+                cache.put(make_entry(cid, int(rng.integers(1, 500))))
+            elif op == 2:
+                cache.pop_lru()
+            elif op == 3:
+                cache.invalidate(cid)
+            else:
+                cache.get(cid)
+            if step % 50 == 49:
+                cache.invalidate_all()
+            brute_force = sum(entry.nbytes
+                              for entry in cache._entries.values())
+            assert cache.cached_bytes == brute_force
+
     def test_invalidate(self):
         cache = ClusterCache(2)
         cache.put(make_entry(1))

@@ -1,0 +1,221 @@
+"""Equivalence oracle for the compiled flat-graph engine.
+
+The compiled engines (:mod:`repro.hnsw.csr`) promise *bit-identical*
+results and *exactly equal* distance-evaluation counts versus the
+reference beam search — the counters drive every simulated latency in
+``benchmarks/results/``, so even an off-by-one would silently change the
+paper's reproduced numbers.  These tests fuzz randomized graphs across
+metrics, beam widths, and graph mutations (including disconnected nodes)
+and assert exact equality, never approximate closeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hnsw import csr
+from repro.hnsw.distance import DistanceKernel, Metric
+from repro.hnsw.index import HnswIndex
+from repro.hnsw.params import HnswParams
+
+METRICS = ["l2", "ip", "cosine"]
+EF_VALUES = [1, 2, 7, 33]
+
+
+def build_index(metric: str, count: int, dim: int = 6, m: int = 4,
+                seed: int = 11) -> HnswIndex:
+    rng = np.random.default_rng(seed)
+    index = HnswIndex(dim, HnswParams(m=m, ef_construction=24,
+                                      metric=metric, seed=seed))
+    index.add((rng.standard_normal((count, dim)) * 4).astype(np.float32))
+    return index
+
+
+def disconnect(index: HnswIndex, node: int) -> None:
+    """Strip every edge touching ``node`` (simulates a pruned island)."""
+    graph = index.graph
+    for level in range(len(graph.adjacency[node])):
+        graph.adjacency[node][level] = []
+    for other in range(len(graph)):
+        if other == node:
+            continue
+        for level, neighbors in enumerate(graph.adjacency[other]):
+            graph.adjacency[other][level] = [
+                n for n in neighbors if n != node]
+    index.invalidate_compiled()
+
+
+def reference_run(index: HnswIndex, queries: np.ndarray, k: int,
+                  ef: int) -> tuple[list, int]:
+    index.kernel.reset_counter()
+    results = [index.search_candidates(query, k, ef, use_compiled=False)
+               for query in queries]
+    return results, index.kernel.reset_counter()
+
+
+class TestEngineEquivalence:
+    """Compiled single-query and batch engines versus the oracle."""
+
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("ef", EF_VALUES)
+    def test_results_and_counts_match(self, metric, ef):
+        index = build_index(metric, count=90)
+        rng = np.random.default_rng(23)
+        queries = (rng.standard_normal((12, 6)) * 4).astype(np.float32)
+        expected, expected_evals = reference_run(index, queries, 3, ef)
+
+        single = [index.search_candidates(query, 3, ef, use_compiled=True)
+                  for query in queries]
+        single_evals = index.kernel.reset_counter()
+        assert single == expected
+        assert single_evals == expected_evals
+
+        batch = index.search_candidates_batch(queries, 3, ef,
+                                              use_compiled=True)
+        batch_evals = index.kernel.reset_counter()
+        assert batch == expected
+        assert batch_evals == expected_evals
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_on_demand_engine_matches(self, metric, monkeypatch):
+        """Force the per-hop engine (as used above TABLE_NODES_MAX)."""
+        monkeypatch.setattr(csr, "TABLE_NODES_MAX", 0)
+        index = build_index(metric, count=70)
+        rng = np.random.default_rng(5)
+        queries = (rng.standard_normal((8, 6)) * 4).astype(np.float32)
+        expected, expected_evals = reference_run(index, queries, 2, 17)
+        got = index.search_candidates_batch(queries, 2, 17,
+                                            use_compiled=True)
+        got_evals = index.kernel.reset_counter()
+        assert got == expected
+        assert got_evals == expected_evals
+
+    def test_disconnected_nodes(self):
+        index = build_index("l2", count=60)
+        disconnect(index, 13)
+        disconnect(index, 47)
+        rng = np.random.default_rng(3)
+        queries = (rng.standard_normal((10, 6)) * 4).astype(np.float32)
+        for ef in EF_VALUES:
+            expected, expected_evals = reference_run(index, queries, 2, ef)
+            got = index.search_candidates_batch(queries, 2, ef,
+                                                use_compiled=True)
+            got_evals = index.kernel.reset_counter()
+            assert got == expected
+            assert got_evals == expected_evals
+
+    def test_single_node_graph(self):
+        index = build_index("l2", count=1)
+        query = np.ones(6, dtype=np.float32)
+        expected, expected_evals = reference_run(index, query[None], 1, 4)
+        got = [index.search_candidates(query, 1, 4, use_compiled=True)]
+        assert got == expected
+        assert index.kernel.reset_counter() == expected_evals
+
+    @settings(deadline=None, max_examples=25)
+    @given(data=st.data())
+    def test_fuzz_equivalence(self, data):
+        metric = data.draw(st.sampled_from(METRICS))
+        count = data.draw(st.integers(min_value=1, max_value=80))
+        m = data.draw(st.integers(min_value=2, max_value=8))
+        seed = data.draw(st.integers(min_value=0, max_value=2 ** 16))
+        ef = data.draw(st.sampled_from(EF_VALUES))
+        k = data.draw(st.integers(min_value=1, max_value=5))
+        index = build_index(metric, count=count, m=m, seed=seed)
+        if count > 4 and data.draw(st.booleans()):
+            disconnect(index, data.draw(
+                st.integers(min_value=0, max_value=count - 1)))
+        rng = np.random.default_rng(seed + 1)
+        queries = (rng.standard_normal((5, 6)) * 4).astype(np.float32)
+        expected, expected_evals = reference_run(index, queries, k, ef)
+        single = [index.search_candidates(query, k, ef, use_compiled=True)
+                  for query in queries]
+        single_evals = index.kernel.reset_counter()
+        batch = index.search_candidates_batch(queries, k, ef,
+                                              use_compiled=True)
+        batch_evals = index.kernel.reset_counter()
+        assert single == expected
+        assert batch == expected
+        assert single_evals == expected_evals
+        assert batch_evals == expected_evals
+
+
+class TestCsrGraphStructure:
+    def test_compilation_mirrors_adjacency(self):
+        index = build_index("l2", count=40)
+        flat = index.compiled()
+        graph = index.graph
+        assert flat.num_nodes == len(graph)
+        assert flat.max_level == graph.max_level
+        assert flat.entry_point == graph.entry_point
+        np.testing.assert_array_equal(flat.vectors, graph.vectors)
+        for node in range(len(graph)):
+            for level in range(graph.level_of(node) + 1):
+                assert flat.neighbors(node, level).tolist() == \
+                    graph.neighbors(node, level)
+                assert flat.adjacency_py[level][node] == \
+                    graph.neighbors(node, level)
+
+    def test_vectors_are_private_copy(self):
+        index = build_index("l2", count=10)
+        flat = index.compiled()
+        original = flat.vectors.copy()
+        index.graph.vectors[0, 0] += 1.0
+        np.testing.assert_array_equal(flat.vectors, original)
+
+    def test_mutation_invalidates_compilation(self):
+        index = build_index("l2", count=10)
+        first = index.compiled()
+        index.add_one(np.zeros(6, dtype=np.float32))
+        second = index.compiled()
+        assert second is not first
+        assert second.num_nodes == 11
+
+    def test_nbytes_counts_all_arrays(self):
+        flat = build_index("l2", count=25).compiled()
+        expected = flat.vectors.nbytes + sum(
+            offsets.nbytes + ids.nbytes
+            for offsets, ids in zip(flat.indptr, flat.indices))
+        assert flat.nbytes() == expected
+
+    def test_table_mode_gating(self):
+        flat = build_index("l2", count=10).compiled()
+        assert flat.table_mode(DistanceKernel(6, Metric.L2))
+        assert not flat.table_mode(DistanceKernel(6, Metric.COSINE))
+        assert not flat.table_mode(
+            DistanceKernel(6, Metric.INNER_PRODUCT))
+        big = build_index("l2", count=10).compiled()
+        big.num_nodes = csr.TABLE_NODES_MAX + 1
+        assert not big.table_mode(DistanceKernel(6, Metric.L2))
+
+    def test_pickle_drops_compilation(self):
+        import pickle
+
+        index = build_index("l2", count=10)
+        index.compiled()
+        restored = pickle.loads(pickle.dumps(index))
+        assert restored._compiled is None
+        query = np.ones(6, dtype=np.float32)
+        assert restored.search_candidates(query, 1, 4) == \
+            index.search_candidates(query, 1, 4)
+
+
+class TestVisitedPool:
+    def test_epochs_isolate_traversals(self):
+        pool = csr.VisitedPool(4)
+        tags, epoch = pool.acquire()
+        tags[2] = epoch
+        assert tags[2] == epoch
+        fresh_tags, fresh_epoch = pool.acquire()
+        assert fresh_tags is tags
+        assert fresh_epoch != epoch
+        assert all(tag != fresh_epoch for tag in tags)
+
+    def test_empty_graph_pool(self):
+        pool = csr.VisitedPool(0)
+        tags, epoch = pool.acquire()
+        assert len(tags) == 1
+        assert epoch == 1

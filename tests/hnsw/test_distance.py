@@ -135,3 +135,93 @@ class TestPairwiseL2Properties:
         direct = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
         np.testing.assert_allclose(pairwise_l2(a, b), direct, rtol=1e-2,
                                    atol=1e-1)
+
+
+class TestCosineGuardRegression:
+    """The zero-norm guard and output dtype are shared by every entry
+    point (``one`` / ``many`` / ``cross``) since the guard was unified."""
+
+    def test_many_zero_corpus_row(self):
+        kernel = DistanceKernel(3, Metric.COSINE)
+        corpus = np.array([[0, 0, 0], [1, 0, 0]], dtype=np.float32)
+        dists = kernel.many([1.0, 0.0, 0.0], corpus)
+        assert dists[0] == pytest.approx(1.0)
+        assert dists[1] == pytest.approx(0.0)
+        assert not np.isnan(dists).any()
+
+    def test_many_zero_query(self):
+        kernel = DistanceKernel(3, Metric.COSINE)
+        dists = kernel.many([0.0, 0.0, 0.0], np.ones((2, 3)))
+        np.testing.assert_allclose(dists, 1.0)
+
+    def test_cross_zero_rows_both_sides(self):
+        kernel = DistanceKernel(2, Metric.COSINE)
+        queries = np.array([[0, 0], [1, 0]], dtype=np.float32)
+        corpus = np.array([[0, 0], [0, 2]], dtype=np.float32)
+        matrix = kernel.cross(queries, corpus)
+        assert not np.isnan(matrix).any()
+        np.testing.assert_allclose(matrix[0], [1.0, 1.0])
+        np.testing.assert_allclose(matrix[1], [1.0, 1.0])
+
+    def test_cross_dtype_matches_many(self):
+        kernel = DistanceKernel(4, Metric.COSINE)
+        rng = np.random.default_rng(0)
+        queries = rng.standard_normal((3, 4)).astype(np.float32)
+        corpus = rng.standard_normal((5, 4)).astype(np.float32)
+        matrix = kernel.cross(queries, corpus)
+        many = kernel.many(queries[0], corpus)
+        assert matrix.dtype == many.dtype == np.float32
+
+
+class TestL2Table:
+    def test_uncounted(self):
+        kernel = DistanceKernel(4)
+        kernel.l2_table(np.ones(4, dtype=np.float32),
+                        np.zeros((6, 4), dtype=np.float32))
+        assert kernel.num_evaluations == 0
+
+    def test_single_query_bitwise_matches_many(self, rng):
+        kernel = DistanceKernel(8)
+        query = rng.standard_normal(8).astype(np.float32)
+        corpus = rng.standard_normal((50, 8)).astype(np.float32)
+        table = kernel.l2_table(query, corpus)
+        np.testing.assert_array_equal(table, kernel.many(query, corpus))
+
+    def test_row_subsets_bitwise_match(self, rng):
+        """The equivalence contract of the compiled table engine: any
+        row subset of the table equals evaluating that subset directly."""
+        kernel = DistanceKernel(8)
+        query = rng.standard_normal(8).astype(np.float32)
+        corpus = rng.standard_normal((64, 8)).astype(np.float32)
+        table = kernel.l2_table(query, corpus)
+        for _ in range(10):
+            size = int(rng.integers(1, 64))
+            subset = rng.choice(64, size=size, replace=False)
+            np.testing.assert_array_equal(
+                table[subset], kernel.many(query, corpus[subset]))
+
+    def test_batched_bitwise_matches_per_query(self, rng):
+        kernel = DistanceKernel(8)
+        queries = rng.standard_normal((7, 8)).astype(np.float32)
+        corpus = rng.standard_normal((40, 8)).astype(np.float32)
+        batched = kernel.l2_table(queries, corpus)
+        assert batched.dtype == np.float32
+        for row, query in enumerate(queries):
+            np.testing.assert_array_equal(batched[row],
+                                          kernel.l2_table(query, corpus))
+
+    def test_batched_chunking_is_transparent(self, rng, monkeypatch):
+        monkeypatch.setattr(DistanceKernel, "TABLE_CHUNK_ELEMENTS", 16)
+        kernel = DistanceKernel(8)
+        queries = rng.standard_normal((9, 8)).astype(np.float32)
+        corpus = rng.standard_normal((21, 8)).astype(np.float32)
+        chunked = kernel.l2_table(queries, corpus)
+        for row, query in enumerate(queries):
+            np.testing.assert_array_equal(chunked[row],
+                                          kernel.l2_table(query, corpus))
+
+    def test_non_l2_rejected(self):
+        kernel = DistanceKernel(4, Metric.COSINE)
+        with pytest.raises(NotImplementedError):
+            kernel.l2_table(np.ones(4, dtype=np.float32),
+                            np.ones((3, 4), dtype=np.float32))
