@@ -38,7 +38,8 @@ class ShardedDeployment:
                  config: DHnswConfig | None = None,
                  num_shards: int = 2,
                  cost_model: CostModel | None = None,
-                 scheme: Scheme = Scheme.DHNSW) -> None:
+                 scheme: Scheme = Scheme.DHNSW,
+                 build_workers: int | None = None) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
@@ -48,6 +49,11 @@ class ShardedDeployment:
                 f"{num_shards} shards")
         self.num_shards = num_shards
         self.config = config if config is not None else DHnswConfig()
+        if build_workers is not None:
+            # Shards build one after another, so the override is the
+            # total process count in flight; per-shard layouts stay
+            # byte-identical at any worker count (see DHnswConfig).
+            self.config = self.config.replace(build_workers=build_workers)
         self.scheme = scheme
         all_ids = np.arange(vectors.shape[0], dtype=np.int64)
         self.deployments = [

@@ -1,0 +1,66 @@
+"""Process-pool fan-out for independent construction tasks.
+
+The paper's §3.1 partitioning makes every sub-HNSW cluster a pure
+function of its own members and parameters, so building (and rebuilding)
+clusters is embarrassingly parallel.  :class:`BuildPool` is the one place
+that owns a ``ProcessPoolExecutor`` for that fan-out:
+
+* ``workers == 0`` (the default) runs tasks lazily in-process — no
+  executor, no pickling, and results stream one at a time;
+* ``workers >= 1`` spawns that many worker processes and maps tasks over
+  them.
+
+**Determinism contract**: a task function handed to :meth:`map` must be a
+pure, top-level (picklable) function of its argument — no shared state,
+no ambient randomness.  Then the result sequence is identical for every
+worker count, because ``map`` preserves task order and each task's output
+depends only on its input.  The d-HNSW build tasks satisfy this by
+deriving each cluster's seed from the root seed + cluster id.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.errors import ConfigError
+
+__all__ = ["BuildPool"]
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+class BuildPool:
+    """Context manager owning an optional process pool for build fan-out."""
+
+    def __init__(self, workers: int = 0) -> None:
+        if workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {workers}")
+        self.workers = int(workers)
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "BuildPool":
+        if self.workers > 0:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def map(self, task_fn: Callable[[_Task], _Result],
+            tasks: Iterable[_Task]) -> Iterator[_Result]:
+        """Apply ``task_fn`` to every task, results in task order.
+
+        In-process mode returns a lazy generator (a task runs only when
+        its result is consumed — the streaming path); pool mode submits
+        everything and yields results as the ordered map completes.
+        """
+        if self._executor is None:
+            return (task_fn(task) for task in tasks)
+        task_list = list(tasks)
+        chunksize = max(1, len(task_list) // (self.workers * 4))
+        return self._executor.map(task_fn, task_list, chunksize=chunksize)

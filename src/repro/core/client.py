@@ -29,8 +29,9 @@ from repro.core.engine import RemoteLayout
 from repro.core.meta_index import MetaHnsw
 from repro.core.query_planner import BatchPlan, plan_batch
 from repro.core.results import BatchResult, QueryResult
+from repro.core.build_pool import BuildPool
 from repro.errors import LayoutError, OverflowFullError
-from repro.hnsw.index import HnswIndex
+from repro.hnsw.parallel_build import ClusterRebuildTask, rebuild_cluster_blob
 from repro.layout.group_layout import (
     OVERFLOW_TAIL_BYTES,
     cluster_read_extent,
@@ -42,7 +43,6 @@ from repro.layout.serializer import (
     deserialize_cluster,
     overflow_record_size,
     pack_overflow_record,
-    serialize_cluster,
     unpack_overflow_records,
 )
 from repro.metrics.latency import LatencyBreakdown
@@ -787,28 +787,21 @@ class DHnswClient:
         records = unpack_overflow_records(
             payload[overflow_off + OVERFLOW_TAIL_BYTES:],
             self.metadata.dim, count)
-        new_blobs: list[bytes] = []
+        tasks = []
         for cid in member_ids:
             cluster = self.metadata.clusters[cid]
-            blob = payload[cluster.blob_offset - start:
-                           cluster.blob_offset - start + cluster.blob_length]
-            index, _ = deserialize_cluster(blob, self.config.sub_params)
-            state = self._replay_overflow(
-                [record for record in records if record.cluster_id == cid])
-            overridden = set(state).intersection(index.labels)
-            if overridden:
-                params = self.config.sub_params.replace(
-                    seed=self.config.sub_params.seed + cid)
-                fresh = HnswIndex(self.metadata.dim, params)
-                for node in range(len(index)):
-                    label = index.label_of(node)
-                    if label not in overridden:
-                        fresh.add_one(index.graph.vector(node), label=label)
-                index = fresh
-            for record in state.values():
-                if record is not None:
-                    index.add_one(record.vector, label=record.global_id)
-            new_blobs.append(serialize_cluster(index, cid))
+            blob = bytes(payload[cluster.blob_offset - start:
+                                 cluster.blob_offset - start
+                                 + cluster.blob_length])
+            tasks.append(ClusterRebuildTask(
+                cluster_id=cid, dim=self.metadata.dim, blob=blob,
+                records=[record for record in records
+                         if record.cluster_id == cid],
+                params=self.config.sub_params))
+        # Members of a group rebuild independently; the tasks are pure,
+        # so any worker count produces the same blobs.
+        with BuildPool(min(self.config.build_workers, len(tasks))) as pool:
+            new_blobs = list(pool.map(rebuild_cluster_blob, tasks))
 
         # Relocate: [blob A][fresh overflow][blob B] at the region tail.
         total = sum(len(blob) for blob in new_blobs) + area + 8

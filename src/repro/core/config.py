@@ -64,6 +64,13 @@ class DHnswConfig:
     region_headroom:
         Registered-region capacity as a multiple of the initial layout
         size; the slack absorbs groups relocated by overflow rebuilds.
+    build_workers:
+        Worker processes for sub-HNSW construction and overflow
+        rebuilds.  ``0`` (default) builds in-process; ``>= 1`` fans
+        clusters over a process pool.  Deterministic either way: each
+        cluster's insertion seed is ``sub_params.seed + cluster_id``,
+        so the resulting layout is byte-identical at every worker
+        count.
     """
 
     num_representatives: int | None = None
@@ -77,6 +84,7 @@ class DHnswConfig:
     adaptive_alpha: float = 1.35
     pipeline_waves: bool = False
     region_headroom: float = 3.0
+    build_workers: int = 0
     seed: int = 0
     meta_params: HnswParams = dataclasses.field(
         default_factory=lambda: HnswParams(
@@ -106,6 +114,9 @@ class DHnswConfig:
         if self.region_headroom < 1.0:
             raise ConfigError(
                 f"region_headroom must be >= 1.0, got {self.region_headroom}")
+        if self.build_workers < 0:
+            raise ConfigError(
+                f"build_workers must be >= 0, got {self.build_workers}")
         if self.adaptive_alpha < 1.0:
             raise ConfigError(
                 f"adaptive_alpha must be >= 1.0, got {self.adaptive_alpha}")

@@ -5,9 +5,11 @@
 1. uniformly sample representatives and build the three-layer meta-HNSW;
 2. classify every corpus vector to its nearest representative, forming
    partitions;
-3. build one sub-HNSW per partition;
-4. serialize the clusters and lay them out in paired groups with shared
-   overflow areas;
+3. build one sub-HNSW per partition — in-process or fanned over a
+   process pool (``DHnswConfig.build_workers``), byte-identically;
+4. serialize the clusters and stream them into paired groups with shared
+   overflow areas (placement uses sizes only, so blobs are produced and
+   released one at a time);
 5. register a remote region on the memory node and write blobs + the
    versioned global metadata block through a queue pair.
 
@@ -19,17 +21,21 @@ caches locally.
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterator
 
 import numpy as np
 
+from repro.core.build_pool import BuildPool
 from repro.core.config import DHnswConfig
 from repro.core.meta_index import MetaHnsw, sample_representatives
-from repro.core.partitions import Partitioning, assign_partitions, build_sub_hnsws
+from repro.core.partitions import (Partitioning, assign_partitions,
+                                   build_sub_hnsws, cluster_build_tasks)
 from repro.errors import LayoutError
+from repro.hnsw.parallel_build import build_cluster_blob
 from repro.layout.allocator import RegionAllocator
 from repro.layout.group_layout import plan_groups
 from repro.layout.metadata import GlobalMetadata
-from repro.layout.serializer import serialize_cluster
+from repro.layout.serializer import serialize_cluster, serialized_cluster_size
 from repro.rdma.clock import SimClock
 from repro.rdma.control import ControlClient, MemoryDaemon
 from repro.rdma.memory_node import MemoryNode, MemoryRegion
@@ -112,17 +118,18 @@ class DHnswBuilder:
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if vectors.shape[0] < 1:
             raise LayoutError("cannot build over an empty corpus")
-        meta, partitioning, sub_indexes = self._build_indexes(vectors,
-                                                              labels)
-        blobs = [(cid, serialize_cluster(index, cid))
-                 for cid, index in enumerate(sub_indexes)]
-        layout, build_stats = self._write_layout(blobs, vectors.shape[1])
+        meta, partitioning = self._build_meta(vectors)
+        source = _ClusterBlobSource(vectors, partitioning,
+                                    self.config.sub_params, labels,
+                                    self.config.build_workers)
+        layout, build_stats = self._write_layout(
+            source, vectors.shape[1], partitioning.num_partitions)
         report = BuildReport(
             num_vectors=vectors.shape[0],
             num_partitions=meta.num_partitions,
             num_groups=layout.metadata.num_groups,
             meta_hnsw_bytes=meta.serialized_size_bytes(),
-            total_blob_bytes=sum(len(blob) for _, blob in blobs),
+            total_blob_bytes=source.total_blob_bytes,
             region_capacity_bytes=layout.region.length,
             partition_sizes=partitioning.sizes(),
             build_network=build_stats,
@@ -130,27 +137,24 @@ class DHnswBuilder:
         return meta, layout, report
 
     # ------------------------------------------------------------------
-    def _build_indexes(self, vectors: np.ndarray,
-                       labels: np.ndarray | None
-                       ) -> tuple[MetaHnsw, Partitioning, list]:
+    def _build_meta(self, vectors: np.ndarray
+                    ) -> tuple[MetaHnsw, Partitioning]:
         rng = np.random.default_rng(self.config.seed)
         num_reps = self.config.derived_num_representatives(vectors.shape[0])
         rep_rows = sample_representatives(vectors.shape[0], num_reps, rng)
         meta = MetaHnsw(vectors[rep_rows], self.config.meta_params)
         partitioning = assign_partitions(vectors, meta)
-        sub_indexes = build_sub_hnsws(vectors, partitioning,
-                                      self.config.sub_params,
-                                      labels=labels)
-        return meta, partitioning, sub_indexes
+        return meta, partitioning
 
-    def _write_layout(self, blobs: list[tuple[int, bytes]],
-                      dim: int) -> tuple[RemoteLayout, RdmaStats]:
-        num_clusters = len(blobs)
+    def _write_layout(self, source: "_ClusterBlobSource",
+                      dim: int, num_clusters: int
+                      ) -> tuple[RemoteLayout, RdmaStats]:
         num_groups = (num_clusters + 1) // 2
         metadata_size = GlobalMetadata.packed_size(num_clusters, num_groups)
         reserve = metadata_size + (-metadata_size) % _METADATA_ALIGN
         plans, cluster_entries, group_entries = plan_groups(
-            blobs, dim, self.config.overflow_capacity_records, reserve)
+            source.sizes(), dim, self.config.overflow_capacity_records,
+            reserve)
         layout_end = plans[-1].end_offset if plans else reserve
         capacity = int(layout_end * self.config.region_headroom) + reserve
 
@@ -180,13 +184,85 @@ class DHnswBuilder:
         stats = RdmaStats()
         qp = QueuePair(self.memory_node, clock, self.cost_model, stats)
         qp.connect()
+        blobs = source.blobs()
         for plan in plans:
             qp.post_write(region.rkey, layout.addr(plan.first_offset),
-                          plan.first_blob)
-            if plan.second_blob is not None:
+                          self._next_blob(blobs, plan.first_cluster_id,
+                                          plan.first_nbytes))
+            if plan.second_cluster_id is not None:
                 qp.post_write(region.rkey, layout.addr(plan.second_offset),
-                              plan.second_blob)
+                              self._next_blob(blobs, plan.second_cluster_id,
+                                              plan.second_nbytes))
             # Overflow areas start zeroed; fresh registrations already are.
         qp.post_write(region.rkey, layout.addr(0), metadata.pack())
         qp.close()
         return layout, stats
+
+    @staticmethod
+    def _next_blob(blobs: Iterator[tuple[int, bytes]], cluster_id: int,
+                   nbytes: int | None) -> bytes:
+        """Pull the next streamed blob, guarding serializer/planner drift."""
+        actual_id, blob = next(blobs)
+        if actual_id != cluster_id or len(blob) != nbytes:
+            raise LayoutError(
+                f"planned cluster {cluster_id} ({nbytes} B) but serialized "
+                f"cluster {actual_id} ({len(blob)} B)")
+        return blob
+
+
+class _ClusterBlobSource:
+    """Streams cluster sizes, then blobs, in cluster-id order.
+
+    Placement only needs sizes (:func:`plan_groups` consumes
+    :meth:`sizes` as an iterator with a running byte total), so blobs
+    are materialized one at a time during the write loop and released
+    as soon as they are written — the build never holds every blob at
+    once.
+
+    ``workers == 0``: sub-HNSWs build in-process (exact sizes come from
+    :func:`serialized_cluster_size` without serializing) and each index
+    is dropped right after its blob is produced.  ``workers >= 1``:
+    per-cluster tasks fan out over a :class:`BuildPool`; workers return
+    serialized blobs, which are byte-identical to the in-process build's
+    because every task derives its seed from the root seed + cluster id.
+    """
+
+    def __init__(self, vectors: np.ndarray, partitioning: Partitioning,
+                 params, labels: np.ndarray | None, workers: int) -> None:
+        self.total_blob_bytes = 0
+        self._blobs: list[bytes | None] | None = None
+        self._indexes: list | None = None
+        if workers > 0:
+            tasks = cluster_build_tasks(vectors, partitioning, params,
+                                        labels=labels)
+            with BuildPool(workers) as pool:
+                self._blobs = list(pool.map(build_cluster_blob, tasks))
+        else:
+            self._indexes = build_sub_hnsws(vectors, partitioning, params,
+                                            labels=labels)
+
+    def sizes(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(cluster_id, blob size)`` while summing the total."""
+        if self._blobs is not None:
+            for cluster_id, blob in enumerate(self._blobs):
+                self.total_blob_bytes += len(blob)
+                yield cluster_id, len(blob)
+        else:
+            for cluster_id, index in enumerate(self._indexes):
+                nbytes = serialized_cluster_size(index)
+                self.total_blob_bytes += nbytes
+                yield cluster_id, nbytes
+
+    def blobs(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(cluster_id, blob)`` once each, releasing as it goes."""
+        if self._blobs is not None:
+            for cluster_id in range(len(self._blobs)):
+                blob = self._blobs[cluster_id]
+                self._blobs[cluster_id] = None
+                yield cluster_id, blob
+        else:
+            for cluster_id in range(len(self._indexes)):
+                blob = serialize_cluster(self._indexes[cluster_id],
+                                         cluster_id)
+                self._indexes[cluster_id] = None
+                yield cluster_id, blob

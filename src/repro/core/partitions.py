@@ -19,9 +19,11 @@ import numpy as np
 from repro.core.meta_index import MetaHnsw
 from repro.hnsw.distance import DistanceKernel
 from repro.hnsw.index import HnswIndex
+from repro.hnsw.parallel_build import ClusterBuildTask
 from repro.hnsw.params import HnswParams
 
-__all__ = ["Partitioning", "assign_partitions", "build_sub_hnsws"]
+__all__ = ["Partitioning", "assign_partitions", "build_sub_hnsws",
+           "cluster_build_tasks"]
 
 
 @dataclasses.dataclass
@@ -60,6 +62,34 @@ def assign_partitions(vectors: np.ndarray, meta: MetaHnsw,
     members = [np.flatnonzero(assignments == p)
                for p in range(meta.num_partitions)]
     return Partitioning(assignments=assignments, members=members)
+
+
+def cluster_build_tasks(vectors: np.ndarray, partitioning: Partitioning,
+                        params: HnswParams,
+                        labels: np.ndarray | None = None
+                        ) -> list[ClusterBuildTask]:
+    """One self-contained build task per partition.
+
+    Each task carries its members' vectors, global labels and the
+    cluster-seeded parameters (``params.seed + partition_id``, exactly
+    :func:`build_sub_hnsws`'s rule), so executing the tasks in any
+    process produces the same sub-HNSWs that function would.
+    """
+    vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+    if labels is not None and len(labels) != vectors.shape[0]:
+        raise ValueError(
+            f"{vectors.shape[0]} vectors but {len(labels)} labels")
+    tasks = []
+    for partition_id, member_ids in enumerate(partitioning.members):
+        member_labels = (labels[member_ids] if labels is not None
+                         else member_ids)
+        tasks.append(ClusterBuildTask(
+            cluster_id=partition_id,
+            dim=vectors.shape[1],
+            vectors=vectors[member_ids],
+            labels=[int(x) for x in member_labels],
+            params=params.replace(seed=params.seed + partition_id)))
+    return tasks
 
 
 def build_sub_hnsws(vectors: np.ndarray, partitioning: Partitioning,

@@ -5,21 +5,44 @@ neighbour selector (Algorithm 4) is what gives HNSW graphs their navigable
 small-world property: a candidate is kept only if it is closer to the query
 than to every already-selected neighbour, which spreads edges across
 directions instead of clustering them.
+
+Two implementations of the hot loops coexist:
+
+* the **reference** path — the straightforward per-candidate loops, kept
+  as the equivalence oracle and as the fallback for non-L2 metrics;
+* the **vectorized** path (default, ``VECTORIZED_CONSTRUCTION``) — the
+  same arithmetic restructured around whole-array NumPy calls: inserts
+  run on a precomputed distance table (:func:`search_layer_table`), and
+  the selector batches candidate-vs-selected distances into einsum
+  columns over one gathered candidate matrix instead of one
+  ``kernel.many`` call per examined candidate.
+
+Both paths produce bit-identical graphs and identical evaluation counts:
+the einsum column ``|c - s|²`` equals the reference row ``|s - c|²``
+exactly (float negation is exact), and the lazy heap pops candidates in
+the same unique ``(distance, node)`` order the full sort would.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 
 import numpy as np
 
-from repro.hnsw.distance import DistanceKernel
+from repro.hnsw.csr import TABLE_NODES_MAX
+from repro.hnsw.distance import DistanceKernel, Metric
 from repro.hnsw.graph import LayeredGraph
 from repro.hnsw.params import HnswParams
-from repro.hnsw.search import greedy_descent, search_layer
+from repro.hnsw.search import (greedy_descent, greedy_descent_table,
+                               search_layer, search_layer_table)
 
 __all__ = ["sample_level", "select_neighbors_heuristic", "insert"]
+
+#: Module switch for the vectorized construction path.  Flipped off by
+#: equivalence tests and benchmarks to run the reference loops instead.
+VECTORIZED_CONSTRUCTION = True
 
 
 def sample_level(rng: random.Random, params: HnswParams) -> int:
@@ -39,32 +62,70 @@ def sample_level(rng: random.Random, params: HnswParams) -> int:
 def select_neighbors_heuristic(
         graph: LayeredGraph, kernel: DistanceKernel,
         candidates: list[tuple[float, int]], m: int, level: int,
-        params: HnswParams) -> list[int]:
+        params: HnswParams, query: np.ndarray | None = None) -> list[int]:
     """Algorithm 4: pick up to ``m`` diverse neighbours from candidates.
 
     ``candidates`` are ``(distance_to_query, node)`` pairs.  A candidate is
     accepted when it is closer to the query than to any already-accepted
     neighbour; optionally, pruned candidates backfill remaining slots
     (``keep_pruned_connections``).
+
+    ``query`` is the vector the candidate distances were measured against;
+    ``extend_candidates`` scores discovered extensions against it, as
+    Algorithm 4 specifies.  When ``None`` (legacy callers), extensions
+    fall back to the closest candidate's vector as an approximation.
     """
     if m <= 0:
         return []
+    if not candidates:
+        return []
+    if VECTORIZED_CONSTRUCTION and kernel.metric is Metric.L2:
+        return _select_vectorized(graph, kernel, candidates, m, level,
+                                  params, query)
+    return _select_reference(graph, kernel, candidates, m, level, params,
+                             query)
+
+
+def _extension_candidates(graph: LayeredGraph,
+                          candidates: list[tuple[float, int]],
+                          level: int) -> list[int]:
+    """Neighbours-of-candidates not already candidates, in discovery order.
+
+    The resulting *set* is independent of the order ``candidates`` is
+    walked in, and downstream consumers re-sort by distance, so callers
+    may pass candidates in any order.
+    """
+    seen = {node for _, node in candidates}
+    extensions: list[int] = []
+    for _, node in candidates:
+        for neighbor in graph.neighbors(node, level):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                extensions.append(neighbor)
+    return extensions
+
+
+def _extension_base(graph: LayeredGraph,
+                    candidates: list[tuple[float, int]],
+                    query: np.ndarray | None) -> np.ndarray:
+    """The vector extension distances are measured against."""
+    if query is not None:
+        return query
+    # Legacy fallback: distance to the closest candidate's vector,
+    # matching hnswlib's practical variant.
+    return graph.vector(min(candidates)[1])
+
+
+def _select_reference(
+        graph: LayeredGraph, kernel: DistanceKernel,
+        candidates: list[tuple[float, int]], m: int, level: int,
+        params: HnswParams, query: np.ndarray | None) -> list[int]:
+    """Per-candidate loop implementation — the equivalence oracle."""
     ordered = sorted(candidates)
     if params.extend_candidates:
-        seen = {node for _, node in ordered}
-        extensions: list[int] = []
-        for _, node in ordered:
-            for neighbor in graph.neighbors(node, level):
-                if neighbor not in seen:
-                    seen.add(neighbor)
-                    extensions.append(neighbor)
+        extensions = _extension_candidates(graph, ordered, level)
         if extensions:
-            # Distances of extensions to the *query* are unknown here;
-            # Algorithm 4 computes them against the base vector.  The base
-            # vector is the first candidate's query, which callers pass via
-            # candidates; we approximate with distance to the closest
-            # candidate's vector, matching hnswlib's practical variant.
-            base = graph.vector(ordered[0][1])
+            base = _extension_base(graph, ordered, query)
             dists = kernel.many(base, graph.vectors[extensions])
             ordered = sorted(
                 ordered + list(zip(dists.tolist(), extensions)))
@@ -91,6 +152,62 @@ def select_neighbors_heuristic(
     return selected
 
 
+def _select_vectorized(
+        graph: LayeredGraph, kernel: DistanceKernel,
+        candidates: list[tuple[float, int]], m: int, level: int,
+        params: HnswParams, query: np.ndarray | None) -> list[int]:
+    """Batched Algorithm 4 — bit-identical to :func:`_select_reference`.
+
+    One gather builds the candidate matrix; each *accepted* neighbour
+    contributes a single einsum column of distances to every candidate,
+    OR-ed into an occlusion mask.  By the time a candidate is examined
+    the mask answers "closer to any already-selected neighbour?" — the
+    reference's per-candidate ``kernel.many`` row — without per-candidate
+    NumPy dispatch.  The examination order comes from a lazy heap: pops
+    of unique ``(distance, node)`` tuples reproduce the full sort.
+    """
+    entries = list(candidates)
+    if params.extend_candidates:
+        extensions = _extension_candidates(graph, entries, level)
+        if extensions:
+            base = _extension_base(graph, entries, query)
+            dists = kernel.many(base, graph.vectors[extensions])
+            entries.extend(zip(dists.tolist(), extensions))
+
+    nodes = [node for _, node in entries]
+    cand_vectors = graph.vectors[nodes]
+    # float64 so the mask comparisons upcast exactly like the reference's
+    # ``float32 row < Python float`` comparisons do.
+    cand_dists = np.array([dist for dist, _ in entries], dtype=np.float64)
+    position = {node: i for i, node in enumerate(nodes)}
+    occluded = np.zeros(len(entries), dtype=bool)
+
+    heap = entries
+    heapq.heapify(heap)
+    selected: list[int] = []
+    pruned: list[tuple[float, int]] = []
+    while heap and len(selected) < m:
+        dist, node = heapq.heappop(heap)
+        if selected:
+            # The reference evaluates this candidate against every
+            # selected neighbour; the columns below already did the
+            # arithmetic, so only the count is credited here.
+            kernel.num_evaluations += len(selected)
+            if occluded[position[node]]:
+                pruned.append((dist, node))
+                continue
+        selected.append(node)
+        diff = cand_vectors - cand_vectors[position[node]]
+        column = np.einsum("ij,ij->i", diff, diff)
+        occluded |= column < cand_dists
+    if params.keep_pruned_connections:
+        for _, node in pruned:
+            if len(selected) >= m:
+                break
+            selected.append(node)
+    return selected
+
+
 def _prune_node(graph: LayeredGraph, kernel: DistanceKernel, node: int,
                 level: int, params: HnswParams) -> None:
     """Shrink ``node``'s neighbour list at ``level`` back to its bound."""
@@ -98,10 +215,11 @@ def _prune_node(graph: LayeredGraph, kernel: DistanceKernel, node: int,
     neighbor_ids = graph.neighbors(node, level)
     if len(neighbor_ids) <= bound:
         return
-    dists = kernel.many(graph.vector(node), graph.vectors[neighbor_ids])
+    node_vector = graph.vector(node)
+    dists = kernel.many(node_vector, graph.vectors[neighbor_ids])
     candidates = list(zip(dists.tolist(), neighbor_ids))
     kept = select_neighbors_heuristic(
-        graph, kernel, candidates, bound, level, params)
+        graph, kernel, candidates, bound, level, params, query=node_vector)
     graph.set_neighbors(node, level, kept)
 
 
@@ -123,10 +241,23 @@ def insert(graph: LayeredGraph, kernel: DistanceKernel, vector: np.ndarray,
     top_level = graph.max_level
     entry_dist = kernel.one(query, graph.vector(entry))
 
+    # Small L2 graphs take the distance-table fast path: one uncounted
+    # einsum evaluates the query against every existing node up front
+    # (the new node is added after, so it never appears as its own
+    # neighbour), and the traversal credits evaluations as it visits.
+    table: list[float] | None = None
+    if (VECTORIZED_CONSTRUCTION and kernel.metric is Metric.L2
+            and len(graph) <= TABLE_NODES_MAX):
+        table = kernel.l2_table(query, graph.vectors).tolist()
+
     # Phase 1: zoom in through layers above the new node's level.
     if top_level > level:
-        entry, entry_dist = greedy_descent(
-            graph, kernel, query, entry, entry_dist, top_level, level)
+        if table is not None:
+            entry, entry_dist = greedy_descent_table(
+                graph, kernel, table, entry, entry_dist, top_level, level)
+        else:
+            entry, entry_dist = greedy_descent(
+                graph, kernel, query, entry, entry_dist, top_level, level)
 
     node = graph.add_node(query, level)
 
@@ -134,11 +265,17 @@ def insert(graph: LayeredGraph, kernel: DistanceKernel, vector: np.ndarray,
     # wiring bidirectional edges as we go.
     seeds = [(entry_dist, entry)]
     for current_level in range(min(level, top_level), -1, -1):
-        candidates = search_layer(
-            graph, kernel, query, seeds, params.ef_construction,
-            current_level)
+        if table is not None:
+            candidates = search_layer_table(
+                graph, kernel, table, seeds, params.ef_construction,
+                current_level)
+        else:
+            candidates = search_layer(
+                graph, kernel, query, seeds, params.ef_construction,
+                current_level)
         neighbors = select_neighbors_heuristic(
-            graph, kernel, candidates, params.m, current_level, params)
+            graph, kernel, candidates, params.m, current_level, params,
+            query=query)
         graph.set_neighbors(node, current_level, neighbors)
         for neighbor in neighbors:
             graph.add_edge(neighbor, node, current_level)

@@ -83,6 +83,31 @@ class LayeredGraph:
             self.entry_point = node
         return node
 
+    def bulk_load(self, vectors: np.ndarray,
+                  adjacency: list[list[list[int]]]) -> None:
+        """Replace all contents with pre-parsed arrays in one step.
+
+        The deserializer's fast path: ``vectors`` is copied wholesale into
+        writable storage (the source may be a read-only ``frombuffer``
+        view) and ``adjacency`` is adopted as-is, so the caller must hand
+        over fresh mutable lists with ids already validated against
+        ``len(vectors)``.  ``entry_point`` / ``max_level`` are left for
+        the caller to set from its own metadata.
+        """
+        vectors = np.atleast_2d(vectors)
+        count = vectors.shape[0]
+        if count and vectors.shape[1] != self.dim:
+            raise DimensionMismatchError(self.dim, vectors.shape[1])
+        if len(adjacency) != count:
+            raise ValueError(
+                f"{count} vectors but adjacency for {len(adjacency)} nodes")
+        capacity = max(_INITIAL_CAPACITY, count)
+        store = np.empty((capacity, self.dim), dtype=np.float32)
+        store[:count] = vectors
+        self._vectors = store
+        self._count = count
+        self.adjacency = adjacency
+
     def _grow(self) -> None:
         new_capacity = max(_INITIAL_CAPACITY, self._vectors.shape[0] * 2)
         grown = np.empty((new_capacity, self.dim), dtype=np.float32)

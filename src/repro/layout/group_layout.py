@@ -19,6 +19,7 @@ is the engine's job.
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterable
 
 from repro.errors import LayoutError
 from repro.layout.metadata import ClusterEntry, GlobalMetadata, GroupEntry
@@ -49,9 +50,9 @@ class GroupPlan:
     group_id: int
     base_offset: int
     first_cluster_id: int
-    first_blob: bytes
+    first_nbytes: int
     second_cluster_id: int | None
-    second_blob: bytes | None
+    second_nbytes: int | None
     overflow_offset: int
     capacity_records: int
     overflow_area_bytes: int
@@ -69,12 +70,12 @@ class GroupPlan:
     @property
     def end_offset(self) -> int:
         """One past the last byte of the group."""
-        if self.second_blob is None:
+        if self.second_nbytes is None:
             return self.overflow_offset + self.overflow_area_bytes
-        return self.second_offset + len(self.second_blob)
+        return self.second_offset + self.second_nbytes
 
 
-def plan_groups(blobs: list[tuple[int, bytes]], dim: int,
+def plan_groups(sizes: Iterable[tuple[int, int]], dim: int,
                 capacity_records: int,
                 start_offset: int) -> tuple[list[GroupPlan],
                                             list[ClusterEntry],
@@ -83,9 +84,11 @@ def plan_groups(blobs: list[tuple[int, bytes]], dim: int,
 
     Parameters
     ----------
-    blobs:
-        ``(cluster_id, serialized blob)`` in cluster-id order; cluster ids
-        must be ``0..len-1`` (dense) so metadata entries index directly.
+    sizes:
+        ``(cluster_id, blob size in bytes)`` in cluster-id order; cluster
+        ids must be ``0..len-1`` (dense) so metadata entries index
+        directly.  Placement needs only sizes, so the engine can plan the
+        whole layout while streaming actual blobs one at a time.
     start_offset:
         First byte after the reserved metadata area.
 
@@ -94,49 +97,60 @@ def plan_groups(blobs: list[tuple[int, bytes]], dim: int,
     ``(plans, cluster_entries, group_entries)`` where the entry lists are
     indexed by cluster id / group id respectively.
     """
-    if [cid for cid, _ in blobs] != list(range(len(blobs))):
-        raise LayoutError("cluster ids must be dense and ordered")
     area = overflow_area_size(dim, capacity_records)
     plans: list[GroupPlan] = []
-    cluster_entries: list[ClusterEntry | None] = [None] * len(blobs)
+    cluster_entries: list[ClusterEntry] = []
     group_entries: list[GroupEntry] = []
     cursor = start_offset
-    for group_id in range((len(blobs) + 1) // 2):
-        first_id, first_blob = blobs[2 * group_id]
-        second = (blobs[2 * group_id + 1]
-                  if 2 * group_id + 1 < len(blobs) else None)
+    pending: tuple[int, int] | None = None
+
+    def close_group(first: tuple[int, int],
+                    second: tuple[int, int] | None) -> None:
+        nonlocal cursor
+        group_id = len(plans)
         # The overflow area leads with a u64 tail counter that remote
         # FAA/CAS target; RDMA atomics require natural (8-byte) alignment.
-        overflow_offset = cursor + len(first_blob)
+        overflow_offset = cursor + first[1]
         overflow_offset += (-overflow_offset) % 8
         plan = GroupPlan(
             group_id=group_id,
             base_offset=cursor,
-            first_cluster_id=first_id,
-            first_blob=first_blob,
+            first_cluster_id=first[0],
+            first_nbytes=first[1],
             second_cluster_id=second[0] if second else None,
-            second_blob=second[1] if second else None,
+            second_nbytes=second[1] if second else None,
             overflow_offset=overflow_offset,
             capacity_records=capacity_records,
             overflow_area_bytes=area,
         )
         plans.append(plan)
-        cluster_entries[first_id] = ClusterEntry(
+        cluster_entries.append(ClusterEntry(
             blob_offset=plan.first_offset,
-            blob_length=len(first_blob),
-            group_id=group_id)
+            blob_length=first[1],
+            group_id=group_id))
         if second is not None:
-            cluster_entries[second[0]] = ClusterEntry(
+            cluster_entries.append(ClusterEntry(
                 blob_offset=plan.second_offset,
-                blob_length=len(second[1]),
-                group_id=group_id)
+                blob_length=second[1],
+                group_id=group_id))
         group_entries.append(GroupEntry(
             overflow_offset=overflow_offset,
             capacity_records=capacity_records))
         cursor = plan.end_offset
-    return (plans,
-            [entry for entry in cluster_entries if entry is not None],
-            group_entries)
+
+    expected = 0
+    for cluster_id, nbytes in sizes:
+        if cluster_id != expected:
+            raise LayoutError("cluster ids must be dense and ordered")
+        expected += 1
+        if pending is None:
+            pending = (cluster_id, nbytes)
+        else:
+            close_group(pending, (cluster_id, nbytes))
+            pending = None
+    if pending is not None:
+        close_group(pending, None)
+    return plans, cluster_entries, group_entries
 
 
 def cluster_read_extent(metadata: GlobalMetadata,

@@ -26,6 +26,14 @@ remote fetch-and-add maps directly to a byte offset.  The top bit of
 replaying a group's records in slot order therefore yields the current
 live/dead state of every dynamic id, and deletes cost exactly one record
 write like inserts do.
+
+The codec is zero-copy on both sides: :func:`serialize_cluster` fills one
+preallocated buffer through ``np.frombuffer`` views (no per-node
+``struct.pack``, no ``bytes`` concatenation), and
+:func:`deserialize_cluster` reads whole sections as array views, bulk-
+loading the graph instead of re-adding nodes one at a time.  The original
+node-by-node writer survives as :func:`serialize_cluster_reference` — the
+equivalence oracle; both emit byte-identical ``DHN1`` blobs.
 """
 
 from __future__ import annotations
@@ -46,6 +54,8 @@ __all__ = [
     "pack_overflow_record",
     "unpack_overflow_records",
     "serialize_cluster",
+    "serialize_cluster_reference",
+    "serialized_cluster_size",
     "deserialize_cluster",
 ]
 
@@ -99,22 +109,105 @@ def unpack_overflow_records(blob: bytes, dim: int,
     if len(blob) < count * record_size:
         raise SerializationError(
             f"overflow blob holds {len(blob)} B, need {count * record_size}")
-    records = []
-    for index in range(count):
-        offset = index * record_size
-        global_id, wire_cid = _OVERFLOW_HEAD.unpack_from(blob, offset)
-        vector = np.frombuffer(
-            blob, dtype=np.float32, count=dim,
-            offset=offset + _OVERFLOW_HEAD.size).copy()
-        records.append(OverflowRecord(
-            global_id, wire_cid & ~_TOMBSTONE_BIT, vector,
-            tombstone=bool(wire_cid & _TOMBSTONE_BIT)))
-    return records
+    if count <= 0:
+        return []
+    # One structured view decodes every record at once; the vector block
+    # is copied out in a single bulk operation so each record owns its
+    # slice independent of the source buffer.
+    wire = np.dtype([("global_id", "<i8"), ("cluster_id", "<u4"),
+                     ("vector", "<f4", (dim,))])
+    assert wire.itemsize == record_size
+    rows = np.frombuffer(blob, dtype=wire, count=count)
+    global_ids = rows["global_id"].tolist()
+    wire_cids = rows["cluster_id"]
+    vectors = np.array(rows["vector"], dtype=np.float32)
+    cluster_ids = (wire_cids & np.uint32(~_TOMBSTONE_BIT
+                                         & 0xFFFF_FFFF)).tolist()
+    tombstones = ((wire_cids & np.uint32(_TOMBSTONE_BIT)) != 0).tolist()
+    return [OverflowRecord(global_id, cluster_id, vectors[row],
+                           tombstone=tombstone)
+            for row, (global_id, cluster_id, tombstone)
+            in enumerate(zip(global_ids, cluster_ids, tombstones))]
 
 
 # ----------------------------------------------------------------------
+def serialized_cluster_size(index: HnswIndex) -> int:
+    """Exact byte size of ``serialize_cluster``'s output for ``index``.
+
+    Cheap enough (one pass over the adjacency lists, no copying) that the
+    layout planner can place every cluster before any blob exists.
+    """
+    graph = index.graph
+    num_nodes = len(graph)
+    adjacency_words = 0
+    for layers in graph.adjacency:
+        adjacency_words += len(layers)
+        for layer in layers:
+            adjacency_words += len(layer)
+    return (_HEADER.size + 12 * num_nodes + 4 * adjacency_words
+            + 4 * num_nodes * graph.dim)
+
+
 def serialize_cluster(index: HnswIndex, cluster_id: int) -> bytes:
-    """Serialize a sub-HNSW (graph + labels + vectors) into one blob."""
+    """Serialize a sub-HNSW (graph + labels + vectors) into one blob.
+
+    Zero-copy: the exact output size is computed up front and every
+    section is written through an array view over one preallocated
+    buffer.  Byte-identical to :func:`serialize_cluster_reference`.
+    """
+    graph = index.graph
+    num_nodes = len(graph)
+    entry = graph.entry_point if graph.entry_point is not None else -1
+    adjacency = graph.adjacency
+
+    adjacency_words = 0
+    for layers in adjacency:
+        adjacency_words += len(layers)
+        for layer in layers:
+            adjacency_words += len(layer)
+
+    buffer = bytearray(_HEADER.size + 12 * num_nodes + 4 * adjacency_words
+                       + 4 * num_nodes * graph.dim)
+    _HEADER.pack_into(buffer, 0, MAGIC, _FORMAT_VERSION, 0, cluster_id,
+                      num_nodes, graph.dim, graph.max_level, entry)
+    offset = _HEADER.size
+
+    labels_view = np.frombuffer(buffer, dtype=np.int64, count=num_nodes,
+                                offset=offset)
+    labels_view[:] = index.labels
+    offset += 8 * num_nodes
+
+    levels_view = np.frombuffer(buffer, dtype=np.int32, count=num_nodes,
+                                offset=offset)
+    levels_view[:] = [len(layers) - 1 for layers in adjacency]
+    offset += 4 * num_nodes
+
+    # Interleaved per-layer "count + ids" words flattened into one list,
+    # then converted by a single array assignment.
+    flat: list[int] = []
+    append = flat.append
+    extend = flat.extend
+    for layers in adjacency:
+        for layer in layers:
+            append(len(layer))
+            extend(layer)
+    adjacency_view = np.frombuffer(buffer, dtype=np.uint32,
+                                   count=adjacency_words, offset=offset)
+    adjacency_view[:] = flat
+    offset += 4 * adjacency_words
+
+    vectors_view = np.frombuffer(buffer, dtype=np.float32,
+                                 count=num_nodes * graph.dim, offset=offset)
+    vectors_view[:] = graph.vectors.reshape(-1)
+    return bytes(buffer)
+
+
+def serialize_cluster_reference(index: HnswIndex, cluster_id: int) -> bytes:
+    """Node-by-node ``struct``-based writer — the codec oracle.
+
+    Kept for equivalence tests and benchmark baselines;
+    :func:`serialize_cluster` must produce exactly these bytes.
+    """
     graph = index.graph
     num_nodes = len(graph)
     entry = graph.entry_point if graph.entry_point is not None else -1
@@ -173,20 +266,48 @@ def deserialize_cluster(blob: bytes,
     if num_nodes and (levels < 0).any():
         raise SerializationError("negative node level")
 
+    # Fail fast on corrupt levels: the adjacency section needs at least
+    # one count word per layer, and the vectors follow it, so a levels
+    # sum the remaining bytes cannot hold can never parse.
+    remaining_words = (len(blob) - offset) // 4
+    minimum_words = (int(levels.astype(np.int64).sum()) + num_nodes
+                     + num_nodes * dim)
+    if minimum_words > remaining_words:
+        raise SerializationError(
+            f"truncated blob: adjacency and vectors need at least "
+            f"{4 * minimum_words} B at offset {offset}, blob is "
+            f"{len(blob)} B")
+
+    # The whole adjacency section is one u32 view walked per layer —
+    # count lookup, slice, bounds check — instead of per-node struct
+    # unpacking and per-id int conversion.
+    words = np.frombuffer(blob, dtype=np.uint32, count=remaining_words,
+                          offset=offset)
     adjacency: list[list[list[int]]] = []
+    cursor = 0
     for node in range(num_nodes):
         layers: list[list[int]] = []
         for _ in range(int(levels[node]) + 1):
-            (count,) = _COUNT.unpack_from(
-                blob, take(_COUNT.size, f"adjacency count of node {node}"))
-            neighbors = np.frombuffer(
-                blob, dtype=np.uint32, count=count,
-                offset=take(4 * count, f"neighbours of node {node}"))
+            if cursor >= remaining_words:
+                raise SerializationError(
+                    f"truncated blob: adjacency count of node {node} "
+                    f"needs {_COUNT.size} B at offset "
+                    f"{offset + 4 * cursor}, blob is {len(blob)} B")
+            count = int(words[cursor])
+            cursor += 1
+            if cursor + count > remaining_words:
+                raise SerializationError(
+                    f"truncated blob: neighbours of node {node} need "
+                    f"{4 * count} B at offset {offset + 4 * cursor}, "
+                    f"blob is {len(blob)} B")
+            neighbors = words[cursor:cursor + count]
+            cursor += count
             if count and int(neighbors.max()) >= num_nodes:
                 raise SerializationError(
                     f"node {node}: neighbour id out of range")
-            layers.append([int(x) for x in neighbors])
+            layers.append(neighbors.tolist())
         adjacency.append(layers)
+    offset += 4 * cursor
 
     vectors = np.frombuffer(
         blob, dtype=np.float32, count=num_nodes * dim,
@@ -205,10 +326,9 @@ def deserialize_cluster(blob: bytes,
 
     index = HnswIndex(dim, params if params is not None else HnswParams())
     graph = index.graph
-    for node in range(num_nodes):
-        graph.add_node(vectors[node], int(levels[node]))
-        graph.adjacency[node] = adjacency[node]
+    if num_nodes:
+        graph.bulk_load(vectors, adjacency)
     graph.max_level = max_level
     graph.entry_point = entry if entry >= 0 else None
-    index.labels = [int(x) for x in labels]
+    index.labels = labels.tolist()
     return index, cluster_id

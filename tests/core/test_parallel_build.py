@@ -1,0 +1,174 @@
+"""Parallel construction: BuildPool semantics, byte-identical layouts,
+rebuild-under-parallel and streaming memory behaviour."""
+
+from __future__ import annotations
+
+import hashlib
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.cluster import Deployment
+from repro.cluster.sharding import ShardedDeployment
+from repro.core import DHnswConfig
+from repro.core.build_pool import BuildPool
+from repro.core.engine import _ClusterBlobSource
+from repro.core.meta_index import MetaHnsw, sample_representatives
+from repro.core.partitions import assign_partitions
+from repro.errors import ConfigError
+from repro.hnsw.params import HnswParams
+from repro.layout.group_layout import plan_groups
+
+
+def square_task(value: int) -> int:
+    """Module-level so the process pool can pickle it by reference."""
+    return value * value
+
+
+def region_digest(deployment: Deployment) -> str:
+    """SHA-256 of the entire remote region (metadata + groups)."""
+    layout = deployment.layout
+    payload = layout.memory_node.read(layout.rkey, layout.region.base_addr,
+                                      layout.region.length)
+    return hashlib.sha256(payload).hexdigest()
+
+
+class TestBuildPool:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            BuildPool(-1)
+
+    def test_in_process_map_is_lazy(self):
+        consumed = []
+
+        def record(value):
+            consumed.append(value)
+            return value + 1
+
+        with BuildPool(0) as pool:
+            results = pool.map(record, [1, 2, 3])
+            assert consumed == []  # nothing ran yet
+            assert next(iter(results)) == 2
+            assert consumed == [1]
+
+    def test_pool_map_preserves_order(self):
+        with BuildPool(2) as pool:
+            assert list(pool.map(square_task, [3, 1, 4, 1, 5])) == \
+                [9, 1, 16, 1, 25]
+
+
+class TestByteIdenticalLayouts:
+    """The determinism contract: build_workers never changes the bytes."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = np.random.default_rng(31)
+        return rng.standard_normal((900, 16)).astype(np.float32)
+
+    def test_worker_counts_agree(self, corpus):
+        config = DHnswConfig(num_representatives=10, nprobe=2,
+                             overflow_capacity_records=8, seed=3)
+        digests = {}
+        reports = {}
+        for workers in (0, 1, 4):
+            deployment = Deployment(
+                corpus, config.replace(build_workers=workers))
+            digests[workers] = region_digest(deployment)
+            reports[workers] = deployment.build_report
+        assert digests[0] == digests[1] == digests[4]
+        base = reports[0]
+        for workers in (1, 4):
+            report = reports[workers]
+            assert report.total_blob_bytes == base.total_blob_bytes
+            assert report.num_partitions == base.num_partitions
+            assert report.num_groups == base.num_groups
+            np.testing.assert_array_equal(report.partition_sizes,
+                                          base.partition_sizes)
+
+    def test_sharded_deployment_passthrough(self, corpus):
+        config = DHnswConfig(num_representatives=6, nprobe=2, seed=3)
+        plain = ShardedDeployment(corpus, config, num_shards=2)
+        parallel = ShardedDeployment(corpus, config, num_shards=2,
+                                     build_workers=2)
+        assert parallel.config.build_workers == 2
+        for left, right in zip(plain.deployments, parallel.deployments):
+            assert region_digest(left) == region_digest(right)
+
+
+class TestRebuildUnderParallel:
+    """Overflow-exhaustion rebuilds stay byte-identical when the member
+    clusters are rebuilt on a process pool."""
+
+    def _exhaust(self, deployment, config, probe):
+        from repro.core import DHnswClient
+        client = DHnswClient(deployment.layout, deployment.meta, config,
+                             cost_model=deployment.cost_model)
+        reports = [client.insert(probe + i * 1e-4, 100_000 + i)
+                   for i in range(config.overflow_capacity_records + 1)]
+        return client, reports
+
+    def test_parallel_rebuild_matches_sequential(self, small_dataset,
+                                                 small_config):
+        probe = small_dataset.queries[2]
+        outcomes = {}
+        for workers in (0, 2):
+            config = small_config.replace(build_workers=workers)
+            deployment = Deployment(small_dataset.vectors, config)
+            client, reports = self._exhaust(deployment, config, probe)
+            assert reports[-1].triggered_rebuild
+            result = client.search(probe, 5, ef_search=48)
+            outcomes[workers] = (region_digest(deployment),
+                                 result.ids.tolist(),
+                                 result.distances.tolist(),
+                                 client.metadata.version)
+        assert outcomes[0] == outcomes[2]
+
+
+class TestStreamingBlobConsumption:
+    """plan_groups + the write loop never hold every blob at once."""
+
+    def _source_parts(self, count=4000, dim=32):
+        rng = np.random.default_rng(17)
+        vectors = rng.standard_normal((count, dim)).astype(np.float32)
+        config = DHnswConfig(num_representatives=12, seed=5)
+        reps = sample_representatives(count, 12,
+                                      np.random.default_rng(config.seed))
+        meta = MetaHnsw(vectors[reps], config.meta_params)
+        partitioning = assign_partitions(vectors, meta)
+        return vectors, partitioning, config
+
+    def _consume(self, source, dim, config, retain: bool) -> int:
+        """Plan then drain the source, returning the traced peak."""
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        plans, _, _ = plan_groups(source.sizes(), dim,
+                                  config.overflow_capacity_records, 0)
+        kept = []
+        for _, blob in source.blobs():
+            if retain:
+                kept.append(blob)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert plans
+        return peak
+
+    def test_peak_below_materializing_all_blobs(self):
+        vectors, partitioning, config = self._source_parts()
+        dim = vectors.shape[1]
+        streaming = _ClusterBlobSource(vectors, partitioning,
+                                       config.sub_params, None, 0)
+        streaming_peak = self._consume(streaming, dim, config, retain=False)
+        total = streaming.total_blob_bytes
+        assert total > 0
+
+        materialized = _ClusterBlobSource(vectors, partitioning,
+                                          config.sub_params, None, 0)
+        retained_peak = self._consume(materialized, dim, config, retain=True)
+
+        # Streaming holds at most a couple of in-flight blobs (the
+        # serializer's working buffer plus the yielded copy); retaining
+        # every blob — what the old two-pass planner forced — must pay
+        # for the whole layout on top of that.
+        assert retained_peak >= total
+        assert streaming_peak < retained_peak - 0.5 * total

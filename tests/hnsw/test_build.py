@@ -9,10 +9,20 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.hnsw.build as build_module
 from repro.hnsw.build import insert, sample_level, select_neighbors_heuristic
-from repro.hnsw.distance import DistanceKernel
+from repro.hnsw.distance import DistanceKernel, Metric
 from repro.hnsw.graph import LayeredGraph
+from repro.hnsw.index import HnswIndex
 from repro.hnsw.params import HnswParams
+
+
+@pytest.fixture()
+def reference_construction():
+    """Run the enclosed code on the reference (non-vectorized) loops."""
+    build_module.VECTORIZED_CONSTRUCTION = False
+    yield
+    build_module.VECTORIZED_CONSTRUCTION = True
 
 
 class TestSampleLevel:
@@ -82,6 +92,75 @@ class TestNeighborHeuristic:
         assert select_neighbors_heuristic(
             self.graph, self.kernel, [(0.0, node)], m=0, level=0,
             params=self.params) == []
+
+
+class TestExtendCandidatesBase:
+    """Algorithm 4 must score extensions against the *query* vector."""
+
+    def _make_case(self):
+        graph = LayeredGraph(2)
+        kernel = DistanceKernel(2)
+        near = graph.add_node([0.0, 0.0], 0)     # closest candidate
+        far = graph.add_node([10.0, 0.0], 0)     # candidate linking out
+        ext = graph.add_node([-1.0, 0.0], 0)     # discovered extension
+        graph.add_edge(far, ext, 0)
+        query = np.array([4.0, 0.0], dtype=np.float32)
+        candidates = [(16.0, near), (36.0, far)]
+        params = HnswParams(m=4, extend_candidates=True,
+                            keep_pruned_connections=False)
+        return graph, kernel, query, candidates, params, near, ext
+
+    def test_query_base_changes_selection(self):
+        graph, kernel, query, candidates, params, near, ext = self._make_case()
+        # Correct base: the extension is 25 from the query, farther than
+        # the 16 of the nearest candidate, so the nearest candidate wins.
+        with_query = select_neighbors_heuristic(
+            graph, kernel, candidates, m=1, level=0, params=params,
+            query=query)
+        assert with_query == [near]
+        # Legacy base (closest candidate's own vector): the extension
+        # scores 1 against it and incorrectly shadows the candidate.
+        without_query = select_neighbors_heuristic(
+            graph, kernel, candidates, m=1, level=0, params=params)
+        assert without_query == [ext]
+
+    def test_reference_path_agrees(self, reference_construction):
+        graph, kernel, query, candidates, params, near, ext = self._make_case()
+        assert select_neighbors_heuristic(
+            graph, kernel, candidates, m=1, level=0, params=params,
+            query=query) == [near]
+        assert select_neighbors_heuristic(
+            graph, kernel, candidates, m=1, level=0, params=params) == [ext]
+
+
+class TestVectorizedEquivalence:
+    """The vectorized construction path is bit-identical to the loops."""
+
+    @pytest.mark.parametrize("extend", [False, True])
+    @pytest.mark.parametrize("metric", [Metric.L2, Metric.COSINE])
+    def test_graphs_and_counts_match(self, metric, extend):
+        generator = np.random.default_rng(11)
+        data = generator.standard_normal((180, 12)).astype(np.float32)
+        params = HnswParams(m=6, ef_construction=40, seed=5, metric=metric,
+                            extend_candidates=extend)
+
+        def run():
+            index = HnswIndex(12, params)
+            index.add(data)
+            return index
+
+        fast = run()
+        build_module.VECTORIZED_CONSTRUCTION = False
+        try:
+            reference = run()
+        finally:
+            build_module.VECTORIZED_CONSTRUCTION = True
+        assert fast.graph.adjacency == reference.graph.adjacency
+        assert fast.graph.entry_point == reference.graph.entry_point
+        assert fast.graph.max_level == reference.graph.max_level
+        assert np.array_equal(fast.graph.vectors, reference.graph.vectors)
+        assert (fast.kernel.num_evaluations
+                == reference.kernel.num_evaluations)
 
 
 class TestInsert:

@@ -17,14 +17,10 @@ from repro.layout.metadata import GlobalMetadata
 from repro.layout.serializer import overflow_record_size
 
 
-def make_blobs(sizes: list[int]) -> list[tuple[int, bytes]]:
-    return [(cid, bytes([cid % 251]) * size)
-            for cid, size in enumerate(sizes)]
-
-
 def plan_and_metadata(sizes, dim=4, capacity=8, start=4096):
-    blobs = make_blobs(sizes)
-    plans, clusters, groups = plan_groups(blobs, dim, capacity, start)
+    # Sizes stream through an iterator: planning must not need the list.
+    plans, clusters, groups = plan_groups(
+        iter(enumerate(sizes)), dim, capacity, start)
     metadata = GlobalMetadata(version=1, dim=dim,
                               overflow_capacity_records=capacity,
                               clusters=clusters, groups=groups)
@@ -86,7 +82,7 @@ class TestPlanGroups:
 
     def test_nondense_ids_rejected(self):
         with pytest.raises(LayoutError, match="dense"):
-            plan_groups([(0, b"x"), (2, b"y")], 4, 8, 0)
+            plan_groups([(0, 1), (2, 1)], 4, 8, 0)
 
     @settings(max_examples=30, deadline=None)
     @given(sizes=st.lists(st.integers(min_value=1, max_value=5000),

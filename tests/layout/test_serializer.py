@@ -15,6 +15,8 @@ from repro.layout.serializer import (
     overflow_record_size,
     pack_overflow_record,
     serialize_cluster,
+    serialize_cluster_reference,
+    serialized_cluster_size,
     unpack_overflow_records,
 )
 
@@ -78,6 +80,34 @@ class TestClusterRoundtrip:
         restored, _ = deserialize_cluster(serialize_cluster(original, 0))
         assert restored.labels == original.labels
         assert restored.graph.adjacency == original.graph.adjacency
+
+
+class TestZeroCopySerializer:
+    """The buffer-view writer matches the reference struct packer."""
+
+    @pytest.mark.parametrize("count,dim,seed", [(0, 4, 0), (1, 4, 1),
+                                                (120, 12, 3), (200, 8, 1)])
+    def test_bytes_identical_to_reference(self, count, dim, seed):
+        index = build_index(count, dim, seed=seed, label_base=1000)
+        fast = serialize_cluster(index, cluster_id=9)
+        reference = serialize_cluster_reference(index, cluster_id=9)
+        assert fast == reference
+
+    @pytest.mark.parametrize("count,dim", [(0, 4), (1, 6), (150, 10)])
+    def test_size_formula_exact(self, count, dim):
+        index = build_index(count, dim, seed=5)
+        assert serialized_cluster_size(index) == \
+            len(serialize_cluster(index, cluster_id=0))
+
+    @settings(max_examples=15, deadline=None)
+    @given(count=st.integers(min_value=0, max_value=40),
+           dim=st.integers(min_value=2, max_value=16),
+           seed=st.integers(min_value=0, max_value=5))
+    def test_equivalence_property(self, count, dim, seed):
+        index = build_index(count, dim, seed=seed)
+        blob = serialize_cluster(index, cluster_id=count)
+        assert blob == serialize_cluster_reference(index, cluster_id=count)
+        assert len(blob) == serialized_cluster_size(index)
 
 
 class TestClusterErrors:
