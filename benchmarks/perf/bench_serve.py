@@ -1,0 +1,233 @@
+"""Wall-clock + simulated-latency benchmark of the pipelined serving engine.
+
+PR 4 turned ``DHnswClient._execute_plan`` into a double-buffered wave
+executor with a multi-worker cluster-search phase and vectorized top-k
+merging.  This harness runs the acceptance scenario (20k vectors, batch
+256, efSearch 32) across the serving configurations:
+
+* ``serial``             — pipeline off, 1 worker (the pre-PR-4 engine),
+* ``pipelined``          — pipeline on, 1 worker,
+* ``workers4_thread``    — pipeline off, 4 thread workers,
+* ``workers4_process``   — pipeline off, 4 process workers,
+* ``pipelined_workers4`` — pipeline on, 4 thread workers,
+
+and asserts the PR's acceptance criteria:
+
+* every configuration returns bit-identical results and identical
+  ``sub_evals`` (worker count and scheduling never change answers);
+* with pipelining on, the simulated end-to-end batch latency improves
+  over the serial schedule by at least the retained ``_overlap_saved``
+  oracle, and the measured hidden wire time matches that oracle;
+* with ``search_workers=4`` on the process executor, the sub-HNSW
+  compute phase is at least 2x faster in wall-clock than 1 worker —
+  enforced only when the host has at least 2 CPUs (``cpu_count`` is
+  recorded either way; a single-core runner cannot speed anything up).
+
+Any violated criterion exits non-zero, so the CI smoke job doubles as a
+regression gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py           # full
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py --quick   # CI
+
+Writes ``benchmarks/perf/BENCH_serve.json`` (override with ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.cluster import Deployment
+from repro.core import DHnswClient, DHnswConfig
+from repro.datasets import sift_like
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "BENCH_serve.json"
+
+#: The acceptance scenario (full) and a CI-sized shrink (quick).
+SCALES = {
+    "full": dict(num_vectors=20000, num_queries=256, num_clusters=100,
+                 batch_size=256, reps=5),
+    "quick": dict(num_vectors=2000, num_queries=64, num_clusters=20,
+                  batch_size=64, reps=3),
+}
+
+#: (label, config overrides) for every serving configuration measured.
+CONFIGS = [
+    ("serial", {}),
+    ("pipelined", {"pipeline_waves": True}),
+    ("workers4_thread", {"search_workers": 4}),
+    ("workers4_process", {"search_workers": 4,
+                          "search_executor": "process"}),
+    ("pipelined_workers4", {"pipeline_waves": True, "search_workers": 4}),
+]
+
+
+def check(condition: bool, what: str) -> None:
+    if not condition:
+        raise SystemExit(f"ACCEPTANCE FAILURE: {what}")
+
+
+def run_config(deployment, queries, overrides, reps):
+    """Measure one serving configuration.
+
+    Every configuration executes the identical sequence (one warm-up
+    batch, then ``reps`` timed batches) so cache evolution — and with it
+    every simulated number — is comparable across configurations.
+    Returns (section dict, last BatchResult).
+    """
+    config = deployment.config.replace(cache_fraction=0.10, **overrides)
+    client = DHnswClient(deployment.layout, deployment.meta, config,
+                         cost_model=deployment.cost_model)
+    try:
+        client.search_batch(queries, k=10, ef_search=32)  # warm-up
+        wall = compute_wall = float("inf")
+        batch = None
+        for _ in range(reps):
+            compute_before = client.node.wall_compute_s
+            start = time.perf_counter()
+            batch = client.search_batch(queries, k=10, ef_search=32)
+            wall = min(wall, time.perf_counter() - start)
+            compute_wall = min(compute_wall,
+                               client.node.wall_compute_s - compute_before)
+        section = {
+            "pipeline_waves": bool(config.pipeline_waves),
+            "search_workers": config.search_workers,
+            "search_executor": config.search_executor,
+            "wall_seconds": round(wall, 4),
+            "compute_wall_seconds": round(compute_wall, 4),
+            "wall_qps": round(len(queries) / wall, 1),
+            "simulated": {
+                "total_us": round(batch.breakdown.total_us, 3),
+                "network_us": round(batch.breakdown.network_us, 3),
+                "sub_hnsw_us": round(batch.breakdown.sub_hnsw_us, 3),
+                "latency_per_query_us": round(batch.latency_per_query_us,
+                                              4),
+                "overlap_saved_us": round(batch.overlap_saved_us, 3),
+                "overlap_oracle_us": round(batch.overlap_oracle_us, 3),
+                "waves": batch.waves,
+            },
+            "sub_evals": batch.sub_evals,
+            "cache_misses": batch.cache_misses,
+            "cache_evictions": batch.cache_evictions,
+            "pipeline_executed": batch.pipeline_executed,
+        }
+        return section, batch
+    finally:
+        client.close()
+
+
+def assert_acceptance(sections, batches, cpu_count) -> dict:
+    """The PR-4 acceptance gates; returns the summary block."""
+    reference = batches["serial"]
+    for label, batch in batches.items():
+        check(all(np.array_equal(a.ids, b.ids)
+                  and np.array_equal(a.distances, b.distances)
+                  for a, b in zip(reference.results, batch.results)),
+              f"results of '{label}' differ from the serial engine")
+        check(batch.sub_evals == reference.sub_evals,
+              f"'{label}' changed the distance-evaluation count")
+
+    piped = batches["pipelined"]
+    check(piped.pipeline_executed, "pipelined run never entered the "
+                                   "double-buffered executor")
+    check(piped.waves >= 2, "scenario produced a single wave — nothing "
+                            "to overlap; enlarge the corpus")
+    improvement = (reference.breakdown.total_us
+                   - piped.breakdown.total_us)
+    oracle = piped.overlap_oracle_us
+    check(improvement >= oracle * (1 - 1e-6) - 1e-6,
+          f"simulated improvement {improvement:.3f}us fell short of the "
+          f"overlap oracle {oracle:.3f}us")
+    check(abs(piped.overlap_saved_us - oracle) <= max(1e-6, 1e-9 * oracle),
+          "measured hidden wire time drifted from the oracle")
+    check(piped.breakdown.network_us < reference.breakdown.network_us,
+          "pipelining did not shrink the exposed network bucket")
+
+    workers = sections["workers4_process"]["compute_wall_seconds"]
+    single = sections["serial"]["compute_wall_seconds"]
+    speedup = single / workers if workers > 0 else float("inf")
+    speedup_enforced = cpu_count >= 2
+    if speedup_enforced:
+        check(speedup >= 2.0,
+              f"4 process workers gave only {speedup:.2f}x compute-phase "
+              f"speedup on a {cpu_count}-CPU host")
+    return {
+        "simulated_improvement_us": round(improvement, 3),
+        "overlap_oracle_us": round(oracle, 3),
+        "compute_phase_speedup_workers4": round(speedup, 2),
+        "speedup_gate_enforced": speedup_enforced,
+        "bit_identical": True,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (small build, fewer reps)")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    mode = "quick" if args.quick else "full"
+    scale = SCALES[mode]
+    cpu_count = os.cpu_count() or 1
+
+    build_start = time.perf_counter()
+    dataset = sift_like(num_vectors=scale["num_vectors"],
+                        num_queries=scale["num_queries"],
+                        num_clusters=scale["num_clusters"],
+                        gt_k=10, seed=42)
+    config = DHnswConfig(nprobe=4, ef_meta=32, cache_fraction=0.10,
+                         batch_size=scale["batch_size"],
+                         overflow_capacity_records=64, seed=42)
+    deployment = Deployment(dataset.vectors, config,
+                            simulate_link_contention=False)
+    build_seconds = time.perf_counter() - build_start
+    queries = dataset.queries[:scale["batch_size"]]
+
+    sections = {}
+    batches = {}
+    for label, overrides in CONFIGS:
+        sections[label], batches[label] = run_config(
+            deployment, queries, overrides, scale["reps"])
+
+    acceptance = assert_acceptance(sections, batches, cpu_count)
+    report = {
+        "benchmark": "pipelined serving engine vs serial",
+        "mode": mode,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": cpu_count,
+        },
+        "dataset": {
+            "kind": "sift_like",
+            "num_vectors": scale["num_vectors"],
+            "dim": dataset.vectors.shape[1],
+            "num_clusters": scale["num_clusters"],
+            "batch_size": scale["batch_size"],
+            "nprobe": config.nprobe,
+            "seed": 42,
+        },
+        "build_seconds": round(build_seconds, 1),
+        "reps_best_of": scale["reps"],
+        "sections": sections,
+        "acceptance": acceptance,
+    }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps({"sections": sections, "acceptance": acceptance},
+                     indent=2))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@ own simulated clock), so the cluster-level wall time of a batch is the
 from __future__ import annotations
 
 import dataclasses
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -36,6 +37,26 @@ class ClusterBatchResult:
     def batch_size(self) -> int:
         """Total queries answered."""
         return len(self.results)
+
+    @property
+    def sub_evals(self) -> int:
+        """Sub-HNSW distance evaluations across all instances."""
+        return sum(batch.sub_evals for batch in self.per_instance)
+
+    @property
+    def cache_misses(self) -> int:
+        """Cluster-cache misses across all instances."""
+        return sum(batch.cache_misses for batch in self.per_instance)
+
+    @property
+    def cache_evictions(self) -> int:
+        """Cluster-cache evictions across all instances."""
+        return sum(batch.cache_evictions for batch in self.per_instance)
+
+    @property
+    def overlap_saved_us(self) -> float:
+        """Wire time hidden by pipelining, summed over instances."""
+        return sum(batch.overlap_saved_us for batch in self.per_instance)
 
     @property
     def throughput_qps(self) -> float:
@@ -73,10 +94,25 @@ class LoadBalancer:
         breakdown = LatencyBreakdown()
         rdma = RdmaStats()
         wall_time = 0.0
-        for client, indices in zip(self.deployment.clients, shards):
-            if len(indices) == 0:
-                continue
-            batch = client.search_batch(queries[indices], k, ef_search)
+        jobs = [(client, indices)
+                for client, indices in zip(self.deployment.clients, shards)
+                if len(indices) > 0]
+        workers = min(len(jobs), max(
+            (client.config.search_workers for client, _ in jobs),
+            default=1))
+        if workers > 1:
+            # Instances are independent (private clock, cache, QP), so
+            # their dispatches can run on real threads; gathering in
+            # submission order keeps the merge deterministic.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(client.search_batch,
+                                       queries[indices], k, ef_search)
+                           for client, indices in jobs]
+                batches = [future.result() for future in futures]
+        else:
+            batches = [client.search_batch(queries[indices], k, ef_search)
+                       for client, indices in jobs]
+        for (client, indices), batch in zip(jobs, batches):
             per_instance.append(batch)
             for local, query_index in enumerate(indices):
                 merged[query_index] = batch.results[local]

@@ -17,6 +17,8 @@ Dynamic ids are routed to shard ``gid % num_shards``.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from repro.cluster.deployment import Deployment
@@ -86,9 +88,20 @@ class ShardedDeployment:
         counters aggregate.
         """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        shard_batches = [deployment.client(0).search_batch(queries, k,
-                                                           ef_search)
-                         for deployment in self.deployments]
+        workers = min(self.config.search_workers, len(self.deployments))
+        if workers > 1:
+            # Shards are fully independent deployments (own memory node,
+            # own clocks), so the fan-out can use real threads; gathering
+            # in shard order keeps the merge deterministic.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(deployment.client(0).search_batch,
+                                       queries, k, ef_search)
+                           for deployment in self.deployments]
+                shard_batches = [future.result() for future in futures]
+        else:
+            shard_batches = [deployment.client(0).search_batch(queries, k,
+                                                               ef_search)
+                             for deployment in self.deployments]
 
         results = []
         for row in range(queries.shape[0]):
@@ -122,7 +135,18 @@ class ShardedDeployment:
             duplicate_requests_pruned=sum(
                 batch.duplicate_requests_pruned
                 for batch in shard_batches),
-            waves=max(batch.waves for batch in shard_batches))
+            waves=max(batch.waves for batch in shard_batches),
+            overlap_saved_us=sum(batch.overlap_saved_us
+                                 for batch in shard_batches),
+            sub_evals=sum(batch.sub_evals for batch in shard_batches),
+            cache_misses=sum(batch.cache_misses
+                             for batch in shard_batches),
+            cache_evictions=sum(batch.cache_evictions
+                                for batch in shard_batches),
+            pipeline_executed=any(batch.pipeline_executed
+                                  for batch in shard_batches),
+            overlap_oracle_us=sum(batch.overlap_oracle_us
+                                  for batch in shard_batches))
 
     def search(self, query: np.ndarray, k: int,
                ef_search: int | None = None) -> QueryResult:

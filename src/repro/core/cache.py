@@ -7,12 +7,20 @@ do not need to be loaded again, further reducing data transfer overhead."
 Capacity is a cluster count (the paper configures 10 % of all clusters).
 Entries carry the metadata version and the overflow tail observed at load
 time so staleness is detectable after inserts and rebuilds.
+
+The cache is thread-safe: the serving engine's thread-pool executor looks
+entries up from worker threads while the scheduler inserts fetched clusters,
+so every operation (including the byte/counter bookkeeping) runs under one
+re-entrant lock.  Accounting lives *inside* the cache: ``get`` counts hits
+and misses, ``put`` counts the miss that caused the fetch (an insert of an
+absent key) and any evictions — callers never poke the counters.
 """
 
 from __future__ import annotations
 
 import collections
 import dataclasses
+import threading
 
 from repro.errors import ConfigError
 from repro.hnsw.index import HnswIndex
@@ -34,7 +42,7 @@ class CachedCluster:
 
 
 class ClusterCache:
-    """LRU cache of deserialized sub-HNSW clusters."""
+    """Lock-guarded LRU cache of deserialized sub-HNSW clusters."""
 
     def __init__(self, capacity_clusters: int) -> None:
         if capacity_clusters < 1:
@@ -43,18 +51,46 @@ class ClusterCache:
         self.capacity_clusters = int(capacity_clusters)
         self._entries: collections.OrderedDict[int, CachedCluster] = (
             collections.OrderedDict())
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
         self._cached_bytes = 0
 
     # ------------------------------------------------------------------
+    # Counters (read-only: incremented inside get/put/invalidate)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Lookups served from cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that went to remote memory (counted at ``get`` misses
+        and at ``put`` inserts of absent keys — never both for one fetch:
+        the refetch path opts out with ``count_miss=False``)."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries displaced by capacity pressure."""
+        return self._evictions
+
+    @property
+    def invalidations(self) -> int:
+        """Entries dropped as stale."""
+        return self._invalidations
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, cluster_id: int) -> bool:
-        return cluster_id in self._entries
+        with self._lock:
+            return cluster_id in self._entries
 
     @property
     def cached_bytes(self) -> int:
@@ -63,58 +99,78 @@ class ClusterCache:
 
     def get(self, cluster_id: int) -> CachedCluster | None:
         """Look up a cluster, refreshing its recency; counts hit/miss."""
-        entry = self._entries.get(cluster_id)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(cluster_id)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(cluster_id)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(cluster_id)
+            self._hits += 1
+            return entry
 
     def peek(self, cluster_id: int) -> CachedCluster | None:
         """Look up without touching recency or counters (planner use)."""
-        return self._entries.get(cluster_id)
+        with self._lock:
+            return self._entries.get(cluster_id)
 
-    def put(self, entry: CachedCluster) -> list[CachedCluster]:
-        """Insert (or replace) an entry; returns any evicted entries."""
-        evicted = []
-        previous = self._entries.pop(entry.cluster_id, None)
-        if previous is not None:
-            self._cached_bytes -= previous.nbytes
-        while len(self._entries) >= self.capacity_clusters:
-            _, victim = self._entries.popitem(last=False)
-            self.evictions += 1
-            self._cached_bytes -= victim.nbytes
-            evicted.append(victim)
-        self._entries[entry.cluster_id] = entry
-        self._cached_bytes += entry.nbytes
-        return evicted
+    def put(self, entry: CachedCluster,
+            count_miss: bool = True) -> list[CachedCluster]:
+        """Insert (or replace) an entry; returns any evicted entries.
+
+        Inserting a key that was absent counts one miss — the fetch that
+        produced ``entry`` went to remote memory.  Pass
+        ``count_miss=False`` when a failed :meth:`get` already counted it
+        (the evicted-between-planning-and-execution refetch path).
+        """
+        with self._lock:
+            evicted = []
+            previous = self._entries.pop(entry.cluster_id, None)
+            if previous is not None:
+                self._cached_bytes -= previous.nbytes
+            elif count_miss:
+                self._misses += 1
+            while len(self._entries) >= self.capacity_clusters:
+                _, victim = self._entries.popitem(last=False)
+                self._evictions += 1
+                self._cached_bytes -= victim.nbytes
+                evicted.append(victim)
+            self._entries[entry.cluster_id] = entry
+            self._cached_bytes += entry.nbytes
+            return evicted
 
     def pop_lru(self) -> CachedCluster | None:
         """Evict and return the least recently used entry, if any."""
-        if not self._entries:
-            return None
-        _, victim = self._entries.popitem(last=False)
-        self.evictions += 1
-        self._cached_bytes -= victim.nbytes
-        return victim
+        with self._lock:
+            if not self._entries:
+                return None
+            _, victim = self._entries.popitem(last=False)
+            self._evictions += 1
+            self._cached_bytes -= victim.nbytes
+            return victim
 
     def invalidate(self, cluster_id: int) -> bool:
         """Drop one entry (stale after a rebuild); True if it was cached."""
-        victim = self._entries.pop(cluster_id, None)
-        if victim is not None:
-            self._cached_bytes -= victim.nbytes
-            self.invalidations += 1
-            return True
-        return False
+        with self._lock:
+            victim = self._entries.pop(cluster_id, None)
+            if victim is not None:
+                self._cached_bytes -= victim.nbytes
+                self._invalidations += 1
+                return True
+            return False
 
     def invalidate_all(self) -> None:
         """Drop everything (metadata version change)."""
-        self.invalidations += len(self._entries)
-        self._entries.clear()
-        self._cached_bytes = 0
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+            self._cached_bytes = 0
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def counters(self) -> tuple[int, int, int]:
+        """(hits, misses, evictions) read atomically under the lock."""
+        with self._lock:
+            return self._hits, self._misses, self._evictions

@@ -16,19 +16,23 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-import heapq
 import struct
+import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
 
 from repro.core.baselines import Scheme, SchemePolicy, policy_for
 from repro.core.cache import CachedCluster, ClusterCache
+from repro.core.cluster_search import replay_overflow, search_cluster_entry
 from repro.core.config import DHnswConfig
 from repro.core.engine import RemoteLayout
+from repro.core.merge import TopKMerger
 from repro.core.meta_index import MetaHnsw
-from repro.core.query_planner import BatchPlan, plan_batch
+from repro.core.query_planner import BatchPlan, Wave, plan_batch
 from repro.core.results import BatchResult, QueryResult
+from repro.core.search_pool import SearchPool
 from repro.core.build_pool import BuildPool
 from repro.errors import LayoutError, OverflowFullError
 from repro.hnsw.parallel_build import ClusterRebuildTask, rebuild_cluster_blob
@@ -54,7 +58,6 @@ from repro.rdma.qp import ReadDescriptor, WriteDescriptor
 __all__ = ["DHnswClient", "InsertReport"]
 
 _U64 = struct.Struct("<Q")
-_INF = float("inf")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,6 +68,24 @@ class InsertReport:
     cluster_id: int
     overflow_slot: int
     triggered_rebuild: bool
+
+
+@dataclasses.dataclass
+class _PlanExecution:
+    """What a wave schedule actually did (returned by ``_execute_plan``)."""
+
+    sub_evals: int = 0
+    fetched: int = 0
+    hit_count: int = 0
+    #: Closed-form overlap estimate from the per-wave profiles (the
+    #: pre-PR-4 formula, retained as a test oracle).
+    overlap_oracle_us: float = 0.0
+    #: True when deserialize + compute were charged per wave inside the
+    #: pipelined loop; ``search_batch`` must then skip its lump charges.
+    charged_in_loop: bool = False
+    #: Simulated µs already charged to the sub-HNSW bucket in-loop.
+    charged_compute_us: float = 0.0
+    pipeline_executed: bool = False
 
 
 class DHnswClient:
@@ -134,6 +155,40 @@ class DHnswClient:
         # unique blobs rather than total fetches.
         self._decode_cache: dict[tuple[int, int, int], CachedCluster] = {}
         self._deserialize_us = 0.0
+
+        # Search executors, created lazily on the first multi-worker wave.
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._search_pool: SearchPool | None = None
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the search executors (idempotent)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False, cancel_futures=True)
+            self._thread_pool = None
+        if self._search_pool is not None:
+            self._search_pool.close()
+            self._search_pool = None
+
+    def __enter__(self) -> "DHnswClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _get_thread_pool(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.config.search_workers,
+                thread_name_prefix=f"{self.node.name}-search")
+        return self._thread_pool
+
+    def _get_search_pool(self) -> SearchPool:
+        if self._search_pool is None:
+            self._search_pool = SearchPool(self.config.search_workers)
+        return self._search_pool
 
     # ------------------------------------------------------------------
     # Metadata freshness
@@ -209,136 +264,233 @@ class DHnswClient:
             meta_evals, self.meta.dim)
 
         # --- cluster loading + sub-HNSW search -------------------------
-        merged: list[dict[int, float]] = [dict() for _ in range(len(queries))]
-        sub_evals = 0
+        merger = TopKMerger(len(queries), k, prune=filter_fn is None)
+        cache_counters_before = self.cache.counters()
         if self.policy.deduplicate_batch:
             plan = plan_batch(
                 required,
                 self.cache if self.policy.use_cluster_cache
                 else ClusterCache(1),
                 self.cache.capacity_clusters)
-            sub_evals, fetched, hit_count, overlap_saved = (
-                self._execute_plan(plan, queries, merged, k, ef))
+            execution = self._execute_plan(plan, queries, merger, k, ef)
             waves = len(plan.waves)
             pruned = plan.duplicate_requests_pruned
         else:
-            sub_evals, fetched = self._execute_naive(
-                required, queries, merged, k, ef)
-            overlap_saved = 0.0
-            hit_count = 0
+            execution = self._execute_naive(required, queries, merger, k, ef)
             waves = 0
             pruned = 0
-        breakdown.sub_hnsw_us += self.node.charge_compute(
-            sub_evals, self.meta.dim)
-        # Deserialization of fetched blobs is CPU work on loaded data —
-        # it belongs to the sub-HNSW bucket (see CostModel docs).
-        breakdown.sub_hnsw_us += self.node.charge_time(self._deserialize_us)
+        if execution.charged_in_loop:
+            # The pipelined executor charged deserialize + compute wave by
+            # wave (that interleaving is the whole point); just attribute.
+            breakdown.sub_hnsw_us += execution.charged_compute_us
+        else:
+            breakdown.sub_hnsw_us += self.node.charge_compute(
+                execution.sub_evals, self.meta.dim)
+            # Deserialization of fetched blobs is CPU work on loaded data —
+            # it belongs to the sub-HNSW bucket (see CostModel docs).
+            breakdown.sub_hnsw_us += self.node.charge_time(
+                self._deserialize_us)
         self._deserialize_us = 0.0
 
         # --- finalize ---------------------------------------------------
         results = []
-        for per_query in merged:
-            if filter_fn is None:
-                candidates = [(dist, gid)
-                              for gid, dist in per_query.items()]
-            else:
-                candidates = [(dist, gid) for gid, dist in per_query.items()
-                              if filter_fn(gid)]
-            top = heapq.nsmallest(k, candidates)
-            results.append(QueryResult(
-                ids=np.array([gid for _, gid in top], dtype=np.int64),
-                distances=np.array([dist for dist, _ in top],
-                                   dtype=np.float32)))
+        for query_index in range(len(queries)):
+            ids, distances = merger.top(query_index, k, filter_fn)
+            results.append(QueryResult(ids=ids, distances=distances))
         rdma_delta = self.node.stats.delta(before)
         breakdown.network_us += rdma_delta.network_time_us
+        _, misses_before, evictions_before = cache_counters_before
+        _, misses_after, evictions_after = self.cache.counters()
         return BatchResult(results=results, breakdown=breakdown,
-                           rdma=rdma_delta, clusters_fetched=fetched,
-                           cache_hits=hit_count,
+                           rdma=rdma_delta,
+                           clusters_fetched=execution.fetched,
+                           cache_hits=execution.hit_count,
                            duplicate_requests_pruned=pruned, waves=waves,
-                           overlap_saved_us=overlap_saved)
+                           overlap_saved_us=rdma_delta.overlapped_time_us,
+                           sub_evals=execution.sub_evals,
+                           cache_misses=misses_after - misses_before,
+                           cache_evictions=evictions_after - evictions_before,
+                           pipeline_executed=execution.pipeline_executed,
+                           overlap_oracle_us=execution.overlap_oracle_us)
 
     # ------------------------------------------------------------------
     def _execute_plan(self, plan: BatchPlan, queries: np.ndarray,
-                      merged: list[dict[int, float]], k: int,
-                      ef: int) -> tuple[int, int, int, float]:
-        """Run a deduplicated wave schedule; returns
-        ``(sub_evals, clusters_fetched, cache_hits, overlap_saved_us)``.
+                      merger: TopKMerger, k: int, ef: int) -> _PlanExecution:
+        """Run a deduplicated wave schedule.
 
-        ``overlap_saved_us`` is the time a double-buffered loader would
-        save by prefetching wave ``i+1`` during wave ``i``'s search; it
-        is only computed when ``config.pipeline_waves`` is set.
+        With ``config.pipeline_waves`` set and at least two waves, the
+        double-buffered executor actually overlaps wave ``i+1``'s fetch
+        with wave ``i``'s search; otherwise waves run strictly serially
+        (the pre-PR-4 schedule, numerically unchanged).
         """
-        sub_evals = 0
-        fetched = 0
-        hit_count = 0
-        wave_profiles: list[tuple[float, float]] = []  # (fetch, process)
+        if self.config.pipeline_waves and len(plan.waves) >= 2:
+            return self._execute_plan_pipelined(plan, queries, merger, k, ef)
+        return self._execute_plan_serial(plan, queries, merger, k, ef)
+
+    def _execute_plan_serial(self, plan: BatchPlan, queries: np.ndarray,
+                             merger: TopKMerger, k: int,
+                             ef: int) -> _PlanExecution:
+        """Strictly serial wave schedule: fetch, then search, per wave."""
+        execution = _PlanExecution()
         for wave in plan.waves:
-            fetch_before = self.node.stats.network_time_us
-            deser_before = self._deserialize_us
+            entries = self._load_wave(wave, execution)
+            execution.sub_evals += self._run_wave_compute(
+                wave, entries, queries, merger, k, ef)
+        return execution
+
+    def _execute_plan_pipelined(self, plan: BatchPlan, queries: np.ndarray,
+                                merger: TopKMerger, k: int,
+                                ef: int) -> _PlanExecution:
+        """Double-buffered wave schedule: wave ``i+1``'s doorbell-batched
+        fetch is issued asynchronously before wave ``i``'s search runs, so
+        its wire time hides behind compute.
+
+        Deserialize and compute are charged per wave *inside* the loop —
+        that interleaving is what makes ``poll_cq`` observe elapsed time —
+        so ``charged_in_loop`` tells ``search_batch`` to skip its lump
+        charges.  The realized schedule is exactly the ``_overlap_saved``
+        oracle's ``f_0 + Σ max(p_i, f_{i+1}) + p_last``; the oracle value
+        is recorded for the acceptance test to compare against the
+        measured ``overlapped_time_us``.
+        """
+        execution = _PlanExecution(charged_in_loop=True,
+                                   pipeline_executed=True)
+        waves = plan.waves
+        doorbell = self.policy.doorbell_batching
+        profiles: list[tuple[float, float]] = []  # (fetch, process) per wave
+        pending: tuple | None = None
+        pending_index = -1
+
+        def issue(index: int) -> tuple:
+            descriptors, extents = self._extent_descriptors(
+                list(waves[index].fetch_cluster_ids))
+            token = self.node.qp.post_read_batch_async(descriptors,
+                                                       doorbell=doorbell)
+            return token, extents
+
+        for index, wave in enumerate(waves):
+            sync_network_before = self.node.stats.network_time_us
             entries: dict[int, CachedCluster] = {}
             if wave.fetch_cluster_ids:
-                loaded = self._fetch_clusters(list(wave.fetch_cluster_ids),
-                                              self.policy.doorbell_batching)
-                fetched += len(loaded)
-                self.cache.misses += len(loaded)
+                token, extents = (pending if pending_index == index
+                                  else issue(index))
+                payloads = self.node.qp.poll_cq(token)
+                wave_fetch_us = token.elapsed_us
+                if (index + 1 < len(waves)
+                        and waves[index + 1].fetch_cluster_ids):
+                    pending, pending_index = issue(index + 1), index + 1
+                loaded = {cid: self._decode_extent(cid, offset, payload)
+                          for (cid, offset, _), payload
+                          in zip(extents, payloads)}
+                execution.fetched += len(loaded)
                 for entry in loaded.values():
                     if self.policy.use_cluster_cache:
                         self._cache_put(entry)
                 entries.update(loaded)
             else:
-                # Hit wave: validate overflow tails, then consume entries.
-                hit_ids = sorted({cid for _, cid in wave.serviced})
-                if self.config.validate_overflow_on_hit and hit_ids:
-                    self._validate_cached(hit_ids)
-                for cid in hit_ids:
-                    entry = self.cache.get(cid)
-                    if entry is None:
-                        # Evicted between planning and execution (possible
-                        # only with pathological capacity 1): refetch.
-                        entry = self._fetch_clusters(
-                            [cid], self.policy.doorbell_batching)[cid]
-                        fetched += 1
-                    else:
-                        hit_count += 1
-                    entries[cid] = entry
-            wave_evals = 0
-            if self.compiled_engine:
-                # Batched per-cluster execution: run every query headed
-                # for the same cluster together, so overflow replay and
-                # the CSR compilation are amortized across the group.
-                by_cluster: dict[int, list[int]] = {}
-                for query_index, cid in wave.serviced:
-                    by_cluster.setdefault(cid, []).append(query_index)
-                for cid, query_indices in by_cluster.items():
-                    entry = entries.get(cid)
-                    if entry is None:
-                        entry = self.cache.peek(cid)
-                    if entry is None:
-                        raise LayoutError(
-                            f"planned cluster {cid} missing during wave")
-                    wave_evals += self._search_cluster_batch(
-                        entry, queries, query_indices, k, ef, merged)
+                self._load_hit_wave(wave, entries, execution)
+                wave_fetch_us = (self.node.stats.network_time_us
+                                 - sync_network_before)
+                if (index + 1 < len(waves)
+                        and waves[index + 1].fetch_cluster_ids):
+                    pending, pending_index = issue(index + 1), index + 1
+            deserialize_us = self._deserialize_us
+            self._deserialize_us = 0.0
+            charged = self.node.charge_time(deserialize_us)
+            wave_evals = self._run_wave_compute(wave, entries, queries,
+                                                merger, k, ef)
+            charged += self.node.charge_compute(wave_evals, self.meta.dim)
+            execution.sub_evals += wave_evals
+            execution.charged_compute_us += charged
+            profiles.append((wave_fetch_us, charged))
+        execution.overlap_oracle_us = self._overlap_saved(profiles)
+        return execution
+
+    def _load_wave(self, wave: Wave,
+                   execution: _PlanExecution) -> dict[int, CachedCluster]:
+        """Fetch (or look up) a wave's clusters synchronously."""
+        entries: dict[int, CachedCluster] = {}
+        if wave.fetch_cluster_ids:
+            loaded = self._fetch_clusters(list(wave.fetch_cluster_ids),
+                                          self.policy.doorbell_batching)
+            execution.fetched += len(loaded)
+            for entry in loaded.values():
+                if self.policy.use_cluster_cache:
+                    self._cache_put(entry)
+            entries.update(loaded)
+        else:
+            self._load_hit_wave(wave, entries, execution)
+        return entries
+
+    def _load_hit_wave(self, wave: Wave, entries: dict[int, CachedCluster],
+                       execution: _PlanExecution) -> None:
+        """Consume a hit wave: validate overflow tails, then take entries
+        from the cache, refetching any evicted in the meantime."""
+        hit_ids = sorted({cid for _, cid in wave.serviced})
+        if self.config.validate_overflow_on_hit and hit_ids:
+            self._validate_cached(hit_ids)
+        for cid in hit_ids:
+            entry = self.cache.get(cid)
+            if entry is None:
+                # Evicted between planning and execution (possible only
+                # with pathological capacity 1): refetch — and re-insert,
+                # or every later query of the batch refetches it again.
+                # The failed ``get`` above already counted the miss.
+                entry = self._fetch_clusters(
+                    [cid], self.policy.doorbell_batching)[cid]
+                execution.fetched += 1
+                if self.policy.use_cluster_cache:
+                    self._cache_put(entry, count_miss=False)
             else:
-                for query_index, cid in wave.serviced:
-                    entry = entries.get(cid)
-                    if entry is None:
-                        entry = self.cache.peek(cid)
-                    if entry is None:
-                        raise LayoutError(
-                            f"planned cluster {cid} missing during wave")
-                    wave_evals += self._search_cluster(
-                        entry, queries[query_index], k, ef,
-                        merged[query_index])
-            sub_evals += wave_evals
-            if self.config.pipeline_waves:
-                fetch_us = self.node.stats.network_time_us - fetch_before
-                process_us = (self.cost_model.compute_us(
-                    wave_evals, self.meta.dim)
-                    + self._deserialize_us - deser_before)
-                wave_profiles.append((fetch_us, process_us))
-        overlap_saved = (self._overlap_saved(wave_profiles)
-                         if self.config.pipeline_waves else 0.0)
-        return sub_evals, fetched, hit_count, overlap_saved
+                execution.hit_count += 1
+            entries[cid] = entry
+
+    def _run_wave_compute(self, wave: Wave,
+                          entries: dict[int, CachedCluster],
+                          queries: np.ndarray, merger: TopKMerger, k: int,
+                          ef: int) -> int:
+        """Search a wave's per-cluster query groups on the configured
+        executor; merge candidates in deterministic cluster order.
+
+        Tasks are the pure :func:`search_cluster_entry` — each returns
+        private per-query candidate arrays, so nothing shared is mutated
+        off the main thread and results are bit-identical at every worker
+        count.  Returns the wave's distance evaluations.
+        """
+        tasks: list[tuple[int, CachedCluster, list[int]]] = []
+        for cid, query_indices in wave.cluster_groups():
+            entry = entries.get(cid)
+            if entry is None:
+                entry = self.cache.peek(cid)
+            if entry is None:
+                raise LayoutError(
+                    f"planned cluster {cid} missing during wave")
+            tasks.append((cid, entry, query_indices))
+        workers = self.config.search_workers
+        started = time.perf_counter()
+        if workers > 1 and len(tasks) > 1:
+            if self.config.search_executor == "process":
+                outputs = self._get_search_pool().run_wave(
+                    [(cid, (entry.metadata_version, entry.overflow_tail),
+                      entry, queries[query_indices], k, ef)
+                     for cid, entry, query_indices in tasks])
+            else:
+                pool = self._get_thread_pool()
+                futures = [pool.submit(search_cluster_entry, entry,
+                                       queries[query_indices], k, ef)
+                           for _, entry, query_indices in tasks]
+                outputs = [future.result() for future in futures]
+        else:
+            outputs = [search_cluster_entry(entry, queries[query_indices],
+                                            k, ef)
+                       for _, entry, query_indices in tasks]
+        self.node.record_wall_compute(time.perf_counter() - started)
+        wave_evals = 0
+        for (_, _, query_indices), output in zip(tasks, outputs):
+            wave_evals += output.evals
+            for row, query_index in enumerate(query_indices):
+                merger.add(query_index, output.gids[row], output.dists[row])
+        return wave_evals
 
     @staticmethod
     def _overlap_saved(profiles: list[tuple[float, float]]) -> float:
@@ -357,25 +509,28 @@ class DHnswClient:
         return serial - pipelined
 
     def _execute_naive(self, required: list[list[int]], queries: np.ndarray,
-                       merged: list[dict[int, float]], k: int,
-                       ef: int) -> tuple[int, int]:
+                       merger: TopKMerger, k: int,
+                       ef: int) -> _PlanExecution:
         """Naive d-HNSW: one READ round trip per (query, cluster) pair."""
-        sub_evals = 0
-        fetched = 0
+        execution = _PlanExecution()
         for query_index, cluster_ids in enumerate(required):
             for cid in cluster_ids:
                 entry = self._fetch_clusters([cid], doorbell=False)[cid]
-                fetched += 1
-                sub_evals += self._search_cluster(
-                    entry, queries[query_index], k, ef, merged[query_index])
-        return sub_evals, fetched
+                execution.fetched += 1
+                output = search_cluster_entry(
+                    entry, queries[query_index:query_index + 1], k, ef)
+                execution.sub_evals += output.evals
+                merger.add(query_index, output.gids[0], output.dists[0])
+        return execution
 
     # ------------------------------------------------------------------
     # Cluster IO
     # ------------------------------------------------------------------
-    def _fetch_clusters(self, cluster_ids: list[int],
-                        doorbell: bool) -> dict[int, CachedCluster]:
-        """READ each cluster's contiguous extent (blob + overflow)."""
+    def _extent_descriptors(self, cluster_ids: list[int]
+                            ) -> tuple[list[ReadDescriptor],
+                                       list[tuple[int, int, int]]]:
+        """READ descriptors + ``(cid, offset, length)`` extents for a set
+        of clusters (shared by the sync and async fetch paths)."""
         descriptors = []
         extents = []
         for cid in cluster_ids:
@@ -383,6 +538,12 @@ class DHnswClient:
             descriptors.append(ReadDescriptor(
                 self.layout.rkey, self.layout.addr(offset), length))
             extents.append((cid, offset, length))
+        return descriptors, extents
+
+    def _fetch_clusters(self, cluster_ids: list[int],
+                        doorbell: bool) -> dict[int, CachedCluster]:
+        """READ each cluster's contiguous extent (blob + overflow)."""
+        descriptors, extents = self._extent_descriptors(cluster_ids)
         if doorbell:
             payloads = self.node.qp.post_read_batch(descriptors)
         else:
@@ -446,7 +607,8 @@ class DHnswClient:
                              metadata_version=self.metadata.version,
                              nbytes=len(payload))
 
-    def _cache_put(self, entry: CachedCluster) -> None:
+    def _cache_put(self, entry: CachedCluster,
+                   count_miss: bool = True) -> None:
         """Insert into the cache, spilling LRU entries if DRAM is tight."""
         while not self.node.reserve_dram(entry.nbytes):
             victim = self.cache.pop_lru()
@@ -455,7 +617,7 @@ class DHnswClient:
                     f"cluster {entry.cluster_id} ({entry.nbytes} B) cannot "
                     f"fit in compute DRAM even with an empty cache")
             self.node.release_dram(victim.nbytes)
-        for victim in self.cache.put(entry):
+        for victim in self.cache.put(entry, count_miss=count_miss):
             self.node.release_dram(victim.nbytes)
 
     def _validate_cached(self, cluster_ids: list[int]) -> None:
@@ -505,78 +667,10 @@ class DHnswClient:
                 entry.overflow_tail = tail
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _replay_overflow(records: list[OverflowRecord]
-                         ) -> dict[int, OverflowRecord | None]:
-        """Fold overflow records (slot order) into per-id final state.
-
-        ``state[gid] is None`` means the id is tombstoned; a live record
-        supersedes any earlier record *and* any base-graph vector with
-        the same id.
-        """
-        state: dict[int, OverflowRecord | None] = {}
-        for record in records:
-            state[record.global_id] = None if record.tombstone else record
-        return state
-
-    def _search_cluster(self, entry: CachedCluster, query: np.ndarray,
-                        k: int, ef: int,
-                        accumulator: dict[int, float]) -> int:
-        """Search one cluster (graph + overflow); merge into accumulator.
-
-        Dynamic records override the base graph: tombstoned ids are
-        filtered out, superseded ids are served from their latest record.
-        Returns distance evaluations performed.
-        """
-        query = np.atleast_2d(np.asarray(query, dtype=np.float32))
-        return self._search_cluster_batch(entry, query, [0], k, ef,
-                                          [accumulator])
-
-    def _search_cluster_batch(self, entry: CachedCluster,
-                              queries: np.ndarray,
-                              query_indices: list[int], k: int, ef: int,
-                              merged: list[dict[int, float]]) -> int:
-        """Search one cluster for every query in ``query_indices``.
-
-        Semantically identical to calling :meth:`_search_cluster` once per
-        query, but the overflow replay, the live-record matrix, and (on
-        the compiled engine) the CSR compilation are computed once for the
-        whole group rather than per query.  Returns total distance
-        evaluations, which match the per-query path exactly.
-        """
-        kernel = entry.index.kernel
-        evals_before = kernel.num_evaluations
-        state = self._replay_overflow(entry.overflow)
-        live = [record for record in state.values() if record is not None]
-        matrix = np.stack([record.vector for record in live]) if live \
-            else None
-        labels = entry.index.labels
-        if len(entry.index) > 0:
-            candidate_lists = entry.index.search_candidates_batch(
-                queries[query_indices], k, ef)
-        else:
-            candidate_lists = [[] for _ in query_indices]
-        for query_index, candidates in zip(query_indices, candidate_lists):
-            accumulator = merged[query_index]
-            previous_of = accumulator.get
-            if state:
-                for dist, node in candidates:
-                    gid = labels[node]
-                    if gid in state:
-                        continue  # deleted or superseded by overflow
-                    if dist < previous_of(gid, _INF):
-                        accumulator[gid] = dist
-            else:
-                for dist, node in candidates:
-                    gid = labels[node]
-                    if dist < previous_of(gid, _INF):
-                        accumulator[gid] = dist
-            if matrix is not None:
-                dists = kernel.many(queries[query_index], matrix)
-                for record, dist in zip(live, dists.tolist()):
-                    if dist < accumulator.get(record.global_id, _INF):
-                        accumulator[record.global_id] = float(dist)
-        return kernel.num_evaluations - evals_before
+    # Overflow replay lives in ``repro.core.cluster_search`` now (shared
+    # with the executor task); the static method stays as the public spot
+    # tests and downstream code reach it through.
+    _replay_overflow = staticmethod(replay_overflow)
 
     # ------------------------------------------------------------------
     # Insertion (§3.2: FAA slot reservation + one WRITE into overflow)

@@ -1,0 +1,108 @@
+"""The per-cluster search task of the serving engine.
+
+``search_cluster_entry`` is a *pure* function over a cached cluster entry
+and a block of query vectors: it runs the sub-HNSW beam search plus the
+overflow-record scan and returns private per-query candidate arrays, never
+touching shared state.  That purity is what lets the pipelined executor run
+one task per (cluster, query-group) concurrently — inline, on a
+``ThreadPoolExecutor``, or in a worker process — with bit-identical results
+at every worker count: the task's output depends only on its inputs, and
+the caller merges outputs in deterministic cluster order.
+
+Semantics mirror the pre-PR-4 ``DHnswClient._search_cluster_batch``
+exactly, including the distance-evaluation accounting the latency model
+charges: tombstoned/superseded ids are masked out of graph candidates and
+live overflow records are scored against every query.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.cache import CachedCluster
+from repro.layout.serializer import OverflowRecord
+
+__all__ = ["ClusterSearchResult", "replay_overflow", "search_cluster_entry"]
+
+
+@dataclasses.dataclass
+class ClusterSearchResult:
+    """Output of one cluster search over a group of queries.
+
+    ``gids[i]`` / ``dists[i]`` are the candidates for the i-th query row of
+    the block the task was given (the caller re-maps rows to batch-global
+    query indices).  Duplicate gids within a row are allowed — the merger
+    keeps the minimum distance.
+    """
+
+    evals: int
+    gids: list[np.ndarray]
+    dists: list[np.ndarray]
+
+
+def replay_overflow(records: list[OverflowRecord]
+                    ) -> dict[int, OverflowRecord | None]:
+    """Fold overflow records (slot order) into per-id final state.
+
+    ``state[gid] is None`` means the id is tombstoned; a live record
+    supersedes any earlier record *and* any base-graph vector with the
+    same id.
+    """
+    state: dict[int, OverflowRecord | None] = {}
+    for record in records:
+        state[record.global_id] = None if record.tombstone else record
+    return state
+
+
+def search_cluster_entry(entry: CachedCluster, queries: np.ndarray,
+                         k: int, ef: int) -> ClusterSearchResult:
+    """Search one cluster (graph + overflow) for a block of queries.
+
+    The overflow replay, live-record matrix, and (on the compiled engine)
+    the CSR compilation are computed once for the whole block.  Distance
+    evaluations are read off the entry's kernel counter, so they match the
+    serial engine exactly; with one task per cluster no two concurrent
+    tasks share a kernel.
+    """
+    kernel = entry.index.kernel
+    evals_before = kernel.num_evaluations
+    state = replay_overflow(entry.overflow)
+    live = [record for record in state.values() if record is not None]
+    matrix = np.stack([record.vector for record in live]) if live else None
+    live_gids = (np.array([record.global_id for record in live],
+                          dtype=np.int64) if live else None)
+    dead_gids = (np.fromiter(state.keys(), dtype=np.int64, count=len(state))
+                 if state else None)
+    labels = np.asarray(entry.index.labels, dtype=np.int64)
+    num_queries = queries.shape[0]
+    if len(entry.index) > 0:
+        candidate_lists = entry.index.search_candidates_batch(queries, k, ef)
+    else:
+        candidate_lists = [[] for _ in range(num_queries)]
+
+    out_gids: list[np.ndarray] = []
+    out_dists: list[np.ndarray] = []
+    for row, candidates in enumerate(candidate_lists):
+        if candidates:
+            dists = np.fromiter((dist for dist, _ in candidates),
+                                dtype=np.float64, count=len(candidates))
+            nodes = np.fromiter((node for _, node in candidates),
+                                dtype=np.int64, count=len(candidates))
+            gids = labels[nodes]
+            if dead_gids is not None:
+                keep = ~np.isin(gids, dead_gids)
+                gids, dists = gids[keep], dists[keep]
+        else:
+            gids = np.empty(0, dtype=np.int64)
+            dists = np.empty(0, dtype=np.float64)
+        if matrix is not None:
+            overflow_dists = np.asarray(kernel.many(queries[row], matrix),
+                                        dtype=np.float64)
+            gids = np.concatenate([gids, live_gids])
+            dists = np.concatenate([dists, overflow_dists])
+        out_gids.append(gids)
+        out_dists.append(dists)
+    return ClusterSearchResult(evals=kernel.num_evaluations - evals_before,
+                               gids=out_gids, dists=out_dists)

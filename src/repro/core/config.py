@@ -57,10 +57,25 @@ class DHnswConfig:
         Distance-ratio threshold for adaptive routing (>= 1.0; larger
         keeps more partitions).
     pipeline_waves:
-        Extension: account for a double-buffered loader that fetches
-        wave ``i+1`` while wave ``i`` is being searched.  Reported via
-        ``BatchResult.overlap_saved_us`` /
-        ``pipelined_latency_per_query_us``; bucket sums stay serial.
+        Extension: *execute* a double-buffered loader that issues wave
+        ``i+1``'s fetch asynchronously while wave ``i`` is being searched
+        (non-blocking ``post_read_batch_async`` + ``poll_cq`` in the RDMA
+        sim).  Hidden wire time is charged honestly —
+        ``breakdown.network_us`` holds only the exposed wait and
+        ``BatchResult.overlap_saved_us`` reports the measured overlap —
+        instead of the pre-PR-4 after-the-fact estimate.
+    search_workers:
+        Worker threads/processes for per-cluster searches inside a wave
+        (and for shard fan-out in ``LoadBalancer``).  ``1`` (default)
+        runs inline — bit-identical legacy behaviour; ``> 1`` fans
+        cluster groups over an executor, with results merged
+        deterministically in cluster order so answers are bit-identical
+        at every worker count.
+    search_executor:
+        ``"thread"`` (default) uses a ``ThreadPoolExecutor`` — NumPy
+        kernels release the GIL; ``"process"`` shards clusters over
+        single-worker process pools with cluster→worker affinity and a
+        worker-side entry cache, scaling the pure-Python traversal too.
     region_headroom:
         Registered-region capacity as a multiple of the initial layout
         size; the slack absorbs groups relocated by overflow rebuilds.
@@ -83,6 +98,8 @@ class DHnswConfig:
     adaptive_nprobe: bool = False
     adaptive_alpha: float = 1.35
     pipeline_waves: bool = False
+    search_workers: int = 1
+    search_executor: str = "thread"
     region_headroom: float = 3.0
     build_workers: int = 0
     seed: int = 0
@@ -117,6 +134,13 @@ class DHnswConfig:
         if self.build_workers < 0:
             raise ConfigError(
                 f"build_workers must be >= 0, got {self.build_workers}")
+        if self.search_workers < 1:
+            raise ConfigError(
+                f"search_workers must be >= 1, got {self.search_workers}")
+        if self.search_executor not in ("thread", "process"):
+            raise ConfigError(
+                f"search_executor must be 'thread' or 'process', got "
+                f"{self.search_executor!r}")
         if self.adaptive_alpha < 1.0:
             raise ConfigError(
                 f"adaptive_alpha must be >= 1.0, got {self.adaptive_alpha}")

@@ -29,6 +29,19 @@ class Wave:
     fetch_cluster_ids: tuple[int, ...]
     serviced: tuple[tuple[int, int], ...]  # (query index, cluster id)
 
+    def cluster_groups(self) -> list[tuple[int, list[int]]]:
+        """Per-cluster query groups in first-appearance order.
+
+        ``[(cluster_id, [query indices]), ...]`` is the unit of work the
+        serving engine hands to its search executor; the ordering is a pure
+        function of ``serviced``, so merges stay deterministic at every
+        worker count.
+        """
+        groups: dict[int, list[int]] = {}
+        for query_index, cluster_id in self.serviced:
+            groups.setdefault(cluster_id, []).append(query_index)
+        return list(groups.items())
+
 
 @dataclasses.dataclass(frozen=True)
 class BatchPlan:

@@ -10,7 +10,13 @@ from repro.rdma.clock import SimClock
 from repro.rdma.compute_node import ComputeNode
 from repro.rdma.memory_node import MemoryNode, MemoryRegion
 from repro.rdma.network import CostModel
-from repro.rdma.qp import QpState, QueuePair, ReadDescriptor, WriteDescriptor
+from repro.rdma.qp import (
+    PendingRead,
+    QpState,
+    QueuePair,
+    ReadDescriptor,
+    WriteDescriptor,
+)
 from repro.rdma.stats import RdmaStats
 
 __all__ = [
@@ -18,6 +24,7 @@ __all__ = [
     "CostModel",
     "MemoryNode",
     "MemoryRegion",
+    "PendingRead",
     "QpState",
     "QueuePair",
     "RdmaStats",

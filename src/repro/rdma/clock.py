@@ -4,6 +4,14 @@ All latency numbers this library reports are simulated microseconds advanced
 on a :class:`SimClock` by the RDMA cost model and the compute cost model —
 never wall-clock.  This keeps experiments deterministic and lets a laptop
 reproduce the *shape* of results measured on a 100 Gb testbed.
+
+Beyond the monotonic counter, the clock keeps one *busy-until* timeline per
+named channel (e.g. ``"network"``).  An asynchronously issued operation
+occupies its channel without advancing ``now_us``; the caller later waits on
+the completion time with :meth:`advance_to`.  Whatever part of the
+operation's duration elapsed while the caller was doing other (simulated)
+work is therefore never charged to the caller — which is exactly how a
+doorbell-batched READ hides behind sub-HNSW compute on real hardware.
 """
 
 from __future__ import annotations
@@ -12,12 +20,13 @@ __all__ = ["SimClock"]
 
 
 class SimClock:
-    """A monotonically advancing microsecond counter."""
+    """A monotonically advancing microsecond counter with channel timelines."""
 
     def __init__(self, start_us: float = 0.0) -> None:
         if start_us < 0:
             raise ValueError(f"start_us must be >= 0, got {start_us}")
         self._now_us = float(start_us)
+        self._busy_until: dict[str, float] = {}
 
     @property
     def now_us(self) -> float:
@@ -30,6 +39,60 @@ class SimClock:
             raise ValueError(f"cannot advance by negative time {delta_us}")
         self._now_us += delta_us
         return self._now_us
+
+    # -- channel timelines ---------------------------------------------
+    def channel_busy_until(self, channel: str) -> float:
+        """Absolute time at which ``channel`` finishes its queued work.
+
+        Never earlier than ``now_us``: an idle channel is free *now*.
+        """
+        return max(self._busy_until.get(channel, 0.0), self._now_us)
+
+    def issue(self, channel: str, duration_us: float) -> float:
+        """Occupy ``channel`` for ``duration_us`` without blocking.
+
+        The operation starts as soon as the channel is free (never before
+        now) and the channel's timeline is pushed out accordingly.
+        ``now_us`` does not move — the caller keeps computing.  Returns the
+        absolute completion time, to be awaited with :meth:`advance_to`.
+        """
+        if duration_us < 0:
+            raise ValueError(f"cannot issue negative duration {duration_us}")
+        start = self.channel_busy_until(channel)
+        end = start + duration_us
+        self._busy_until[channel] = end
+        return end
+
+    def advance_to(self, target_us: float) -> float:
+        """Advance to ``target_us`` if it lies in the future.
+
+        Returns the time actually waited (0 when the target has already
+        passed — the operation completed under other work).
+        """
+        waited = target_us - self._now_us
+        if waited <= 0:
+            return 0.0
+        self._now_us = target_us
+        return waited
+
+    def advance_channel(self, channel: str, duration_us: float) -> float:
+        """Synchronously run a ``duration_us`` operation on ``channel``.
+
+        The legacy blocking verb: queue behind any in-flight async work on
+        the channel, then wait for completion.  Returns the time waited,
+        which equals ``duration_us`` exactly (same float arithmetic as
+        :meth:`advance`) when the channel is idle, and is larger when an
+        async operation is still occupying it.
+        """
+        if duration_us < 0:
+            raise ValueError(f"cannot advance by negative time {duration_us}")
+        busy = self._busy_until.get(channel, 0.0)
+        if busy <= self._now_us:
+            self.advance(duration_us)
+            self._busy_until[channel] = self._now_us
+            return duration_us
+        end = self.issue(channel, duration_us)
+        return self.advance_to(end)
 
     def __repr__(self) -> str:
         return f"SimClock(now_us={self._now_us:.3f})"

@@ -41,6 +41,7 @@ class ComputeNode:
         self.dram_budget_bytes = int(dram_budget_bytes)
         self._dram_used_bytes = 0
         self.compute_time_us = 0.0
+        self.wall_compute_s = 0.0
 
     # ------------------------------------------------------------------
     # DRAM accounting
@@ -92,6 +93,13 @@ class ComputeNode:
         self.clock.advance(elapsed_us)
         self.compute_time_us += elapsed_us
         return elapsed_us
+
+    def record_wall_compute(self, seconds: float) -> None:
+        """Accumulate *measured* wall-clock seconds of the sub-HNSW compute
+        phase (executor scaling metric; separate from simulated time)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.wall_compute_s += seconds
 
     def __repr__(self) -> str:
         return (f"ComputeNode({self.name!r}, "

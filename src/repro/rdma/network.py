@@ -128,6 +128,16 @@ class CostModel:
                 + len(sizes) * self.pcie_us_per_wqe
                 + self.transfer_us(total_bytes))
 
+    def serial_read_us(self, sizes: list[int]) -> float:
+        """Total time of several READs issued back to back *without*
+        doorbell batching: each pays its own RTT and PCIe transaction.
+
+        Used by ``post_read_batch_async`` when the caller's scheme has
+        doorbell batching disabled, so the async path charges the same wire
+        time as a loop of synchronous :meth:`read_us` calls.
+        """
+        return sum(self.read_us(n) for n in sizes)
+
     # ------------------------------------------------------------------
     def compute_us(self, num_distances: int, dim: int) -> float:
         """Compute time for ``num_distances`` evaluations at ``dim``."""

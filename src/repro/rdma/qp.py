@@ -6,10 +6,17 @@ doorbell-batched READs (§3.2: "we leverage doorbell batching to read them in
 a single network round-trip with RDMA NIC issuing multiple PCIe
 transactions").
 
-Every verb synchronously returns its result, charges simulated time to the
+Every synchronous verb returns its result, charges simulated time to the
 owning clock, and records traffic in :class:`~repro.rdma.stats.RdmaStats`.
-Synchronous completion is a simplification of CQ polling that preserves the
-quantities the paper measures (round trips, bytes, serialized latency).
+Batched READs additionally come in a non-blocking flavour —
+:meth:`QueuePair.post_read_batch_async` returns a :class:`PendingRead`
+occupying the clock's network channel without advancing time, and
+:meth:`QueuePair.poll_cq` later waits only for whatever portion of the wire
+time has not already elapsed under the caller's compute.  The hidden portion
+is recorded as ``RdmaStats.overlapped_time_us``, which is how the pipelined
+serving engine charges fetch/compute overlap honestly instead of estimating
+it.  Synchronous verbs queue behind in-flight async work on the same channel
+(and are numerically unchanged when nothing is in flight).
 """
 
 from __future__ import annotations
@@ -23,7 +30,11 @@ from repro.rdma.memory_node import MemoryNode
 from repro.rdma.network import CostModel
 from repro.rdma.stats import RdmaStats
 
-__all__ = ["QueuePair", "QpState", "ReadDescriptor", "WriteDescriptor"]
+__all__ = ["QueuePair", "QpState", "ReadDescriptor", "WriteDescriptor",
+           "PendingRead", "NETWORK_CHANNEL"]
+
+#: SimClock channel shared by all verbs of a QP: one NIC, one wire.
+NETWORK_CHANNEL = "network"
 
 
 class QpState(enum.Enum):
@@ -50,6 +61,26 @@ class WriteDescriptor:
     rkey: int
     addr: int
     data: bytes
+
+
+@dataclasses.dataclass
+class PendingRead:
+    """An in-flight READ batch issued by ``post_read_batch_async``.
+
+    Holds the payload snapshot taken at issue time (one-sided READs observe
+    remote memory as of the issue) plus the timeline bookkeeping
+    :meth:`QueuePair.poll_cq` needs to split wire time into an exposed wait
+    and an overlapped (hidden) portion.
+    """
+
+    payloads: list[bytes]
+    sizes: list[int]
+    rings: int
+    doorbell: bool
+    issued_at_us: float
+    completes_at_us: float
+    elapsed_us: float
+    completed: bool = False
 
 
 class QueuePair:
@@ -85,8 +116,8 @@ class QueuePair:
         self._require_ready()
         data = self.memory_node.read(rkey, addr, length)
         elapsed = self.cost_model.read_us(length)
-        self.clock.advance(elapsed)
-        self.stats.record_read(length, elapsed)
+        charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)
+        self.stats.record_read(length, charged)
         return data
 
     def post_write(self, rkey: int, addr: int, data: bytes) -> None:
@@ -94,8 +125,8 @@ class QueuePair:
         self._require_ready()
         self.memory_node.write(rkey, addr, bytes(data))
         elapsed = self.cost_model.write_us(len(data))
-        self.clock.advance(elapsed)
-        self.stats.record_write(len(data), elapsed)
+        charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)
+        self.stats.record_write(len(data), charged)
 
     def post_cas(self, rkey: int, addr: int, expected: int,
                  desired: int) -> int:
@@ -103,8 +134,8 @@ class QueuePair:
         self._require_ready()
         prior = self.memory_node.compare_and_swap(rkey, addr, expected, desired)
         elapsed = self.cost_model.atomic_us()
-        self.clock.advance(elapsed)
-        self.stats.record_atomic(elapsed)
+        charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)
+        self.stats.record_atomic(charged)
         return prior
 
     def post_faa(self, rkey: int, addr: int, delta: int) -> int:
@@ -112,8 +143,8 @@ class QueuePair:
         self._require_ready()
         prior = self.memory_node.fetch_and_add(rkey, addr, delta)
         elapsed = self.cost_model.atomic_us()
-        self.clock.advance(elapsed)
-        self.stats.record_atomic(elapsed)
+        charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)
+        self.stats.record_atomic(charged)
         return prior
 
     # ------------------------------------------------------------------
@@ -131,9 +162,62 @@ class QueuePair:
         sizes = [d.length for d in descriptors]
         rings = self.cost_model.doorbell_rings(len(sizes))
         elapsed = self.cost_model.doorbell_read_us(sizes)
-        self.clock.advance(elapsed)
-        self.stats.record_doorbell_read(sizes, rings, elapsed)
+        charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)
+        self.stats.record_doorbell_read(sizes, rings, charged)
         return payloads
+
+    def post_read_batch_async(self, descriptors: list[ReadDescriptor],
+                              doorbell: bool = True) -> PendingRead:
+        """Issue a READ batch without waiting for completion.
+
+        The batch occupies the clock's network channel starting as soon as
+        the channel is free; ``now_us`` does not advance.  Payloads are
+        snapshotted at issue time (one-sided semantics).  Call
+        :meth:`poll_cq` to retrieve them — only the portion of the wire
+        time that has not already passed under intervening compute is then
+        charged.  With ``doorbell=False`` the batch costs the same as a
+        loop of single READs (no WQE coalescing), letting non-doorbell
+        schemes pipeline too.
+        """
+        self._require_ready()
+        now = self.clock.now_us
+        if not descriptors:
+            return PendingRead(payloads=[], sizes=[], rings=0,
+                               doorbell=doorbell, issued_at_us=now,
+                               completes_at_us=now, elapsed_us=0.0)
+        payloads = [self.memory_node.read(d.rkey, d.addr, d.length)
+                    for d in descriptors]
+        sizes = [d.length for d in descriptors]
+        if doorbell:
+            rings = self.cost_model.doorbell_rings(len(sizes))
+            elapsed = self.cost_model.doorbell_read_us(sizes)
+        else:
+            rings = len(sizes)
+            elapsed = self.cost_model.serial_read_us(sizes)
+        completes = self.clock.issue(NETWORK_CHANNEL, elapsed)
+        return PendingRead(payloads=payloads, sizes=sizes, rings=rings,
+                           doorbell=doorbell, issued_at_us=now,
+                           completes_at_us=completes, elapsed_us=elapsed)
+
+    def poll_cq(self, pending: PendingRead) -> list[bytes]:
+        """Wait for an async READ batch and return its payloads.
+
+        Advances the clock only to the batch's completion time — time that
+        already elapsed between issue and poll is *hidden* and recorded as
+        ``overlapped_time_us`` instead of ``network_time_us``.
+        """
+        self._require_ready()
+        if pending.completed:
+            raise QpStateError("poll_cq called twice on the same PendingRead")
+        pending.completed = True
+        if not pending.sizes:
+            return []
+        waited = self.clock.advance_to(pending.completes_at_us)
+        hidden = max(0.0, pending.elapsed_us - waited)
+        self.stats.record_async_read(pending.sizes, pending.rings,
+                                     waited, hidden,
+                                     doorbell=pending.doorbell)
+        return pending.payloads
 
     def post_write_batch(self, descriptors: list[WriteDescriptor]) -> None:
         """Doorbell-batched WRITE: many WQEs, few network round trips.
@@ -150,5 +234,5 @@ class QueuePair:
         sizes = [len(d.data) for d in descriptors]
         rings = self.cost_model.doorbell_rings(len(sizes))
         elapsed = self.cost_model.doorbell_read_us(sizes)
-        self.clock.advance(elapsed)
-        self.stats.record_doorbell_write(sizes, rings, elapsed)
+        charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)
+        self.stats.record_doorbell_write(sizes, rings, charged)

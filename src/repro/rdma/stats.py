@@ -30,6 +30,11 @@ class RdmaStats:
     bytes_read: int = 0
     bytes_written: int = 0
     network_time_us: float = 0.0
+    #: Portion of read wire time that completed under overlapped compute —
+    #: issued via ``post_read_batch_async`` and already finished when the
+    #: caller polled.  ``network_time_us`` holds only the *exposed* wait, so
+    #: exposed + overlapped equals the serial wire time.
+    overlapped_time_us: float = 0.0
 
     def record_read(self, nbytes: int, time_us: float) -> None:
         """Account one single READ."""
@@ -60,6 +65,23 @@ class RdmaStats:
         self.bytes_read += sum(sizes)
         self.network_time_us += time_us
 
+    def record_async_read(self, sizes: list[int], rings: int,
+                          waited_us: float, hidden_us: float,
+                          doorbell: bool = True) -> None:
+        """Account one asynchronously issued READ batch at poll time.
+
+        ``waited_us`` is the exposed wait charged to the caller's timeline;
+        ``hidden_us`` is the remainder of the wire time that overlapped with
+        compute between issue and poll.
+        """
+        self.round_trips += rings
+        self.read_ops += len(sizes)
+        if doorbell:
+            self.doorbell_batches += 1
+        self.bytes_read += sum(sizes)
+        self.network_time_us += waited_us
+        self.overlapped_time_us += hidden_us
+
     def record_doorbell_write(self, sizes: list[int], rings: int,
                               time_us: float) -> None:
         """Account one doorbell-batched WRITE covering several WQEs."""
@@ -85,6 +107,8 @@ class RdmaStats:
             bytes_read=self.bytes_read - earlier.bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
             network_time_us=self.network_time_us - earlier.network_time_us,
+            overlapped_time_us=(self.overlapped_time_us
+                                - earlier.overlapped_time_us),
         )
 
     def merge(self, other: "RdmaStats") -> None:
@@ -97,3 +121,4 @@ class RdmaStats:
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.network_time_us += other.network_time_us
+        self.overlapped_time_us += other.overlapped_time_us

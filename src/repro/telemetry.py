@@ -58,6 +58,12 @@ class ClientTelemetry:
     dram_budget_bytes: int
     cache: CacheTelemetry
     metadata_version: int
+    #: Wire time hidden behind compute by the pipelined wave executor.
+    overlapped_time_us: float = 0.0
+    #: Measured wall-clock seconds of the sub-HNSW compute phase.
+    wall_compute_s: float = 0.0
+    search_workers: int = 1
+    search_executor: str = "thread"
 
     @classmethod
     def from_client(cls, client: DHnswClient) -> "ClientTelemetry":
@@ -92,6 +98,10 @@ class ClientTelemetry:
                 invalidations=cache.invalidations,
             ),
             metadata_version=client.metadata.version,
+            overlapped_time_us=stats.overlapped_time_us,
+            wall_compute_s=client.node.wall_compute_s,
+            search_workers=client.config.search_workers,
+            search_executor=client.config.search_executor,
         )
 
 
@@ -160,7 +170,7 @@ def render_report(telemetry: DeploymentTelemetry) -> str:
         "",
         "=== compute pool ===",
         f"{'instance':<12} {'scheme':<20} {'rt':>7} {'MiB_rd':>8} "
-        f"{'net_us':>10} {'cpu_us':>10} {'cache_hit':>9}",
+        f"{'net_us':>10} {'hidden_us':>10} {'cpu_us':>10} {'cache_hit':>9}",
     ]
     for client in telemetry.clients:
         lines.append(
@@ -168,6 +178,7 @@ def render_report(telemetry: DeploymentTelemetry) -> str:
             f"{client.round_trips:>7} "
             f"{client.bytes_read / 2**20:>8.2f} "
             f"{client.network_time_us:>10.1f} "
+            f"{client.overlapped_time_us:>10.1f} "
             f"{client.compute_time_us:>10.1f} "
             f"{client.cache.hit_rate:>9.2%}")
     return "\n".join(lines)

@@ -119,12 +119,40 @@ class TestBookkeeping:
         assert len(cache) == 0
         assert cache.invalidations == 2
 
-    def test_hit_rate(self):
+    def test_put_of_absent_key_counts_the_fetch_as_miss(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(1))
+        assert cache.misses == 1
+        # Replacing a resident key is not a miss.
+        cache.put(make_entry(1, nbytes=7))
+        assert cache.misses == 1
+
+    def test_put_count_miss_false_for_refetch_after_get(self):
+        """The refetch path: a failed get already counted the miss, so the
+        subsequent put must not count it again."""
+        cache = ClusterCache(2)
+        assert cache.get(3) is None
+        cache.put(make_entry(3), count_miss=False)
+        assert cache.misses == 1
+
+    def test_evictions_counted_inside_put(self):
+        cache = ClusterCache(1)
+        cache.put(make_entry(1))
+        cache.put(make_entry(2))
+        assert cache.evictions == 1
+
+    def test_counters_reads_atomically(self):
         cache = ClusterCache(2)
         cache.put(make_entry(1))
         cache.get(1)
-        cache.get(2)
-        assert cache.hit_rate() == pytest.approx(0.5)
+        assert cache.counters() == (1, 1, 0)
+
+    def test_hit_rate(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(1))    # miss (the fetch that filled it)
+        cache.get(1)                # hit
+        cache.get(2)                # miss
+        assert cache.hit_rate() == pytest.approx(1.0 / 3.0)
 
     def test_hit_rate_empty(self):
         assert ClusterCache(1).hit_rate() == 0.0

@@ -1,0 +1,227 @@
+"""The PR-4 serving engine: refetch regression, worker identity, cache
+thread-safety.
+
+Three concerns of the pipelined multi-worker executor that the ablation
+and tuning suites don't reach:
+
+* the hit-wave refetch path (an entry evicted between planning and
+  execution) must re-insert the refetched entry and count exactly one
+  cache miss — the pre-PR-4 engine did neither;
+* ``search_workers > 1`` (thread or process executor) must be
+  bit-identical to the serial path in results *and* in simulated
+  accounting;
+* :class:`ClusterCache` must survive concurrent hammering with its
+  bookkeeping intact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DHnswClient
+from repro.core.cache import ClusterCache
+from repro.core.merge import TopKMerger
+from repro.core.query_planner import BatchPlan, Wave
+from tests.core.test_cache import make_entry
+
+
+def make_client(deployment, config):
+    return DHnswClient(deployment.layout, deployment.meta, config,
+                       cost_model=deployment.cost_model)
+
+
+def hit_plan(cluster_id, num_queries=1):
+    """A plan whose only wave is a cache-hit wave for one cluster."""
+    serviced = tuple((q, cluster_id) for q in range(num_queries))
+    return BatchPlan(waves=(Wave(fetch_cluster_ids=(), serviced=serviced),),
+                     cache_hit_cluster_ids=(cluster_id,),
+                     unique_clusters=1, duplicate_requests_pruned=0)
+
+
+class TestHitWaveRefetch:
+    """Satellite 1: the evicted-hit-wave entry must be re-cached and its
+    refetch counted as a miss."""
+
+    def run_hit_plan(self, client, queries, cid):
+        execution = client._execute_plan(
+            hit_plan(cid), queries, TopKMerger(len(queries), 10), k=10,
+            ef=16)
+        return execution
+
+    def test_refetched_entry_is_reinserted_and_miss_counted(
+            self, built_deployment, small_config, small_dataset):
+        client = make_client(built_deployment, small_config)
+        queries = small_dataset.queries[:1]
+        cid = 0
+        # Warm the cluster, then evict it behind the planner's back.
+        client._cache_put(client._fetch_clusters([cid], True)[cid])
+        client.cache.invalidate(cid)
+        before_hits, before_misses, _ = client.cache.counters()
+        fetched_before = client.node.stats.read_ops
+
+        execution = self.run_hit_plan(client, queries, cid)
+
+        assert execution.fetched == 1
+        assert execution.hit_count == 0
+        assert client.node.stats.read_ops > fetched_before
+        hits, misses, _ = client.cache.counters()
+        assert misses - before_misses == 1   # the failed get, counted once
+        assert hits == before_hits
+        # The regression: the refetched entry must be resident again...
+        assert client.cache.peek(cid) is not None
+        # ...so a second pass over the same plan is a pure hit.
+        execution = self.run_hit_plan(client, queries, cid)
+        assert execution.fetched == 0
+        assert execution.hit_count == 1
+        assert client.cache.counters()[1] == misses
+
+    def test_capacity_one_refetch_end_to_end(self, built_deployment,
+                                             small_dataset, small_config):
+        """With capacity 1 the refetch path still yields correct answers
+        and non-degenerate accounting through ``search_batch``."""
+        config = small_config.replace(cache_fraction=1e-9)  # capacity 1
+        client = make_client(built_deployment, config)
+        assert client.cache.capacity_clusters == 1
+        batch = client.search_batch(small_dataset.queries[:8], 10,
+                                    ef_search=32)
+        reference = make_client(built_deployment, small_config).search_batch(
+            small_dataset.queries[:8], 10, ef_search=32)
+        assert batch.ids_list() == reference.ids_list()
+        assert batch.cache_misses >= batch.clusters_fetched > 0
+
+    def test_pipelined_executor_shares_refetch_path(
+            self, built_deployment, small_config, small_dataset):
+        """The same regression fix must hold when the hit wave runs inside
+        the pipelined executor (hit wave + fetch wave = two waves)."""
+        config = small_config.replace(pipeline_waves=True)
+        client = make_client(built_deployment, config)
+        queries = small_dataset.queries[:1]
+        client._cache_put(client._fetch_clusters([0], True)[0])
+        client.cache.invalidate(0)
+        plan = BatchPlan(
+            waves=(Wave(fetch_cluster_ids=(), serviced=((0, 0),)),
+                   Wave(fetch_cluster_ids=(1,), serviced=((0, 1),))),
+            cache_hit_cluster_ids=(0,), unique_clusters=2,
+            duplicate_requests_pruned=0)
+        execution = client._execute_plan(plan, queries,
+                                         TopKMerger(1, 10), k=10, ef=16)
+        assert execution.pipeline_executed
+        assert execution.fetched == 2        # refetch of 0 plus fetch of 1
+        assert client.cache.peek(0) is not None
+
+
+class TestWorkerIdentity:
+    """Satellite 4: worker count and executor kind never change results
+    or simulated accounting — only wall-clock."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, built_deployment, small_config, small_dataset):
+        client = make_client(built_deployment, small_config)
+        return client.search_batch(small_dataset.queries, 10, ef_search=32)
+
+    def assert_identical(self, batch, reference):
+        assert batch.ids_list() == reference.ids_list()
+        for got, want in zip(batch.results, reference.results):
+            np.testing.assert_array_equal(got.distances, want.distances)
+        assert batch.sub_evals == reference.sub_evals
+        assert batch.clusters_fetched == reference.clusters_fetched
+        assert batch.breakdown.total_us == pytest.approx(
+            reference.breakdown.total_us)
+
+    def test_thread_workers_bit_identical(self, built_deployment,
+                                          small_config, small_dataset,
+                                          reference):
+        with make_client(built_deployment,
+                         small_config.replace(search_workers=4)) as client:
+            batch = client.search_batch(small_dataset.queries, 10,
+                                        ef_search=32)
+        self.assert_identical(batch, reference)
+
+    def test_process_workers_bit_identical(self, built_deployment,
+                                           small_config, small_dataset,
+                                           reference):
+        with make_client(built_deployment, small_config.replace(
+                search_workers=2,
+                search_executor="process")) as client:
+            batch = client.search_batch(small_dataset.queries, 10,
+                                        ef_search=32)
+        self.assert_identical(batch, reference)
+
+    def test_pipelined_threaded_bit_identical(self, built_deployment,
+                                              small_config, small_dataset,
+                                              reference):
+        with make_client(built_deployment, small_config.replace(
+                search_workers=4, pipeline_waves=True)) as client:
+            batch = client.search_batch(small_dataset.queries, 10,
+                                        ef_search=32)
+        assert batch.ids_list() == reference.ids_list()
+        assert batch.sub_evals == reference.sub_evals
+
+    def test_close_is_idempotent(self, built_deployment, small_config):
+        client = make_client(built_deployment,
+                             small_config.replace(search_workers=2))
+        client.close()
+        client.close()
+
+
+class TestClusterCacheThreadSafety:
+    """Satellite 4 stress: concurrent puts/gets/invalidations leave the
+    lock-guarded LRU internally consistent."""
+
+    def test_concurrent_hammering_keeps_bookkeeping_consistent(self):
+        cache = ClusterCache(8)
+        errors: list[Exception] = []
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(500):
+                    cid = int(rng.integers(0, 32))
+                    op = int(rng.integers(0, 5))
+                    if op <= 1:
+                        cache.put(make_entry(cid, int(rng.integers(1, 100))))
+                    elif op == 2:
+                        entry = cache.get(cid)
+                        assert entry is None or entry.cluster_id == cid
+                    elif op == 3:
+                        cache.peek(cid)
+                    else:
+                        cache.invalidate(cid)
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(cache) <= 8
+        assert cache.cached_bytes == sum(
+            entry.nbytes for entry in cache._entries.values())
+        hits, misses, evictions = cache.counters()
+        assert hits >= 0 and misses >= 0 and evictions >= 0
+        # Every get was either a hit or a miss; 8 workers x 500 ops bound.
+        assert hits + misses + evictions + cache.invalidations <= 8 * 500 * 2
+
+    def test_concurrent_gets_of_resident_key_all_hit(self):
+        cache = ClusterCache(2)
+        cache.put(make_entry(5))
+        barrier = threading.Barrier(6)
+
+        def reader() -> None:
+            barrier.wait()
+            for _ in range(200):
+                assert cache.get(5).cluster_id == 5
+
+        threads = [threading.Thread(target=reader) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.hits == 6 * 200

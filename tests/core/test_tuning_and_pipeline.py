@@ -70,11 +70,15 @@ class TestWavePipelining:
         batch = client.search_batch(small_dataset.queries, 10,
                                     ef_search=32)
         assert batch.overlap_saved_us == 0.0
+        assert not batch.pipeline_executed
         assert (batch.pipelined_latency_per_query_us
                 == pytest.approx(batch.latency_per_query_us))
 
     def test_pipelining_saves_time_on_multi_wave_batches(
             self, built_deployment, small_config, small_dataset):
+        """Since PR 4 the overlap is scheduled for real: the measured total
+        already includes it, so the end-to-end latency beats what a serial
+        schedule of the same waves would have charged."""
         config = small_config.replace(pipeline_waves=True)
         client = DHnswClient(built_deployment.layout,
                              built_deployment.meta, config,
@@ -82,23 +86,62 @@ class TestWavePipelining:
         batch = client.search_batch(small_dataset.queries, 10,
                                     ef_search=48)
         assert batch.waves >= 2  # tiny cache forces waves
+        assert batch.pipeline_executed
         assert batch.overlap_saved_us > 0.0
-        assert (batch.pipelined_latency_per_query_us
-                < batch.latency_per_query_us)
+        assert (batch.latency_per_query_us
+                < batch.serial_latency_per_query_us)
 
-    def test_saving_bounded_by_smaller_resource(self, built_deployment,
-                                                small_config,
-                                                small_dataset):
-        """Overlap can never save more than the full network time or
-        the full compute time, whichever is smaller."""
+    def test_measured_overlap_matches_oracle(self, built_deployment,
+                                             small_config, small_dataset):
+        """The realized schedule is exactly the retained ``_overlap_saved``
+        closed form: measured hidden wire time == the oracle's estimate
+        from the per-wave (fetch, process) profiles."""
         config = small_config.replace(pipeline_waves=True)
         client = DHnswClient(built_deployment.layout,
                              built_deployment.meta, config,
                              cost_model=built_deployment.cost_model)
         batch = client.search_batch(small_dataset.queries, 10,
                                     ef_search=48)
-        bound = min(batch.breakdown.network_us, batch.breakdown.sub_hnsw_us)
+        assert batch.pipeline_executed
+        assert batch.overlap_saved_us == pytest.approx(
+            batch.overlap_oracle_us, rel=1e-9, abs=1e-6)
+
+    def test_saving_bounded_by_smaller_resource(self, built_deployment,
+                                                small_config,
+                                                small_dataset):
+        """Overlap can never save more than the full network time or
+        the full compute time, whichever is smaller.  ``network_us`` now
+        holds only the exposed wait, so the serial wire time is exposed
+        plus hidden."""
+        config = small_config.replace(pipeline_waves=True)
+        client = DHnswClient(built_deployment.layout,
+                             built_deployment.meta, config,
+                             cost_model=built_deployment.cost_model)
+        batch = client.search_batch(small_dataset.queries, 10,
+                                    ef_search=48)
+        serial_network_us = (batch.breakdown.network_us
+                             + batch.overlap_saved_us)
+        bound = min(serial_network_us, batch.breakdown.sub_hnsw_us)
         assert batch.overlap_saved_us <= bound + 1e-6
+
+    def test_network_bucket_shrinks_honestly(self, built_deployment,
+                                             small_config, small_dataset):
+        """Pipelining reduces ``breakdown.network_us`` itself (the hidden
+        time is charged to ``rdma.overlapped_time_us``), instead of a
+        side-channel estimate next to an unchanged serial total."""
+        serial = DHnswClient(built_deployment.layout, built_deployment.meta,
+                             small_config,
+                             cost_model=built_deployment.cost_model)
+        piped = DHnswClient(built_deployment.layout, built_deployment.meta,
+                            small_config.replace(pipeline_waves=True),
+                            cost_model=built_deployment.cost_model)
+        a = serial.search_batch(small_dataset.queries, 10, ef_search=48)
+        b = piped.search_batch(small_dataset.queries, 10, ef_search=48)
+        assert b.pipeline_executed
+        assert b.breakdown.network_us < a.breakdown.network_us
+        # Exposed + hidden reconstructs the serial wire time.
+        assert (b.breakdown.network_us + b.rdma.overlapped_time_us
+                == pytest.approx(a.breakdown.network_us, rel=1e-9))
 
     def test_results_identical_with_pipelining(self, built_deployment,
                                                small_config,

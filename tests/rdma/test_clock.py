@@ -46,3 +46,64 @@ def test_zero_advance_allowed():
 
 def test_repr_shows_time():
     assert "SimClock" in repr(SimClock(3.0))
+
+
+class TestChannelTimelines:
+    def test_issue_does_not_advance_now(self):
+        clock = SimClock()
+        end = clock.issue("network", 5.0)
+        assert clock.now_us == 0.0
+        assert end == pytest.approx(5.0)
+
+    def test_idle_channel_free_now(self):
+        clock = SimClock(4.0)
+        assert clock.channel_busy_until("network") == pytest.approx(4.0)
+
+    def test_issues_queue_back_to_back(self):
+        clock = SimClock()
+        clock.issue("network", 3.0)
+        end = clock.issue("network", 2.0)
+        assert end == pytest.approx(5.0)
+
+    def test_channels_are_independent(self):
+        clock = SimClock()
+        clock.issue("network", 10.0)
+        assert clock.issue("compute", 1.0) == pytest.approx(1.0)
+
+    def test_advance_to_waits_remaining(self):
+        clock = SimClock()
+        end = clock.issue("network", 5.0)
+        clock.advance(3.0)          # overlapped work
+        assert clock.advance_to(end) == pytest.approx(2.0)
+        assert clock.now_us == pytest.approx(5.0)
+
+    def test_advance_to_past_target_is_free(self):
+        clock = SimClock()
+        end = clock.issue("network", 1.0)
+        clock.advance(4.0)
+        assert clock.advance_to(end) == 0.0
+        assert clock.now_us == pytest.approx(4.0)
+
+    def test_advance_channel_idle_matches_advance_exactly(self):
+        """The sync verb must stay bit-identical to the pre-async code
+        path (plain ``advance``) when no async work is in flight."""
+        a, b = SimClock(), SimClock()
+        for duration in (0.7, 1e-9, 3.3333333333):
+            a.advance(duration)
+            b.advance_channel("network", duration)
+        assert b.now_us == a.now_us  # exact, not approx
+
+    def test_advance_channel_queues_behind_async(self):
+        clock = SimClock()
+        clock.issue("network", 5.0)
+        waited = clock.advance_channel("network", 2.0)
+        assert waited == pytest.approx(7.0)
+        assert clock.now_us == pytest.approx(7.0)
+
+    def test_negative_issue_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().issue("network", -1.0)
+
+    def test_negative_advance_channel_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_channel("network", -0.5)

@@ -137,3 +137,136 @@ class TestDoorbellBatch:
             other.post_read(descriptor.rkey, descriptor.addr,
                             descriptor.length)
         assert batched_time < other.stats.network_time_us
+
+
+class TestAsyncReadBatch:
+    def descriptors(self, region, count=3, size=64):
+        return [ReadDescriptor(region.rkey, region.base_addr + size * i,
+                               size) for i in range(count)]
+
+    def test_issue_does_not_advance_clock(self, setup):
+        _, region, clock, qp = setup
+        pending = qp.post_read_batch_async(self.descriptors(region))
+        assert clock.now_us == 0.0
+        assert pending.elapsed_us > 0.0
+        assert pending.completes_at_us == pytest.approx(pending.elapsed_us)
+
+    def test_poll_returns_payloads_in_order(self, setup):
+        _, region, _, qp = setup
+        qp.post_write(region.rkey, region.base_addr, b"AA")
+        qp.post_write(region.rkey, region.base_addr + 100, b"BB")
+        pending = qp.post_read_batch_async([
+            ReadDescriptor(region.rkey, region.base_addr, 2),
+            ReadDescriptor(region.rkey, region.base_addr + 100, 2),
+        ])
+        assert qp.poll_cq(pending) == [b"AA", b"BB"]
+
+    def test_payloads_snapshot_at_issue(self, setup):
+        """One-sided READs observe remote memory as of the issue; a write
+        landing between issue and poll must not be visible."""
+        _, region, _, qp = setup
+        qp.post_write(region.rkey, region.base_addr, b"old")
+        pending = qp.post_read_batch_async(
+            [ReadDescriptor(region.rkey, region.base_addr, 3)])
+        qp.post_write(region.rkey, region.base_addr, b"new")
+        assert qp.poll_cq(pending) == [b"old"]
+
+    def test_immediate_poll_charges_full_wire_time(self, setup):
+        _, region, clock, qp = setup
+        pending = qp.post_read_batch_async(self.descriptors(region))
+        qp.poll_cq(pending)
+        assert clock.now_us == pytest.approx(pending.elapsed_us)
+        assert qp.stats.network_time_us == pytest.approx(pending.elapsed_us)
+        assert qp.stats.overlapped_time_us == 0.0
+
+    def test_compute_between_issue_and_poll_is_hidden(self, setup):
+        _, region, clock, qp = setup
+        pending = qp.post_read_batch_async(self.descriptors(region))
+        overlap = pending.elapsed_us / 2
+        clock.advance(overlap)                      # simulated compute
+        qp.poll_cq(pending)
+        assert clock.now_us == pytest.approx(pending.elapsed_us)
+        assert qp.stats.network_time_us == pytest.approx(
+            pending.elapsed_us - overlap)
+        assert qp.stats.overlapped_time_us == pytest.approx(overlap)
+
+    def test_fully_hidden_fetch_charges_nothing(self, setup):
+        _, region, clock, qp = setup
+        pending = qp.post_read_batch_async(self.descriptors(region))
+        clock.advance(pending.elapsed_us * 3)       # compute dominates
+        before = clock.now_us
+        qp.poll_cq(pending)
+        assert clock.now_us == before               # no exposed wait
+        assert qp.stats.network_time_us == 0.0
+        assert qp.stats.overlapped_time_us == pytest.approx(
+            pending.elapsed_us)
+
+    def test_exposed_plus_hidden_is_serial_cost(self, setup):
+        """Whatever the overlap, exposed + hidden reconstructs exactly the
+        time a synchronous doorbell batch would have charged."""
+        node, region, clock, qp = setup
+        sync = QueuePair(node, SimClock(), qp.cost_model)
+        sync.connect()
+        sync.post_read_batch(self.descriptors(region))
+        pending = qp.post_read_batch_async(self.descriptors(region))
+        clock.advance(1.0)
+        qp.poll_cq(pending)
+        assert (qp.stats.network_time_us + qp.stats.overlapped_time_us
+                == pytest.approx(sync.stats.network_time_us))
+
+    def test_stats_count_batch_like_sync_doorbell(self, setup):
+        _, region, _, qp = setup
+        pending = qp.post_read_batch_async(self.descriptors(region, count=9))
+        qp.poll_cq(pending)
+        assert qp.stats.read_ops == 9
+        assert qp.stats.round_trips == 3            # doorbell_limit=4
+        assert qp.stats.doorbell_batches == 1
+        assert qp.stats.bytes_read == 9 * 64
+
+    def test_non_doorbell_costs_serial_reads(self, setup):
+        _, region, _, qp = setup
+        descriptors = self.descriptors(region, count=4)
+        pending = qp.post_read_batch_async(descriptors, doorbell=False)
+        expected = sum(qp.cost_model.read_us(d.length) for d in descriptors)
+        assert pending.elapsed_us == pytest.approx(expected)
+        assert pending.rings == 4
+        qp.poll_cq(pending)
+        assert qp.stats.doorbell_batches == 0
+        assert qp.stats.round_trips == 4
+
+    def test_double_poll_raises(self, setup):
+        _, region, _, qp = setup
+        pending = qp.post_read_batch_async(self.descriptors(region))
+        qp.poll_cq(pending)
+        with pytest.raises(QpStateError, match="twice"):
+            qp.poll_cq(pending)
+
+    def test_empty_batch_is_free(self, setup):
+        _, _, clock, qp = setup
+        pending = qp.post_read_batch_async([])
+        assert qp.poll_cq(pending) == []
+        assert clock.now_us == 0.0
+        assert qp.stats.round_trips == 0
+
+    def test_sync_read_queues_behind_async(self, setup):
+        """A blocking verb issued while an async batch occupies the wire
+        waits for the channel, exactly like a second WQE on one NIC."""
+        _, region, clock, qp = setup
+        pending = qp.post_read_batch_async(self.descriptors(region))
+        read_cost = qp.cost_model.read_us(8)
+        qp.post_read(region.rkey, region.base_addr, 8)
+        assert clock.now_us == pytest.approx(
+            pending.elapsed_us + read_cost)
+        # The async batch then completes under the sync verb's wait.
+        qp.poll_cq(pending)
+        assert qp.stats.overlapped_time_us == pytest.approx(
+            pending.elapsed_us)
+
+    def test_verbs_require_ready_state(self, setup):
+        _, region, _, qp = setup
+        pending = qp.post_read_batch_async(self.descriptors(region))
+        qp.close()
+        with pytest.raises(QpStateError):
+            qp.post_read_batch_async(self.descriptors(region))
+        with pytest.raises(QpStateError):
+            qp.poll_cq(pending)
