@@ -17,7 +17,7 @@ from repro.core.config import DHnswConfig
 from repro.core.engine import BuildReport, DHnswBuilder, RemoteLayout
 from repro.core.meta_index import MetaHnsw
 from repro.errors import ConfigError
-from repro.rdma.memory_node import MemoryNode
+from repro.rdma import MemoryNode
 from repro.rdma.network import CostModel
 
 __all__ = ["Deployment"]

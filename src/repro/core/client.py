@@ -6,6 +6,17 @@ locally, keeps an LRU cache of recently loaded sub-HNSW clusters, and
 serves batched top-k queries and dynamic insertions against the
 disaggregated memory pool.
 
+The client is a *façade* over two lower layers:
+
+* :mod:`repro.transport` — every remote byte moves through
+  :attr:`DHnswClient.transport` (one-sided READ / WRITE / CAS / FAA plus
+  doorbell-batched and async READs).  Pass ``transport_factory`` to wrap
+  the simulated-RDMA transport in decorators (fault injection, retries).
+* :mod:`repro.serving` — the batched query path is the staged pipeline
+  Planner → Fetcher → Decoder → Executor → Merger composed by
+  :attr:`DHnswClient.engine`; the former private methods remain as thin
+  delegates so downstream code and tests keep working.
+
 The client's loading behaviour is controlled by a
 :class:`~repro.core.baselines.Scheme`, which is how the three systems of
 the evaluation (naive / no-doorbell / full d-HNSW) share one
@@ -17,22 +28,19 @@ from __future__ import annotations
 import copy
 import dataclasses
 import struct
-import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
 
 from repro.core.baselines import Scheme, SchemePolicy, policy_for
 from repro.core.cache import CachedCluster, ClusterCache
-from repro.core.cluster_search import replay_overflow, search_cluster_entry
+from repro.core.cluster_search import replay_overflow
 from repro.core.config import DHnswConfig
 from repro.core.engine import RemoteLayout
 from repro.core.merge import TopKMerger
 from repro.core.meta_index import MetaHnsw
-from repro.core.query_planner import BatchPlan, Wave, plan_batch
+from repro.core.query_planner import BatchPlan, Wave
 from repro.core.results import BatchResult, QueryResult
-from repro.core.search_pool import SearchPool
 from repro.core.build_pool import BuildPool
 from repro.errors import LayoutError, OverflowFullError
 from repro.hnsw.parallel_build import ClusterRebuildTask, rebuild_cluster_blob
@@ -44,20 +52,29 @@ from repro.layout.group_layout import (
 from repro.layout.metadata import GlobalMetadata
 from repro.layout.serializer import (
     OverflowRecord,
-    deserialize_cluster,
     overflow_record_size,
     pack_overflow_record,
     unpack_overflow_records,
 )
-from repro.metrics.latency import LatencyBreakdown
 from repro.rdma.compute_node import ComputeNode
 from repro.rdma.control import ControlClient
 from repro.rdma.network import CostModel
-from repro.rdma.qp import ReadDescriptor, WriteDescriptor
+from repro.serving import reference
+from repro.serving.engine import ServingEngine
+from repro.serving.executor import PlanExecution, overlap_saved
+from repro.transport import (
+    ReadDescriptor,
+    SimRdmaTransport,
+    Transport,
+    WriteDescriptor,
+)
 
 __all__ = ["DHnswClient", "InsertReport"]
 
 _U64 = struct.Struct("<Q")
+
+# Retained name: the execution record now lives in ``repro.serving``.
+_PlanExecution = PlanExecution
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,24 +87,6 @@ class InsertReport:
     triggered_rebuild: bool
 
 
-@dataclasses.dataclass
-class _PlanExecution:
-    """What a wave schedule actually did (returned by ``_execute_plan``)."""
-
-    sub_evals: int = 0
-    fetched: int = 0
-    hit_count: int = 0
-    #: Closed-form overlap estimate from the per-wave profiles (the
-    #: pre-PR-4 formula, retained as a test oracle).
-    overlap_oracle_us: float = 0.0
-    #: True when deserialize + compute were charged per wave inside the
-    #: pipelined loop; ``search_batch`` must then skip its lump charges.
-    charged_in_loop: bool = False
-    #: Simulated µs already charged to the sub-HNSW bucket in-loop.
-    charged_compute_us: float = 0.0
-    pipeline_executed: bool = False
-
-
 class DHnswClient:
     """One compute instance serving vector queries over the remote layout."""
 
@@ -96,7 +95,9 @@ class DHnswClient:
                  scheme: Scheme = Scheme.DHNSW,
                  cost_model: CostModel | None = None,
                  name: str = "compute0",
-                 compiled_engine: bool = True) -> None:
+                 compiled_engine: bool = True,
+                 transport_factory:
+                 "Callable[[Transport], Transport] | None" = None) -> None:
         self.layout = layout
         self.config = config if config is not None else DHnswConfig()
         self.scheme = scheme
@@ -127,10 +128,24 @@ class DHnswClient:
             (cluster_read_extent(layout.metadata, cid)[1]
              for cid in range(layout.metadata.num_clusters)), default=0)
         budget = meta_bytes + int(capacity * max_extent * 1.5) + (1 << 20)
+        self.config.validate_dram_plan(capacity, meta_bytes, max_extent,
+                                       budget)
         self.node = ComputeNode(layout.memory_node, self.cost_model,
                                 dram_budget_bytes=budget, name=name)
         if not self.node.reserve_dram(meta_bytes):
             raise LayoutError("DRAM budget cannot hold the meta-HNSW")
+
+        # The transport seam: every remote byte this client moves goes
+        # through here.  ``transport_factory`` lets callers stack
+        # decorators (fault injection, retry) over the simulated verbs.
+        self.transport: Transport = SimRdmaTransport(self.node.qp)
+        if transport_factory is not None:
+            self.transport = transport_factory(self.transport)
+
+        # The staged serving pipeline (Planner → Fetcher → Decoder →
+        # Executor → Merger); reads client state late, so decorating
+        # ``self.transport`` afterwards affects every stage.
+        self.engine = ServingEngine(self)
 
         # Connection setup: verify the region with the memory node's
         # control daemon (two-sided RPC), when one is attached.
@@ -148,29 +163,18 @@ class DHnswClient:
         # Fetch the authoritative metadata block (one READ at startup).
         self.metadata = self._read_metadata()
 
-        # Simulation-only memoization of blob decoding, keyed by
-        # (cluster, metadata version, overflow tail).  The *simulated*
-        # deserialization cost is charged on every fetch regardless; this
-        # just keeps the simulator's wall-clock time proportional to
-        # unique blobs rather than total fetches.
-        self._decode_cache: dict[tuple[int, int, int], CachedCluster] = {}
-        self._deserialize_us = 0.0
-
-        # Search executors, created lazily on the first multi-worker wave.
-        self._thread_pool: ThreadPoolExecutor | None = None
-        self._search_pool: SearchPool | None = None
-
     # ------------------------------------------------------------------
-    # Executor lifecycle
+    # Resource lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the search executors (idempotent)."""
-        if self._thread_pool is not None:
-            self._thread_pool.shutdown(wait=False, cancel_futures=True)
-            self._thread_pool = None
-        if self._search_pool is not None:
-            self._search_pool.close()
-            self._search_pool = None
+        """Shut down the serving engine's worker pools (idempotent).
+
+        Safe to call on a partially constructed client and after a failed
+        ``with`` body — ``__exit__`` routes here unconditionally.
+        """
+        engine = getattr(self, "engine", None)
+        if engine is not None:
+            engine.close()
 
     def __enter__(self) -> "DHnswClient":
         return self
@@ -178,23 +182,27 @@ class DHnswClient:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def _get_thread_pool(self) -> ThreadPoolExecutor:
-        if self._thread_pool is None:
-            self._thread_pool = ThreadPoolExecutor(
-                max_workers=self.config.search_workers,
-                thread_name_prefix=f"{self.node.name}-search")
-        return self._thread_pool
+    # Executor-pool introspection (the pools themselves moved to the
+    # serving layer's WaveExecutor).
+    @property
+    def _thread_pool(self):
+        return self.engine.executor._thread_pool
 
-    def _get_search_pool(self) -> SearchPool:
-        if self._search_pool is None:
-            self._search_pool = SearchPool(self.config.search_workers)
-        return self._search_pool
+    @property
+    def _search_pool(self):
+        return self.engine.executor._search_pool
+
+    def _get_thread_pool(self):
+        return self.engine.executor._get_thread_pool()
+
+    def _get_search_pool(self):
+        return self.engine.executor._get_search_pool()
 
     # ------------------------------------------------------------------
     # Metadata freshness
     # ------------------------------------------------------------------
     def _read_metadata(self) -> GlobalMetadata:
-        blob = self.node.qp.post_read(
+        blob = self.transport.read(
             self.layout.rkey, self.layout.addr(0),
             self.layout.metadata_nbytes)
         return GlobalMetadata.unpack(blob)
@@ -205,8 +213,8 @@ class DHnswClient:
         Returns True when a refresh happened.  Cache entries belonging to
         relocated clusters are invalidated.
         """
-        head = self.node.qp.post_read(self.layout.rkey, self.layout.addr(0),
-                                      16)
+        head = self.transport.read(self.layout.rkey, self.layout.addr(0),
+                                   16)
         remote_version = GlobalMetadata.peek_version(head)
         if remote_version == self.metadata.version:
             return False
@@ -219,7 +227,7 @@ class DHnswClient:
         return True
 
     # ------------------------------------------------------------------
-    # Search
+    # Search (façade over the serving engine)
     # ------------------------------------------------------------------
     def search(self, query: np.ndarray, k: int,
                ef_search: int | None = None) -> QueryResult:
@@ -233,7 +241,8 @@ class DHnswClient:
         """Answer a batch of queries with full latency/traffic accounting.
 
         ``ef_search`` is the sub-HNSW beam width the paper sweeps (1..48);
-        it defaults to ``max(2 * k, k)``.
+        it defaults to ``config.ef_search_default`` when set, else
+        ``max(2 * k, k)``.
 
         ``filter_fn`` optionally restricts results to global ids it
         accepts (metadata filtering, the standard vector-database
@@ -241,430 +250,90 @@ class DHnswClient:
         selective filters may return fewer than ``k`` results — raise
         ``ef_search`` to compensate.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        ef = max(ef_search if ef_search is not None else 2 * k, k)
+        return self.engine.search_batch(queries, k, ef_search, filter_fn)
 
-        before = self.node.stats.snapshot()
-        breakdown = LatencyBreakdown()
-        self.refresh_metadata()
-
-        # --- meta-HNSW routing (local, cached) -------------------------
-        self.meta.reset_compute_counter()
-        if self.config.adaptive_nprobe:
-            required = [self.meta.route_adaptive(
-                query, self.config.nprobe, self.config.ef_meta,
-                self.config.adaptive_alpha) for query in queries]
-        else:
-            required = self.meta.route_batch(queries, self.config.nprobe,
-                                             self.config.ef_meta)
-        meta_evals = self.meta.reset_compute_counter()
-        breakdown.meta_hnsw_us += self.node.charge_compute(
-            meta_evals, self.meta.dim)
-
-        # --- cluster loading + sub-HNSW search -------------------------
-        merger = TopKMerger(len(queries), k, prune=filter_fn is None)
-        cache_counters_before = self.cache.counters()
-        if self.policy.deduplicate_batch:
-            plan = plan_batch(
-                required,
-                self.cache if self.policy.use_cluster_cache
-                else ClusterCache(1),
-                self.cache.capacity_clusters)
-            execution = self._execute_plan(plan, queries, merger, k, ef)
-            waves = len(plan.waves)
-            pruned = plan.duplicate_requests_pruned
-        else:
-            execution = self._execute_naive(required, queries, merger, k, ef)
-            waves = 0
-            pruned = 0
-        if execution.charged_in_loop:
-            # The pipelined executor charged deserialize + compute wave by
-            # wave (that interleaving is the whole point); just attribute.
-            breakdown.sub_hnsw_us += execution.charged_compute_us
-        else:
-            breakdown.sub_hnsw_us += self.node.charge_compute(
-                execution.sub_evals, self.meta.dim)
-            # Deserialization of fetched blobs is CPU work on loaded data —
-            # it belongs to the sub-HNSW bucket (see CostModel docs).
-            breakdown.sub_hnsw_us += self.node.charge_time(
-                self._deserialize_us)
-        self._deserialize_us = 0.0
-
-        # --- finalize ---------------------------------------------------
-        results = []
-        for query_index in range(len(queries)):
-            ids, distances = merger.top(query_index, k, filter_fn)
-            results.append(QueryResult(ids=ids, distances=distances))
-        rdma_delta = self.node.stats.delta(before)
-        breakdown.network_us += rdma_delta.network_time_us
-        _, misses_before, evictions_before = cache_counters_before
-        _, misses_after, evictions_after = self.cache.counters()
-        return BatchResult(results=results, breakdown=breakdown,
-                           rdma=rdma_delta,
-                           clusters_fetched=execution.fetched,
-                           cache_hits=execution.hit_count,
-                           duplicate_requests_pruned=pruned, waves=waves,
-                           overlap_saved_us=rdma_delta.overlapped_time_us,
-                           sub_evals=execution.sub_evals,
-                           cache_misses=misses_after - misses_before,
-                           cache_evictions=evictions_after - evictions_before,
-                           pipeline_executed=execution.pipeline_executed,
-                           overlap_oracle_us=execution.overlap_oracle_us)
-
-    # ------------------------------------------------------------------
+    # -- staged-pipeline delegates (retained private surface) -----------
     def _execute_plan(self, plan: BatchPlan, queries: np.ndarray,
-                      merger: TopKMerger, k: int, ef: int) -> _PlanExecution:
-        """Run a deduplicated wave schedule.
-
-        With ``config.pipeline_waves`` set and at least two waves, the
-        double-buffered executor actually overlaps wave ``i+1``'s fetch
-        with wave ``i``'s search; otherwise waves run strictly serially
-        (the pre-PR-4 schedule, numerically unchanged).
-        """
-        if self.config.pipeline_waves and len(plan.waves) >= 2:
-            return self._execute_plan_pipelined(plan, queries, merger, k, ef)
-        return self._execute_plan_serial(plan, queries, merger, k, ef)
+                      merger: TopKMerger, k: int, ef: int) -> PlanExecution:
+        return self.engine.execute_plan(plan, queries, merger, k, ef)
 
     def _execute_plan_serial(self, plan: BatchPlan, queries: np.ndarray,
                              merger: TopKMerger, k: int,
-                             ef: int) -> _PlanExecution:
-        """Strictly serial wave schedule: fetch, then search, per wave."""
-        execution = _PlanExecution()
-        for wave in plan.waves:
-            entries = self._load_wave(wave, execution)
-            execution.sub_evals += self._run_wave_compute(
-                wave, entries, queries, merger, k, ef)
-        return execution
+                             ef: int) -> PlanExecution:
+        return self.engine.executor.execute_serial(plan, queries, merger,
+                                                   k, ef)
 
     def _execute_plan_pipelined(self, plan: BatchPlan, queries: np.ndarray,
                                 merger: TopKMerger, k: int,
-                                ef: int) -> _PlanExecution:
-        """Double-buffered wave schedule: wave ``i+1``'s doorbell-batched
-        fetch is issued asynchronously before wave ``i``'s search runs, so
-        its wire time hides behind compute.
+                                ef: int) -> PlanExecution:
+        return self.engine.executor.execute_pipelined(plan, queries, merger,
+                                                      k, ef)
 
-        Deserialize and compute are charged per wave *inside* the loop —
-        that interleaving is what makes ``poll_cq`` observe elapsed time —
-        so ``charged_in_loop`` tells ``search_batch`` to skip its lump
-        charges.  The realized schedule is exactly the ``_overlap_saved``
-        oracle's ``f_0 + Σ max(p_i, f_{i+1}) + p_last``; the oracle value
-        is recorded for the acceptance test to compare against the
-        measured ``overlapped_time_us``.
-        """
-        execution = _PlanExecution(charged_in_loop=True,
-                                   pipeline_executed=True)
-        waves = plan.waves
-        doorbell = self.policy.doorbell_batching
-        profiles: list[tuple[float, float]] = []  # (fetch, process) per wave
-        pending: tuple | None = None
-        pending_index = -1
+    def _execute_plan_reference(self, plan: BatchPlan, queries: np.ndarray,
+                                merger: TopKMerger, k: int,
+                                ef: int) -> PlanExecution:
+        """The retained monolithic wave loop (equivalence oracle)."""
+        return reference.execute_plan(self, plan, queries, merger, k, ef)
 
-        def issue(index: int) -> tuple:
-            descriptors, extents = self._extent_descriptors(
-                list(waves[index].fetch_cluster_ids))
-            token = self.node.qp.post_read_batch_async(descriptors,
-                                                       doorbell=doorbell)
-            return token, extents
-
-        for index, wave in enumerate(waves):
-            sync_network_before = self.node.stats.network_time_us
-            entries: dict[int, CachedCluster] = {}
-            if wave.fetch_cluster_ids:
-                token, extents = (pending if pending_index == index
-                                  else issue(index))
-                payloads = self.node.qp.poll_cq(token)
-                wave_fetch_us = token.elapsed_us
-                if (index + 1 < len(waves)
-                        and waves[index + 1].fetch_cluster_ids):
-                    pending, pending_index = issue(index + 1), index + 1
-                loaded = {cid: self._decode_extent(cid, offset, payload)
-                          for (cid, offset, _), payload
-                          in zip(extents, payloads)}
-                execution.fetched += len(loaded)
-                for entry in loaded.values():
-                    if self.policy.use_cluster_cache:
-                        self._cache_put(entry)
-                entries.update(loaded)
-            else:
-                self._load_hit_wave(wave, entries, execution)
-                wave_fetch_us = (self.node.stats.network_time_us
-                                 - sync_network_before)
-                if (index + 1 < len(waves)
-                        and waves[index + 1].fetch_cluster_ids):
-                    pending, pending_index = issue(index + 1), index + 1
-            deserialize_us = self._deserialize_us
-            self._deserialize_us = 0.0
-            charged = self.node.charge_time(deserialize_us)
-            wave_evals = self._run_wave_compute(wave, entries, queries,
-                                                merger, k, ef)
-            charged += self.node.charge_compute(wave_evals, self.meta.dim)
-            execution.sub_evals += wave_evals
-            execution.charged_compute_us += charged
-            profiles.append((wave_fetch_us, charged))
-        execution.overlap_oracle_us = self._overlap_saved(profiles)
-        return execution
+    def _execute_naive(self, required: list[list[int]], queries: np.ndarray,
+                       merger: TopKMerger, k: int,
+                       ef: int) -> PlanExecution:
+        return self.engine.executor.execute_naive(required, queries, merger,
+                                                  k, ef)
 
     def _load_wave(self, wave: Wave,
-                   execution: _PlanExecution) -> dict[int, CachedCluster]:
-        """Fetch (or look up) a wave's clusters synchronously."""
-        entries: dict[int, CachedCluster] = {}
-        if wave.fetch_cluster_ids:
-            loaded = self._fetch_clusters(list(wave.fetch_cluster_ids),
-                                          self.policy.doorbell_batching)
-            execution.fetched += len(loaded)
-            for entry in loaded.values():
-                if self.policy.use_cluster_cache:
-                    self._cache_put(entry)
-            entries.update(loaded)
-        else:
-            self._load_hit_wave(wave, entries, execution)
-        return entries
+                   execution: PlanExecution) -> dict[int, CachedCluster]:
+        return self.engine.fetcher.load_wave(wave, execution)
 
     def _load_hit_wave(self, wave: Wave, entries: dict[int, CachedCluster],
-                       execution: _PlanExecution) -> None:
-        """Consume a hit wave: validate overflow tails, then take entries
-        from the cache, refetching any evicted in the meantime."""
-        hit_ids = sorted({cid for _, cid in wave.serviced})
-        if self.config.validate_overflow_on_hit and hit_ids:
-            self._validate_cached(hit_ids)
-        for cid in hit_ids:
-            entry = self.cache.get(cid)
-            if entry is None:
-                # Evicted between planning and execution (possible only
-                # with pathological capacity 1): refetch — and re-insert,
-                # or every later query of the batch refetches it again.
-                # The failed ``get`` above already counted the miss.
-                entry = self._fetch_clusters(
-                    [cid], self.policy.doorbell_batching)[cid]
-                execution.fetched += 1
-                if self.policy.use_cluster_cache:
-                    self._cache_put(entry, count_miss=False)
-            else:
-                execution.hit_count += 1
-            entries[cid] = entry
+                       execution: PlanExecution) -> None:
+        self.engine.fetcher.load_hit_wave(wave, entries, execution)
 
     def _run_wave_compute(self, wave: Wave,
                           entries: dict[int, CachedCluster],
                           queries: np.ndarray, merger: TopKMerger, k: int,
                           ef: int) -> int:
-        """Search a wave's per-cluster query groups on the configured
-        executor; merge candidates in deterministic cluster order.
+        return self.engine.executor.run_wave_compute(wave, entries, queries,
+                                                     merger, k, ef)
 
-        Tasks are the pure :func:`search_cluster_entry` — each returns
-        private per-query candidate arrays, so nothing shared is mutated
-        off the main thread and results are bit-identical at every worker
-        count.  Returns the wave's distance evaluations.
-        """
-        tasks: list[tuple[int, CachedCluster, list[int]]] = []
-        for cid, query_indices in wave.cluster_groups():
-            entry = entries.get(cid)
-            if entry is None:
-                entry = self.cache.peek(cid)
-            if entry is None:
-                raise LayoutError(
-                    f"planned cluster {cid} missing during wave")
-            tasks.append((cid, entry, query_indices))
-        workers = self.config.search_workers
-        started = time.perf_counter()
-        if workers > 1 and len(tasks) > 1:
-            if self.config.search_executor == "process":
-                outputs = self._get_search_pool().run_wave(
-                    [(cid, (entry.metadata_version, entry.overflow_tail),
-                      entry, queries[query_indices], k, ef)
-                     for cid, entry, query_indices in tasks])
-            else:
-                pool = self._get_thread_pool()
-                futures = [pool.submit(search_cluster_entry, entry,
-                                       queries[query_indices], k, ef)
-                           for _, entry, query_indices in tasks]
-                outputs = [future.result() for future in futures]
-        else:
-            outputs = [search_cluster_entry(entry, queries[query_indices],
-                                            k, ef)
-                       for _, entry, query_indices in tasks]
-        self.node.record_wall_compute(time.perf_counter() - started)
-        wave_evals = 0
-        for (_, _, query_indices), output in zip(tasks, outputs):
-            wave_evals += output.evals
-            for row, query_index in enumerate(query_indices):
-                merger.add(query_index, output.gids[row], output.dists[row])
-        return wave_evals
-
-    @staticmethod
-    def _overlap_saved(profiles: list[tuple[float, float]]) -> float:
-        """Serial minus pipelined schedule length for the given waves.
-
-        Pipelined: ``f_0 + sum(max(f_{i+1}, p_i)) + p_last`` — wave
-        ``i``'s search overlaps wave ``i+1``'s fetch.
-        """
-        if len(profiles) < 2:
-            return 0.0
-        serial = sum(fetch + process for fetch, process in profiles)
-        pipelined = profiles[0][0]
-        for (_, process), (next_fetch, _) in zip(profiles, profiles[1:]):
-            pipelined += max(process, next_fetch)
-        pipelined += profiles[-1][1]
-        return serial - pipelined
-
-    def _execute_naive(self, required: list[list[int]], queries: np.ndarray,
-                       merger: TopKMerger, k: int,
-                       ef: int) -> _PlanExecution:
-        """Naive d-HNSW: one READ round trip per (query, cluster) pair."""
-        execution = _PlanExecution()
-        for query_index, cluster_ids in enumerate(required):
-            for cid in cluster_ids:
-                entry = self._fetch_clusters([cid], doorbell=False)[cid]
-                execution.fetched += 1
-                output = search_cluster_entry(
-                    entry, queries[query_index:query_index + 1], k, ef)
-                execution.sub_evals += output.evals
-                merger.add(query_index, output.gids[0], output.dists[0])
-        return execution
+    _overlap_saved = staticmethod(overlap_saved)
 
     # ------------------------------------------------------------------
-    # Cluster IO
+    # Cluster IO delegates (now the serving layer's Fetcher/Decoder)
     # ------------------------------------------------------------------
     def _extent_descriptors(self, cluster_ids: list[int]
                             ) -> tuple[list[ReadDescriptor],
                                        list[tuple[int, int, int]]]:
-        """READ descriptors + ``(cid, offset, length)`` extents for a set
-        of clusters (shared by the sync and async fetch paths)."""
-        descriptors = []
-        extents = []
-        for cid in cluster_ids:
-            offset, length = cluster_read_extent(self.metadata, cid)
-            descriptors.append(ReadDescriptor(
-                self.layout.rkey, self.layout.addr(offset), length))
-            extents.append((cid, offset, length))
-        return descriptors, extents
+        return self.engine.fetcher.extent_descriptors(cluster_ids)
 
     def _fetch_clusters(self, cluster_ids: list[int],
                         doorbell: bool) -> dict[int, CachedCluster]:
-        """READ each cluster's contiguous extent (blob + overflow)."""
-        descriptors, extents = self._extent_descriptors(cluster_ids)
-        if doorbell:
-            payloads = self.node.qp.post_read_batch(descriptors)
-        else:
-            payloads = [self.node.qp.post_read(d.rkey, d.addr, d.length)
-                        for d in descriptors]
-        return {cid: self._decode_extent(cid, offset, payload)
-                for (cid, offset, _), payload in zip(extents, payloads)}
+        return self.engine.fetcher.fetch_clusters(cluster_ids, doorbell)
 
     def _decode_extent(self, cluster_id: int, extent_offset: int,
                        payload: bytes) -> CachedCluster:
-        """Deserialize a fetched extent, charging the simulated CPU cost.
-
-        Decoding is memoized on (cluster, version, overflow tail) purely to
-        keep simulator wall-clock bounded; the simulated cost is charged on
-        every call, since a real compute instance re-parses every fetch.
-        """
-        self._deserialize_us += self.cost_model.deserialize_us(len(payload))
-        cluster = self.metadata.clusters[cluster_id]
-        group = self.metadata.groups[cluster.group_id]
-        area = payload[group.overflow_offset - extent_offset:]
-        (tail,) = _U64.unpack_from(area, 0)
-        key = (cluster_id, self.metadata.version, int(tail))
-        memoized = self._decode_cache.get(key)
-        if memoized is None:
-            memoized = self._parse_extent(cluster_id, extent_offset, payload)
-            if len(self._decode_cache) > 2 * max(
-                    64, self.metadata.num_clusters):
-                self._decode_cache.clear()
-            self._decode_cache[key] = memoized
-        # Hand out a private copy of the mutable parts so cache-side
-        # overflow refreshes never alias the memoized entry.
-        return dataclasses.replace(memoized, overflow=list(memoized.overflow))
+        return self.engine.decoder.decode_extent(cluster_id, extent_offset,
+                                                 payload)
 
     def _parse_extent(self, cluster_id: int, extent_offset: int,
                       payload: bytes) -> CachedCluster:
-        """Split a fetched extent into blob + overflow and deserialize."""
-        cluster = self.metadata.clusters[cluster_id]
-        group = self.metadata.groups[cluster.group_id]
-        blob_start = cluster.blob_offset - extent_offset
-        blob = payload[blob_start:blob_start + cluster.blob_length]
-        index, parsed_cid = deserialize_cluster(blob, self.config.sub_params)
-        # Sub-HNSWs are frozen after deserialization; bind them to this
-        # client's engine choice so benchmarks can compare both paths.
-        index.prefer_compiled = self.compiled_engine
-        if parsed_cid != cluster_id:
-            raise LayoutError(
-                f"extent for cluster {cluster_id} contained blob of "
-                f"cluster {parsed_cid} — stale offsets?")
-        overflow_start = group.overflow_offset - extent_offset
-        area = payload[overflow_start:
-                       overflow_start + overflow_area_size(
-                           self.metadata.dim, group.capacity_records)]
-        (tail,) = _U64.unpack_from(area, 0)
-        count = min(tail, group.capacity_records)
-        records = unpack_overflow_records(
-            area[OVERFLOW_TAIL_BYTES:], self.metadata.dim, count)
-        own = [record for record in records
-               if record.cluster_id == cluster_id]
-        return CachedCluster(cluster_id=cluster_id, index=index,
-                             overflow=own, overflow_tail=int(tail),
-                             metadata_version=self.metadata.version,
-                             nbytes=len(payload))
+        return self.engine.decoder.parse_extent(cluster_id, extent_offset,
+                                                payload)
 
     def _cache_put(self, entry: CachedCluster,
                    count_miss: bool = True) -> None:
-        """Insert into the cache, spilling LRU entries if DRAM is tight."""
-        while not self.node.reserve_dram(entry.nbytes):
-            victim = self.cache.pop_lru()
-            if victim is None:
-                raise LayoutError(
-                    f"cluster {entry.cluster_id} ({entry.nbytes} B) cannot "
-                    f"fit in compute DRAM even with an empty cache")
-            self.node.release_dram(victim.nbytes)
-        for victim in self.cache.put(entry, count_miss=count_miss):
-            self.node.release_dram(victim.nbytes)
+        self.engine.fetcher.cache_put(entry, count_miss=count_miss)
 
     def _validate_cached(self, cluster_ids: list[int]) -> None:
-        """Check overflow tails of cached clusters; fetch record deltas.
+        self.engine.fetcher.validate_cached(cluster_ids)
 
-        Tail counters are 8-byte READs, doorbell-batched under the full
-        scheme, so observing concurrent inserts costs a fraction of a
-        round trip per batch.
-        """
-        by_group: dict[int, list[int]] = {}
-        for cid in cluster_ids:
-            if self.cache.peek(cid) is not None:
-                by_group.setdefault(
-                    self.metadata.clusters[cid].group_id, []).append(cid)
-        if not by_group:
-            return
-        group_ids = sorted(by_group)
-        descriptors = [ReadDescriptor(
-            self.layout.rkey,
-            self.layout.addr(self.metadata.groups[gid].overflow_offset),
-            OVERFLOW_TAIL_BYTES) for gid in group_ids]
-        if self.policy.doorbell_batching:
-            payloads = self.node.qp.post_read_batch(descriptors)
-        else:
-            payloads = [self.node.qp.post_read(d.rkey, d.addr, d.length)
-                        for d in descriptors]
-        record_size = overflow_record_size(self.metadata.dim)
-        for gid, payload in zip(group_ids, payloads):
-            (tail,) = _U64.unpack(payload)
-            group = self.metadata.groups[gid]
-            tail = min(int(tail), group.capacity_records)
-            for cid in by_group[gid]:
-                entry = self.cache.peek(cid)
-                if entry is None or entry.overflow_tail >= tail:
-                    continue
-                delta = tail - entry.overflow_tail
-                start = (group.overflow_offset + OVERFLOW_TAIL_BYTES
-                         + entry.overflow_tail * record_size)
-                blob = self.node.qp.post_read(
-                    self.layout.rkey, self.layout.addr(start),
-                    delta * record_size)
-                fresh = unpack_overflow_records(blob, self.metadata.dim,
-                                                delta)
-                entry.overflow.extend(
-                    record for record in fresh
-                    if record.cluster_id == cid)
-                entry.overflow_tail = tail
+    @property
+    def _deserialize_us(self) -> float:
+        return self.engine.decoder.pending_deserialize_us
+
+    @_deserialize_us.setter
+    def _deserialize_us(self, value: float) -> None:
+        self.engine.decoder.pending_deserialize_us = value
 
     # ------------------------------------------------------------------
     # Overflow replay lives in ``repro.core.cluster_search`` now (shared
@@ -785,12 +454,8 @@ class DHnswClient:
                     global_id=global_ids[row], cluster_id=cid,
                     overflow_slot=slot,
                     triggered_rebuild=rebuilt and offset_index == 0)
-        if self.policy.doorbell_batching:
-            self.node.qp.post_write_batch(descriptors)
-        else:
-            for descriptor in descriptors:
-                self.node.qp.post_write(descriptor.rkey, descriptor.addr,
-                                        descriptor.data)
+        self.transport.write_batch(descriptors,
+                                   doorbell=self.policy.doorbell_batching)
         return [report for report in reports if report is not None]
 
     def _reserve_run(self, group_id: int, count: int) -> int | None:
@@ -801,9 +466,9 @@ class DHnswClient:
         """
         group = self.metadata.groups[group_id]
         tail_addr = self.layout.addr(group.overflow_offset)
-        slot0 = self.node.qp.post_faa(self.layout.rkey, tail_addr, count)
+        slot0 = self.transport.faa(self.layout.rkey, tail_addr, count)
         if slot0 + count > group.capacity_records:
-            self.node.qp.post_faa(self.layout.rkey, tail_addr, -count)
+            self.transport.faa(self.layout.rkey, tail_addr, -count)
             return None
         return slot0
 
@@ -823,10 +488,10 @@ class DHnswClient:
         group_id = self.metadata.clusters[cluster_id].group_id
         group = self.metadata.groups[group_id]
         tail_addr = self.layout.addr(group.overflow_offset)
-        slot = self.node.qp.post_faa(self.layout.rkey, tail_addr, 1)
+        slot = self.transport.faa(self.layout.rkey, tail_addr, 1)
         if slot >= group.capacity_records:
             # Roll the reservation back before rebuilding.
-            self.node.qp.post_faa(self.layout.rkey, tail_addr, -1)
+            self.transport.faa(self.layout.rkey, tail_addr, -1)
             raise OverflowFullError(group_id, group.capacity_records,
                                     overflow_record_size(self.metadata.dim))
         record = OverflowRecord(global_id=global_id, cluster_id=cluster_id,
@@ -834,8 +499,8 @@ class DHnswClient:
         record_size = overflow_record_size(self.metadata.dim)
         record_addr = self.layout.addr(
             group.overflow_offset + OVERFLOW_TAIL_BYTES + slot * record_size)
-        self.node.qp.post_write(self.layout.rkey, record_addr,
-                                pack_overflow_record(record))
+        self.transport.write(self.layout.rkey, record_addr,
+                             pack_overflow_record(record))
         # Keep this instance's own cached entries of the group coherent.
         self._patch_cached_entries(group_id, slot, record)
         return slot
@@ -865,9 +530,9 @@ class DHnswClient:
                       + self.metadata.clusters[cid].blob_length
                       for cid in member_ids),
                   group.overflow_offset + area)
-        payload = self.node.qp.post_read(self.layout.rkey,
-                                         self.layout.addr(start),
-                                         end - start)
+        payload = self.transport.read(self.layout.rkey,
+                                      self.layout.addr(start),
+                                      end - start)
         self.node.charge_time(self.cost_model.deserialize_us(len(payload)))
 
         # Fold overflow records into each member's graph.  Tombstoned and
@@ -908,13 +573,13 @@ class DHnswClient:
         if len(new_blobs) > 1:
             offsets.append(overflow_offset + area)
         for blob, offset in zip(new_blobs, offsets):
-            self.node.qp.post_write(self.layout.rkey,
-                                    self.layout.addr(offset), blob)
+            self.transport.write(self.layout.rkey,
+                                 self.layout.addr(offset), blob)
         # Fresh tail counter = 0 (region bytes start zeroed; write it
         # anyway so relocation onto recycled space would stay correct).
-        self.node.qp.post_write(self.layout.rkey,
-                                self.layout.addr(overflow_offset),
-                                bytes(OVERFLOW_TAIL_BYTES))
+        self.transport.write(self.layout.rkey,
+                             self.layout.addr(overflow_offset),
+                             bytes(OVERFLOW_TAIL_BYTES))
         self.layout.allocator.retire(start, end - start)
 
         # Publish new metadata (version bump), authoritative + local.
@@ -929,8 +594,8 @@ class DHnswClient:
             version=self.metadata.version + 1, dim=self.metadata.dim,
             overflow_capacity_records=self.metadata.overflow_capacity_records,
             clusters=clusters, groups=groups)
-        self.node.qp.post_write(self.layout.rkey, self.layout.addr(0),
-                                fresh.pack())
+        self.transport.write(self.layout.rkey, self.layout.addr(0),
+                             fresh.pack())
         self.metadata = fresh
         self.layout.metadata = GlobalMetadata.unpack(fresh.pack())
         for cid in member_ids:

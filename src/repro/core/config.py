@@ -35,6 +35,10 @@ class DHnswConfig:
         paper's ``b``).
     ef_meta:
         Beam width for meta-HNSW routing.
+    ef_search_default:
+        Sub-HNSW beam width used when ``search_batch`` is called without
+        an explicit ``ef_search``.  ``None`` (default) keeps the paper's
+        ``max(2k, k)`` rule; the effective beam is never below ``k``.
     cache_fraction:
         Compute-instance cluster-cache capacity as a fraction of the total
         cluster count (§4 fixes 10 %).
@@ -91,6 +95,7 @@ class DHnswConfig:
     num_representatives: int | None = None
     nprobe: int = 4
     ef_meta: int = 32
+    ef_search_default: int | None = None
     cache_fraction: float = 0.10
     batch_size: int = 2000
     overflow_capacity_records: int = 128
@@ -118,6 +123,10 @@ class DHnswConfig:
             raise ConfigError(f"nprobe must be >= 1, got {self.nprobe}")
         if self.ef_meta < 1:
             raise ConfigError(f"ef_meta must be >= 1, got {self.ef_meta}")
+        if self.ef_search_default is not None and self.ef_search_default < 1:
+            raise ConfigError(
+                f"ef_search_default must be >= 1 (or None for the 2k "
+                f"rule), got {self.ef_search_default}")
         if not 0.0 < self.cache_fraction <= 1.0:
             raise ConfigError(
                 f"cache_fraction must be in (0, 1], got {self.cache_fraction}")
@@ -166,6 +175,31 @@ class DHnswConfig:
             raise ConfigError(
                 f"num_clusters must be >= 1, got {num_clusters}")
         return max(1, int(round(self.cache_fraction * num_clusters)))
+
+    def validate_dram_plan(self, capacity_clusters: int, meta_bytes: int,
+                           max_extent_bytes: int,
+                           dram_budget_bytes: int) -> None:
+        """Sanity-check a client's DRAM sizing before it connects.
+
+        The cluster cache must be able to admit at least the largest
+        single cluster extent after the meta-HNSW is resident — otherwise
+        every fetch of that cluster would spill the whole cache and then
+        fail, which surfaces deep in the serving path as a
+        ``LayoutError``.  Checking here turns a confusing runtime failure
+        into an actionable configuration error.
+        """
+        if capacity_clusters < 1:
+            raise ConfigError(
+                f"cache capacity must hold >= 1 cluster, got "
+                f"{capacity_clusters} (cache_fraction={self.cache_fraction})")
+        available = dram_budget_bytes - meta_bytes
+        if max_extent_bytes > 0 and available < max_extent_bytes:
+            raise ConfigError(
+                f"compute DRAM plan too small: {available} B remain after "
+                f"the meta-HNSW ({meta_bytes} B) but the largest cluster "
+                f"extent is {max_extent_bytes} B — raise cache_fraction "
+                f"(currently {self.cache_fraction}) or shrink clusters "
+                f"via num_representatives")
 
     def replace(self, **changes: object) -> "DHnswConfig":
         """Return a copy with the given fields replaced."""

@@ -11,7 +11,7 @@
    overflow areas (placement uses sizes only, so blobs are produced and
    released one at a time);
 5. register a remote region on the memory node and write blobs + the
-   versioned global metadata block through a queue pair.
+   versioned global metadata block through the transport layer.
 
 The result is a :class:`RemoteLayout` — everything a compute instance
 needs to reach the index — plus the meta-HNSW that every compute instance
@@ -36,12 +36,12 @@ from repro.layout.allocator import RegionAllocator
 from repro.layout.group_layout import plan_groups
 from repro.layout.metadata import GlobalMetadata
 from repro.layout.serializer import serialize_cluster, serialized_cluster_size
+from repro.rdma import MemoryNode, MemoryRegion
 from repro.rdma.clock import SimClock
 from repro.rdma.control import ControlClient, MemoryDaemon
-from repro.rdma.memory_node import MemoryNode, MemoryRegion
 from repro.rdma.network import CostModel
-from repro.rdma.qp import QueuePair
 from repro.rdma.stats import RdmaStats
+from repro.transport.sim import connect as connect_transport
 
 __all__ = ["RemoteLayout", "BuildReport", "DHnswBuilder"]
 
@@ -179,23 +179,25 @@ class DHnswBuilder:
                               allocator=allocator, metadata=metadata,
                               dim=dim, daemon=daemon)
 
-        # Bulk-load through a build-time QP; traffic is reported separately
-        # from query-time stats.
+        # Bulk-load through a build-time transport; traffic is reported
+        # separately from query-time stats.
         stats = RdmaStats()
-        qp = QueuePair(self.memory_node, clock, self.cost_model, stats)
-        qp.connect()
+        transport = connect_transport(self.memory_node, clock,
+                                      self.cost_model, stats)
         blobs = source.blobs()
         for plan in plans:
-            qp.post_write(region.rkey, layout.addr(plan.first_offset),
-                          self._next_blob(blobs, plan.first_cluster_id,
-                                          plan.first_nbytes))
+            transport.write(region.rkey, layout.addr(plan.first_offset),
+                            self._next_blob(blobs, plan.first_cluster_id,
+                                            plan.first_nbytes))
             if plan.second_cluster_id is not None:
-                qp.post_write(region.rkey, layout.addr(plan.second_offset),
-                              self._next_blob(blobs, plan.second_cluster_id,
-                                              plan.second_nbytes))
+                transport.write(region.rkey,
+                                layout.addr(plan.second_offset),
+                                self._next_blob(blobs,
+                                                plan.second_cluster_id,
+                                                plan.second_nbytes))
             # Overflow areas start zeroed; fresh registrations already are.
-        qp.post_write(region.rkey, layout.addr(0), metadata.pack())
-        qp.close()
+        transport.write(region.rkey, layout.addr(0), metadata.pack())
+        transport.close()
         return layout, stats
 
     @staticmethod

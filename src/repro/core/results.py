@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.metrics.latency import LatencyBreakdown
 from repro.rdma.stats import RdmaStats
+
+if TYPE_CHECKING:  # pragma: no cover — serving imports this module
+    from repro.serving.trace import TraceContext
 
 __all__ = ["QueryResult", "BatchResult"]
 
@@ -62,6 +66,10 @@ class BatchResult:
     #: per-wave (fetch, process) profiles — retained as a test oracle that
     #: must match the measured ``overlap_saved_us``.
     overlap_oracle_us: float = 0.0
+    #: Per-stage cost attribution for this batch (route / plan / fetch /
+    #: decode / compute / merge), populated by the serving engine.  None
+    #: for results produced outside the staged path (e.g. shard merges).
+    trace: "TraceContext | None" = None
 
     @property
     def batch_size(self) -> int:

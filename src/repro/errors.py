@@ -49,6 +49,60 @@ class QpStateError(RdmaError):
     """A verb was posted on a queue pair that is not connected."""
 
 
+class TransportError(RdmaError):
+    """Base class for failures surfaced by the transport layer.
+
+    Raised by :mod:`repro.transport` implementations when a verb cannot
+    complete.  The serving layer never sees raw verb failures — a
+    :class:`~repro.transport.retry.RetryingTransport` absorbs transient
+    errors within its policy and re-raises a typed subclass once the
+    retry budget is exhausted.
+    """
+
+    def __init__(self, message: str, *, op: str | None = None,
+                 attempt: int = 0) -> None:
+        super().__init__(message)
+        self.op = op
+        self.attempt = attempt
+
+
+class TransportTimeoutError(TransportError):
+    """A verb did not complete within the armed per-op timeout."""
+
+
+class PartialReadError(TransportError):
+    """A READ completed with fewer bytes than requested (torn DMA)."""
+
+    def __init__(self, message: str, *, expected: int | None = None,
+                 received: int | None = None, **kwargs: object) -> None:
+        super().__init__(message, **kwargs)
+        self.expected = expected
+        self.received = received
+
+
+class CorruptedReadError(TransportError):
+    """A READ payload failed its integrity check (flipped bits on the
+    wire or a torn remote write)."""
+
+
+class StaleReadError(TransportError):
+    """A READ observed remote metadata mid-update (version/checksum
+    mismatch); the caller should re-issue the READ."""
+
+
+class RetryExhaustedError(TransportError):
+    """The retry policy's budget ran out without a successful completion.
+
+    Carries the final underlying failure as ``last_error``.
+    """
+
+    def __init__(self, message: str, *, last_error: TransportError,
+                 attempts: int, **kwargs: object) -> None:
+        super().__init__(message, **kwargs)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
 class LayoutError(ReproError):
     """The serialized remote layout is malformed or inconsistent."""
 

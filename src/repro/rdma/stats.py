@@ -35,6 +35,13 @@ class RdmaStats:
     #: caller polled.  ``network_time_us`` holds only the *exposed* wait, so
     #: exposed + overlapped equals the serial wire time.
     overlapped_time_us: float = 0.0
+    #: Verb re-issues performed by a retrying transport after a fault.
+    retries: int = 0
+    #: Simulated time spent backing off between retry attempts (charged to
+    #: the owning clock; *not* included in ``network_time_us``).
+    backoff_time_us: float = 0.0
+    #: Faults a ``FaultInjectingTransport`` injected (simulation-only).
+    faults_injected: int = 0
 
     def record_read(self, nbytes: int, time_us: float) -> None:
         """Account one single READ."""
@@ -91,6 +98,21 @@ class RdmaStats:
         self.bytes_written += sum(sizes)
         self.network_time_us += time_us
 
+    def record_retry(self, backoff_us: float) -> None:
+        """Account one verb re-issue and the backoff that preceded it."""
+        self.retries += 1
+        self.backoff_time_us += backoff_us
+
+    def record_fault(self, wasted_us: float = 0.0) -> None:
+        """Account one injected transport fault.
+
+        ``wasted_us`` is the wire/wait time the failed attempt burned
+        (e.g. an armed timeout, or the partial transfer of a torn READ);
+        it is exposed wait, so it lands in ``network_time_us``.
+        """
+        self.faults_injected += 1
+        self.network_time_us += wasted_us
+
     # ------------------------------------------------------------------
     def snapshot(self) -> "RdmaStats":
         """A frozen copy of the current counters."""
@@ -109,6 +131,9 @@ class RdmaStats:
             network_time_us=self.network_time_us - earlier.network_time_us,
             overlapped_time_us=(self.overlapped_time_us
                                 - earlier.overlapped_time_us),
+            retries=self.retries - earlier.retries,
+            backoff_time_us=self.backoff_time_us - earlier.backoff_time_us,
+            faults_injected=self.faults_injected - earlier.faults_injected,
         )
 
     def merge(self, other: "RdmaStats") -> None:
@@ -122,3 +147,6 @@ class RdmaStats:
         self.bytes_written += other.bytes_written
         self.network_time_us += other.network_time_us
         self.overlapped_time_us += other.overlapped_time_us
+        self.retries += other.retries
+        self.backoff_time_us += other.backoff_time_us
+        self.faults_injected += other.faults_injected

@@ -1,0 +1,154 @@
+"""The serving engine: stage composition behind ``DHnswClient``.
+
+Composes the five stages — :class:`~repro.serving.planner.Planner`,
+:class:`~repro.serving.fetcher.Fetcher`,
+:class:`~repro.serving.decoder.Decoder`,
+:class:`~repro.serving.executor.WaveExecutor`,
+:class:`~repro.serving.merger.Merger` — into the batched query path the
+client exposes.  The engine holds no index state of its own: everything it
+needs (metadata, cache, transport, cost model, policy) lives on the host
+client and is read late, so decorating ``host.transport`` after
+construction (fault injection, retries) affects every stage immediately.
+
+``plan_executor`` switches the wave loop between the staged path and the
+retained monolithic transcription in :mod:`repro.serving.reference` — the
+equivalence oracle the acceptance tests compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.query_planner import BatchPlan
+from repro.core.results import BatchResult
+from repro.metrics.latency import LatencyBreakdown
+from repro.serving import reference
+from repro.serving.decoder import Decoder
+from repro.serving.executor import PlanExecution, WaveExecutor
+from repro.serving.fetcher import Fetcher
+from repro.serving.merger import Merger
+from repro.serving.planner import Planner
+from repro.serving.trace import TraceContext
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Staged execution pipeline for one compute instance."""
+
+    def __init__(self, host) -> None:
+        self.host = host
+        self.planner = Planner(host)
+        self.decoder = Decoder(host)
+        self.fetcher = Fetcher(host, self.decoder)
+        self.executor = WaveExecutor(host, self.fetcher)
+        self.merger = Merger(host)
+        #: ``"staged"`` (default) runs the stage pipeline; ``"reference"``
+        #: runs the retained monolithic oracle.  Simulated numbers must be
+        #: bit-identical either way.
+        self.plan_executor = "staged"
+        self._request_counter = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release every OS resource the serving path created."""
+        self.executor.close()
+
+    # -- request entry ----------------------------------------------------
+    def resolve_ef(self, k: int, ef_search: int | None) -> int:
+        """Beam width for the batch: explicit arg, configured default,
+        else the paper's ``2k`` rule — never below ``k``."""
+        if ef_search is None:
+            ef_search = self.host.config.ef_search_default
+        return max(ef_search if ef_search is not None else 2 * k, k)
+
+    def search_batch(self, queries: np.ndarray, k: int,
+                     ef_search: int | None = None,
+                     filter_fn: "Callable[[int], bool] | None" = None
+                     ) -> BatchResult:
+        """Answer a batch of queries with full latency/traffic accounting.
+
+        The staged twin of the former ``DHnswClient.search_batch`` body;
+        the client's method is now a façade over this one.
+        """
+        host = self.host
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        ef = self.resolve_ef(k, ef_search)
+
+        self._request_counter += 1
+        trace = TraceContext(self._request_counter, host.node.clock,
+                             host.node.stats)
+        before = host.node.stats.snapshot()
+        breakdown = LatencyBreakdown()
+        host.refresh_metadata()
+
+        # --- meta-HNSW routing (local, cached) -------------------------
+        required = self.planner.route(queries, breakdown, trace)
+
+        # --- cluster loading + sub-HNSW search -------------------------
+        merger = self.merger.create(len(queries), k, filter_fn)
+        cache_counters_before = host.cache.counters()
+        if host.policy.deduplicate_batch:
+            plan = self.planner.plan(required, trace)
+            execution = self.execute_plan(plan, queries, merger, k, ef,
+                                          trace)
+            waves = len(plan.waves)
+            pruned = plan.duplicate_requests_pruned
+        else:
+            if self.plan_executor == "reference":
+                execution = reference.execute_naive(host, required, queries,
+                                                    merger, k, ef)
+            else:
+                execution = self.executor.execute_naive(
+                    required, queries, merger, k, ef, trace)
+            waves = 0
+            pruned = 0
+        if execution.charged_in_loop:
+            # The pipelined executor charged deserialize + compute wave by
+            # wave (that interleaving is the whole point); just attribute.
+            breakdown.sub_hnsw_us += execution.charged_compute_us
+            self.decoder.drain_deserialize_us()
+        else:
+            with trace.stage("compute"):
+                breakdown.sub_hnsw_us += host.node.charge_compute(
+                    execution.sub_evals, host.meta.dim)
+            # Deserialization of fetched blobs is CPU work on loaded data —
+            # it belongs to the sub-HNSW bucket (see CostModel docs).
+            with trace.stage("decode"):
+                breakdown.sub_hnsw_us += host.node.charge_time(
+                    self.decoder.drain_deserialize_us())
+
+        # --- finalize ---------------------------------------------------
+        results = self.merger.finalize(merger, len(queries), k, filter_fn,
+                                       trace)
+        rdma_delta = host.node.stats.delta(before)
+        breakdown.network_us += rdma_delta.network_time_us
+        _, misses_before, evictions_before = cache_counters_before
+        _, misses_after, evictions_after = host.cache.counters()
+        return BatchResult(results=results, breakdown=breakdown,
+                           rdma=rdma_delta,
+                           clusters_fetched=execution.fetched,
+                           cache_hits=execution.hit_count,
+                           duplicate_requests_pruned=pruned, waves=waves,
+                           overlap_saved_us=rdma_delta.overlapped_time_us,
+                           sub_evals=execution.sub_evals,
+                           cache_misses=misses_after - misses_before,
+                           cache_evictions=evictions_after - evictions_before,
+                           pipeline_executed=execution.pipeline_executed,
+                           overlap_oracle_us=execution.overlap_oracle_us,
+                           trace=trace)
+
+    # -- plan dispatch -----------------------------------------------------
+    def execute_plan(self, plan: BatchPlan, queries: np.ndarray, merger,
+                     k: int, ef: int,
+                     trace: TraceContext | None = None) -> PlanExecution:
+        """Run a wave schedule on the configured executor path."""
+        if self.plan_executor == "reference":
+            return reference.execute_plan(self.host, plan, queries, merger,
+                                          k, ef)
+        return self.executor.execute_plan(plan, queries, merger, k, ef,
+                                          trace)

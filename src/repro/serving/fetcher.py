@@ -1,0 +1,186 @@
+"""Fetcher stage: cluster extents from remote memory to decoded entries.
+
+All remote bytes the serving path touches flow through this stage, and it
+speaks only :class:`repro.transport.base.Transport` verbs — never the raw
+queue pair.  The fetcher also owns cache admission (LRU + DRAM spill) and
+the overflow-tail freshness check for cache hits, because both are
+decisions about what was just fetched.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.cache import CachedCluster
+from repro.core.query_planner import Wave
+from repro.errors import LayoutError
+from repro.layout.group_layout import OVERFLOW_TAIL_BYTES, cluster_read_extent
+from repro.layout.serializer import (
+    overflow_record_size,
+    unpack_overflow_records,
+)
+from repro.serving.decoder import Decoder
+from repro.serving.trace import TraceContext, span
+from repro.transport import PendingRead, ReadDescriptor
+
+__all__ = ["Fetcher"]
+
+_U64 = struct.Struct("<Q")
+
+
+class Fetcher:
+    """Loads cluster extents through the transport and admits them."""
+
+    def __init__(self, host, decoder: Decoder) -> None:
+        self.host = host
+        self.decoder = decoder
+
+    # -- descriptor construction ----------------------------------------
+    def extent_descriptors(self, cluster_ids: list[int]
+                           ) -> tuple[list[ReadDescriptor],
+                                      list[tuple[int, int, int]]]:
+        """READ descriptors + ``(cid, offset, length)`` extents for a set
+        of clusters (shared by the sync and async fetch paths)."""
+        host = self.host
+        descriptors = []
+        extents = []
+        for cid in cluster_ids:
+            offset, length = cluster_read_extent(host.metadata, cid)
+            descriptors.append(ReadDescriptor(
+                host.layout.rkey, host.layout.addr(offset), length))
+            extents.append((cid, offset, length))
+        return descriptors, extents
+
+    # -- synchronous / asynchronous fetch --------------------------------
+    def fetch_clusters(self, cluster_ids: list[int], doorbell: bool,
+                       trace: TraceContext | None = None
+                       ) -> dict[int, CachedCluster]:
+        """READ each cluster's contiguous extent (blob + overflow)."""
+        descriptors, extents = self.extent_descriptors(cluster_ids)
+        with span(trace, "fetch"):
+            payloads = self.host.transport.read_batch(descriptors,
+                                                      doorbell=doorbell)
+        with span(trace, "decode"):
+            return {cid: self.decoder.decode_extent(cid, offset, payload)
+                    for (cid, offset, _), payload
+                    in zip(extents, payloads)}
+
+    def issue_async(self, cluster_ids: list[int], doorbell: bool
+                    ) -> tuple[PendingRead, list[tuple[int, int, int]]]:
+        """Issue a non-blocking doorbell fetch; pair with :meth:`poll`."""
+        descriptors, extents = self.extent_descriptors(cluster_ids)
+        token = self.host.transport.read_batch_async(descriptors,
+                                                     doorbell=doorbell)
+        return token, extents
+
+    def poll(self, token: PendingRead) -> list[bytes]:
+        """Complete an async fetch, charging only the exposed wait."""
+        return self.host.transport.poll(token)
+
+    # -- cache admission --------------------------------------------------
+    def cache_put(self, entry: CachedCluster,
+                  count_miss: bool = True) -> None:
+        """Insert into the cache, spilling LRU entries if DRAM is tight."""
+        host = self.host
+        while not host.node.reserve_dram(entry.nbytes):
+            victim = host.cache.pop_lru()
+            if victim is None:
+                raise LayoutError(
+                    f"cluster {entry.cluster_id} ({entry.nbytes} B) cannot "
+                    f"fit in compute DRAM even with an empty cache")
+            host.node.release_dram(victim.nbytes)
+        for victim in host.cache.put(entry, count_miss=count_miss):
+            host.node.release_dram(victim.nbytes)
+
+    # -- wave loading -----------------------------------------------------
+    def load_wave(self, wave: Wave, execution,
+                  trace: TraceContext | None = None
+                  ) -> dict[int, CachedCluster]:
+        """Fetch (or look up) a wave's clusters synchronously."""
+        host = self.host
+        entries: dict[int, CachedCluster] = {}
+        if wave.fetch_cluster_ids:
+            loaded = self.fetch_clusters(list(wave.fetch_cluster_ids),
+                                         host.policy.doorbell_batching,
+                                         trace)
+            execution.fetched += len(loaded)
+            for entry in loaded.values():
+                if host.policy.use_cluster_cache:
+                    self.cache_put(entry)
+            entries.update(loaded)
+        else:
+            self.load_hit_wave(wave, entries, execution, trace)
+        return entries
+
+    def load_hit_wave(self, wave: Wave, entries: dict[int, CachedCluster],
+                      execution,
+                      trace: TraceContext | None = None) -> None:
+        """Consume a hit wave: validate overflow tails, then take entries
+        from the cache, refetching any evicted in the meantime."""
+        host = self.host
+        hit_ids = sorted({cid for _, cid in wave.serviced})
+        if host.config.validate_overflow_on_hit and hit_ids:
+            self.validate_cached(hit_ids, trace)
+        for cid in hit_ids:
+            entry = host.cache.get(cid)
+            if entry is None:
+                # Evicted between planning and execution (possible only
+                # with pathological capacity 1): refetch — and re-insert,
+                # or every later query of the batch refetches it again.
+                # The failed ``get`` above already counted the miss.
+                entry = self.fetch_clusters(
+                    [cid], host.policy.doorbell_batching, trace)[cid]
+                execution.fetched += 1
+                if host.policy.use_cluster_cache:
+                    self.cache_put(entry, count_miss=False)
+            else:
+                execution.hit_count += 1
+            entries[cid] = entry
+
+    # -- overflow freshness ------------------------------------------------
+    def validate_cached(self, cluster_ids: list[int],
+                        trace: TraceContext | None = None) -> None:
+        """Check overflow tails of cached clusters; fetch record deltas.
+
+        Tail counters are 8-byte READs, doorbell-batched under the full
+        scheme, so observing concurrent inserts costs a fraction of a
+        round trip per batch.
+        """
+        host = self.host
+        by_group: dict[int, list[int]] = {}
+        for cid in cluster_ids:
+            if host.cache.peek(cid) is not None:
+                by_group.setdefault(
+                    host.metadata.clusters[cid].group_id, []).append(cid)
+        if not by_group:
+            return
+        group_ids = sorted(by_group)
+        descriptors = [ReadDescriptor(
+            host.layout.rkey,
+            host.layout.addr(host.metadata.groups[gid].overflow_offset),
+            OVERFLOW_TAIL_BYTES) for gid in group_ids]
+        with span(trace, "fetch"):
+            payloads = host.transport.read_batch(
+                descriptors, doorbell=host.policy.doorbell_batching)
+        record_size = overflow_record_size(host.metadata.dim)
+        for gid, payload in zip(group_ids, payloads):
+            (tail,) = _U64.unpack(payload)
+            group = host.metadata.groups[gid]
+            tail = min(int(tail), group.capacity_records)
+            for cid in by_group[gid]:
+                entry = host.cache.peek(cid)
+                if entry is None or entry.overflow_tail >= tail:
+                    continue
+                delta = tail - entry.overflow_tail
+                start = (group.overflow_offset + OVERFLOW_TAIL_BYTES
+                         + entry.overflow_tail * record_size)
+                with span(trace, "fetch"):
+                    blob = host.transport.read(
+                        host.layout.rkey, host.layout.addr(start),
+                        delta * record_size)
+                fresh = unpack_overflow_records(blob, host.metadata.dim,
+                                                delta)
+                entry.overflow.extend(
+                    record for record in fresh
+                    if record.cluster_id == cid)
+                entry.overflow_tail = tail

@@ -1,0 +1,54 @@
+"""Planner stage: meta-HNSW routing and wave scheduling.
+
+First of the serving stages.  Routing runs the cached meta-HNSW over the
+query batch (local compute, charged to the meta bucket); planning turns
+the per-query cluster lists into the deduplicated wave schedule of §3.3
+via :func:`repro.core.query_planner.plan_batch`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cache import ClusterCache
+from repro.core.query_planner import BatchPlan, plan_batch
+from repro.metrics.latency import LatencyBreakdown
+from repro.serving.trace import TraceContext
+
+__all__ = ["Planner"]
+
+
+class Planner:
+    """Routes queries to clusters and schedules fetch waves."""
+
+    def __init__(self, host) -> None:
+        self.host = host
+
+    def route(self, queries: np.ndarray, breakdown: LatencyBreakdown,
+              trace: TraceContext) -> list[list[int]]:
+        """Meta-HNSW routing for the batch; charges the meta bucket."""
+        host = self.host
+        with trace.stage("route"):
+            host.meta.reset_compute_counter()
+            if host.config.adaptive_nprobe:
+                required = [host.meta.route_adaptive(
+                    query, host.config.nprobe, host.config.ef_meta,
+                    host.config.adaptive_alpha) for query in queries]
+            else:
+                required = host.meta.route_batch(
+                    queries, host.config.nprobe, host.config.ef_meta)
+            meta_evals = host.meta.reset_compute_counter()
+            breakdown.meta_hnsw_us += host.node.charge_compute(
+                meta_evals, host.meta.dim)
+        return required
+
+    def plan(self, required: list[list[int]],
+             trace: TraceContext) -> BatchPlan:
+        """Deduplicated wave schedule for the routed cluster lists."""
+        host = self.host
+        with trace.stage("plan"):
+            return plan_batch(
+                required,
+                host.cache if host.policy.use_cluster_cache
+                else ClusterCache(1),
+                host.cache.capacity_clusters)

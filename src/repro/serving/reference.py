@@ -1,0 +1,218 @@
+"""The pre-seam monolithic execution path, retained as an oracle.
+
+This module is a faithful transcription of the serving loop as it lived
+inside ``DHnswClient`` before the staged decomposition: one function per
+former private method, operating directly on the client.  It exists so the
+equivalence tests can run the same plan through both paths and assert
+bit-identical results, sub-evaluations, RDMA counters, and cache counters
+(``tests/serving/test_engine_equivalence.py``).  Delete it once the staged
+path has survived a release.
+
+It shares the client's decoder (memoization + deserialize accumulator) and
+worker pools with the staged path — those are substrate, not
+orchestration; the point of the oracle is to pin the *schedule*: the exact
+verb order, charge order, and cache interaction of the original loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.cache import CachedCluster
+from repro.core.cluster_search import search_cluster_entry
+from repro.core.merge import TopKMerger
+from repro.core.query_planner import BatchPlan, Wave
+from repro.errors import LayoutError
+from repro.serving.executor import PlanExecution, overlap_saved
+
+__all__ = [
+    "execute_naive",
+    "execute_plan",
+    "execute_plan_pipelined",
+    "execute_plan_serial",
+]
+
+
+def execute_plan(host, plan: BatchPlan, queries: np.ndarray,
+                 merger: TopKMerger, k: int, ef: int) -> PlanExecution:
+    """Run a deduplicated wave schedule exactly as the monolith did."""
+    if host.config.pipeline_waves and len(plan.waves) >= 2:
+        return execute_plan_pipelined(host, plan, queries, merger, k, ef)
+    return execute_plan_serial(host, plan, queries, merger, k, ef)
+
+
+def execute_plan_serial(host, plan: BatchPlan, queries: np.ndarray,
+                        merger: TopKMerger, k: int, ef: int) -> PlanExecution:
+    """Strictly serial wave schedule: fetch, then search, per wave."""
+    execution = PlanExecution()
+    for wave in plan.waves:
+        entries = _load_wave(host, wave, execution)
+        execution.sub_evals += _run_wave_compute(
+            host, wave, entries, queries, merger, k, ef)
+    return execution
+
+
+def execute_plan_pipelined(host, plan: BatchPlan, queries: np.ndarray,
+                           merger: TopKMerger, k: int,
+                           ef: int) -> PlanExecution:
+    """Double-buffered wave schedule, transcription of the monolith."""
+    execution = PlanExecution(charged_in_loop=True, pipeline_executed=True)
+    waves = plan.waves
+    doorbell = host.policy.doorbell_batching
+    profiles: list[tuple[float, float]] = []
+    pending: tuple | None = None
+    pending_index = -1
+    decoder = host.engine.decoder
+
+    def issue(index: int) -> tuple:
+        descriptors, extents = _extent_descriptors(
+            host, list(waves[index].fetch_cluster_ids))
+        token = host.transport.read_batch_async(descriptors,
+                                                doorbell=doorbell)
+        return token, extents
+
+    for index, wave in enumerate(waves):
+        sync_network_before = host.node.stats.network_time_us
+        entries: dict[int, CachedCluster] = {}
+        if wave.fetch_cluster_ids:
+            token, extents = (pending if pending_index == index
+                              else issue(index))
+            payloads = host.transport.poll(token)
+            wave_fetch_us = token.elapsed_us
+            if (index + 1 < len(waves)
+                    and waves[index + 1].fetch_cluster_ids):
+                pending, pending_index = issue(index + 1), index + 1
+            loaded = {cid: decoder.decode_extent(cid, offset, payload)
+                      for (cid, offset, _), payload
+                      in zip(extents, payloads)}
+            execution.fetched += len(loaded)
+            for entry in loaded.values():
+                if host.policy.use_cluster_cache:
+                    _cache_put(host, entry)
+            entries.update(loaded)
+        else:
+            _load_hit_wave(host, wave, entries, execution)
+            wave_fetch_us = (host.node.stats.network_time_us
+                             - sync_network_before)
+            if (index + 1 < len(waves)
+                    and waves[index + 1].fetch_cluster_ids):
+                pending, pending_index = issue(index + 1), index + 1
+        deserialize_us = decoder.drain_deserialize_us()
+        charged = host.node.charge_time(deserialize_us)
+        wave_evals = _run_wave_compute(host, wave, entries, queries,
+                                       merger, k, ef)
+        charged += host.node.charge_compute(wave_evals, host.meta.dim)
+        execution.sub_evals += wave_evals
+        execution.charged_compute_us += charged
+        profiles.append((wave_fetch_us, charged))
+    execution.overlap_oracle_us = overlap_saved(profiles)
+    return execution
+
+
+def execute_naive(host, required: list[list[int]], queries: np.ndarray,
+                  merger: TopKMerger, k: int, ef: int) -> PlanExecution:
+    """Naive d-HNSW: one READ round trip per (query, cluster) pair."""
+    execution = PlanExecution()
+    for query_index, cluster_ids in enumerate(required):
+        for cid in cluster_ids:
+            entry = _fetch_clusters(host, [cid], doorbell=False)[cid]
+            execution.fetched += 1
+            output = search_cluster_entry(
+                entry, queries[query_index:query_index + 1], k, ef)
+            execution.sub_evals += output.evals
+            merger.add(query_index, output.gids[0], output.dists[0])
+    return execution
+
+
+# ----------------------------------------------------------------------
+# Former private helpers of the monolith
+# ----------------------------------------------------------------------
+def _extent_descriptors(host, cluster_ids: list[int]):
+    return host.engine.fetcher.extent_descriptors(cluster_ids)
+
+
+def _fetch_clusters(host, cluster_ids: list[int],
+                    doorbell: bool) -> dict[int, CachedCluster]:
+    descriptors, extents = _extent_descriptors(host, cluster_ids)
+    payloads = host.transport.read_batch(descriptors, doorbell=doorbell)
+    decoder = host.engine.decoder
+    return {cid: decoder.decode_extent(cid, offset, payload)
+            for (cid, offset, _), payload in zip(extents, payloads)}
+
+
+def _cache_put(host, entry: CachedCluster, count_miss: bool = True) -> None:
+    host.engine.fetcher.cache_put(entry, count_miss=count_miss)
+
+
+def _load_wave(host, wave: Wave,
+               execution: PlanExecution) -> dict[int, CachedCluster]:
+    entries: dict[int, CachedCluster] = {}
+    if wave.fetch_cluster_ids:
+        loaded = _fetch_clusters(host, list(wave.fetch_cluster_ids),
+                                 host.policy.doorbell_batching)
+        execution.fetched += len(loaded)
+        for entry in loaded.values():
+            if host.policy.use_cluster_cache:
+                _cache_put(host, entry)
+        entries.update(loaded)
+    else:
+        _load_hit_wave(host, wave, entries, execution)
+    return entries
+
+
+def _load_hit_wave(host, wave: Wave, entries: dict[int, CachedCluster],
+                   execution: PlanExecution) -> None:
+    hit_ids = sorted({cid for _, cid in wave.serviced})
+    if host.config.validate_overflow_on_hit and hit_ids:
+        host.engine.fetcher.validate_cached(hit_ids)
+    for cid in hit_ids:
+        entry = host.cache.get(cid)
+        if entry is None:
+            entry = _fetch_clusters(
+                host, [cid], host.policy.doorbell_batching)[cid]
+            execution.fetched += 1
+            if host.policy.use_cluster_cache:
+                _cache_put(host, entry, count_miss=False)
+        else:
+            execution.hit_count += 1
+        entries[cid] = entry
+
+
+def _run_wave_compute(host, wave: Wave, entries: dict[int, CachedCluster],
+                      queries: np.ndarray, merger: TopKMerger, k: int,
+                      ef: int) -> int:
+    tasks: list[tuple[int, CachedCluster, list[int]]] = []
+    for cid, query_indices in wave.cluster_groups():
+        entry = entries.get(cid)
+        if entry is None:
+            entry = host.cache.peek(cid)
+        if entry is None:
+            raise LayoutError(f"planned cluster {cid} missing during wave")
+        tasks.append((cid, entry, query_indices))
+    workers = host.config.search_workers
+    executor = host.engine.executor
+    started = time.perf_counter()
+    if workers > 1 and len(tasks) > 1:
+        if host.config.search_executor == "process":
+            outputs = executor._get_search_pool().run_wave(
+                [(cid, (entry.metadata_version, entry.overflow_tail),
+                  entry, queries[query_indices], k, ef)
+                 for cid, entry, query_indices in tasks])
+        else:
+            pool = executor._get_thread_pool()
+            futures = [pool.submit(search_cluster_entry, entry,
+                                   queries[query_indices], k, ef)
+                       for _, entry, query_indices in tasks]
+            outputs = [future.result() for future in futures]
+    else:
+        outputs = [search_cluster_entry(entry, queries[query_indices], k, ef)
+                   for _, entry, query_indices in tasks]
+    host.node.record_wall_compute(time.perf_counter() - started)
+    wave_evals = 0
+    for (_, _, query_indices), output in zip(tasks, outputs):
+        wave_evals += output.evals
+        for row, query_index in enumerate(query_indices):
+            merger.add(query_index, output.gids[row], output.dists[row])
+    return wave_evals

@@ -13,9 +13,10 @@ import dataclasses
 
 from repro.cluster.deployment import Deployment
 from repro.core.client import DHnswClient
+from repro.serving.trace import StageReport, TraceContext
 
 __all__ = ["CacheTelemetry", "ClientTelemetry", "DeploymentTelemetry",
-           "render_report"]
+           "StageReport", "TraceContext", "render_report", "render_trace"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,6 +65,12 @@ class ClientTelemetry:
     wall_compute_s: float = 0.0
     search_workers: int = 1
     search_executor: str = "thread"
+    #: Verb re-issues a retrying transport performed after faults.
+    retries: int = 0
+    #: Simulated µs spent backing off between retry attempts.
+    backoff_time_us: float = 0.0
+    #: Faults injected by a ``FaultInjectingTransport`` (simulation-only).
+    faults_injected: int = 0
 
     @classmethod
     def from_client(cls, client: DHnswClient) -> "ClientTelemetry":
@@ -102,6 +109,9 @@ class ClientTelemetry:
             wall_compute_s=client.node.wall_compute_s,
             search_workers=client.config.search_workers,
             search_executor=client.config.search_executor,
+            retries=stats.retries,
+            backoff_time_us=stats.backoff_time_us,
+            faults_injected=stats.faults_injected,
         )
 
 
@@ -181,4 +191,36 @@ def render_report(telemetry: DeploymentTelemetry) -> str:
             f"{client.overlapped_time_us:>10.1f} "
             f"{client.compute_time_us:>10.1f} "
             f"{client.cache.hit_rate:>9.2%}")
+    faulted = [client for client in telemetry.clients
+               if client.retries or client.faults_injected]
+    if faulted:
+        lines += [
+            "",
+            "=== transport faults ===",
+            f"{'instance':<12} {'faults':>7} {'retries':>8} "
+            f"{'backoff_us':>11}",
+        ]
+        for client in faulted:
+            lines.append(
+                f"{client.name:<12} {client.faults_injected:>7} "
+                f"{client.retries:>8} {client.backoff_time_us:>11.1f}")
+    return "\n".join(lines)
+
+
+def render_trace(trace: TraceContext) -> str:
+    """A fixed-width per-stage table for one request's trace."""
+    lines = [
+        f"=== request #{trace.request_id} ===",
+        f"{'stage':<10} {'calls':>6} {'sim_us':>10} {'wall_ms':>9} "
+        f"{'MiB_rd':>8}",
+    ]
+    for stage in trace.report():
+        lines.append(
+            f"{stage.name:<10} {stage.calls:>6} {stage.sim_us:>10.1f} "
+            f"{stage.wall_s * 1e3:>9.2f} "
+            f"{stage.bytes_read / 2**20:>8.3f}")
+    lines.append(
+        f"{'total':<10} {'':>6} {trace.total_sim_us:>10.1f} "
+        f"{trace.total_wall_s * 1e3:>9.2f} "
+        f"{trace.total_bytes_read / 2**20:>8.3f}")
     return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Deterministic fault injection for transport verbs.
+
+:class:`FaultInjectingTransport` wraps any :class:`~repro.transport.base.
+Transport` and makes selected READ operations fail with typed errors from
+:mod:`repro.errors`, charging the simulated time the failed attempt would
+have burned.  Faults are *deterministic*: a :class:`FaultPlan` decides from
+a seed (probability mode) or an explicit op-ordinal schedule, so a failing
+run replays exactly.
+
+Only READ-shaped verbs fault (``read``, ``read_batch``,
+``read_batch_async``/``poll``).  WRITE and atomics pass through — the
+serving read path is what the paper's recovery story is about, and keeping
+mutations fault-free keeps remote state consistent across retries.
+
+Fault semantics (simulated charges):
+
+``TIMEOUT``
+    No bytes move.  The armed per-op timeout elapses on the clock, then
+    :class:`~repro.errors.TransportTimeoutError` is raised.
+``PARTIAL_READ``
+    Roughly half the requested bytes transfer before the completion timer
+    fires (half the armed timeout is charged), then
+    :class:`~repro.errors.PartialReadError` is raised.
+``STALE_METADATA``
+    The READ completes at full wire cost, but the payload's version check
+    fails: :class:`~repro.errors.StaleReadError`.  Remote state is intact;
+    a retry succeeds.
+``CORRUPT_EXTENT``
+    The READ completes at full wire cost, but the payload fails its
+    integrity check: :class:`~repro.errors.CorruptedReadError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+
+from repro.errors import (
+    ConfigError,
+    CorruptedReadError,
+    PartialReadError,
+    StaleReadError,
+    TransportTimeoutError,
+)
+from repro.transport.base import (
+    PendingRead,
+    ReadDescriptor,
+    Transport,
+    WriteDescriptor,
+)
+
+__all__ = ["FaultInjectingTransport", "FaultKind", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """The failure modes a fault plan can inject."""
+
+    TIMEOUT = "timeout"
+    PARTIAL_READ = "partial_read"
+    STALE_METADATA = "stale_metadata"
+    CORRUPT_EXTENT = "corrupt_extent"
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """Decides which READ operations fault, deterministically.
+
+    Two modes compose:
+
+    * ``schedule`` maps a 0-based READ-op ordinal (each ``read`` /
+      ``read_batch`` / ``read_batch_async`` call counts once, in issue
+      order) to the :class:`FaultKind` injected on that op.
+    * ``fault_rate`` draws per-op from ``random.Random(seed)``; when the
+      draw fires, the kind is chosen uniformly from ``kinds``.
+
+    ``max_faults`` caps total injections across both modes.
+    """
+
+    seed: int = 0
+    fault_rate: float = 0.0
+    kinds: tuple[FaultKind, ...] = tuple(FaultKind)
+    schedule: dict[int, FaultKind] = dataclasses.field(default_factory=dict)
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ConfigError(
+                f"fault_rate must be in [0, 1], got {self.fault_rate}")
+        if self.fault_rate > 0.0 and not self.kinds:
+            raise ConfigError("fault_rate > 0 requires a non-empty kinds")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ConfigError(
+                f"max_faults must be >= 0, got {self.max_faults}")
+        self._rng = random.Random(self.seed)
+        self._op_ordinal = 0
+        self._injected = 0
+
+    @property
+    def ops_seen(self) -> int:
+        """READ operations the plan has adjudicated so far."""
+        return self._op_ordinal
+
+    @property
+    def faults_injected(self) -> int:
+        """Faults the plan has fired so far."""
+        return self._injected
+
+    def next_fault(self) -> FaultKind | None:
+        """Adjudicate the next READ op; return a kind to inject or None.
+
+        Consumes exactly one ordinal and one RNG draw per call (when in
+        probability mode), so the decision stream is a pure function of
+        the op sequence.
+        """
+        ordinal = self._op_ordinal
+        self._op_ordinal += 1
+        kind = self.schedule.get(ordinal)
+        if kind is None and self.fault_rate > 0.0:
+            if self._rng.random() < self.fault_rate:
+                kind = self.kinds[self._rng.randrange(len(self.kinds))]
+        if kind is None:
+            return None
+        if self.max_faults is not None and self._injected >= self.max_faults:
+            return None
+        self._injected += 1
+        return kind
+
+
+class FaultInjectingTransport:
+    """A transport decorator that injects deterministic READ faults.
+
+    ``timeout_us`` is the armed per-op timeout charged when a ``TIMEOUT``
+    fault fires.  A ``PARTIAL_READ`` charges half the armed timeout (the
+    early-firing completion timer detects the tear).  Stale/corrupt faults
+    let the READ execute at full wire cost through the inner transport and
+    fail its validation afterwards, so a retry observes intact remote
+    state and succeeds.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan,
+                 timeout_us: float = 1_000.0) -> None:
+        if timeout_us <= 0.0:
+            raise ConfigError(f"timeout_us must be > 0, got {timeout_us}")
+        self.inner = inner
+        self.plan = plan
+        self.timeout_us = timeout_us
+        # Async faults are decided at issue time but surfaced at poll time,
+        # mirroring how a real CQ reports the error completion.
+        self._pending_faults: dict[int, tuple[FaultKind, int]] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    # -- fault machinery ------------------------------------------------
+    def _charge_partial(self, nbytes: int) -> float:
+        """Charge a torn READ of ``nbytes``; return the bytes that landed."""
+        received = nbytes // 2
+        # A torn DMA is detected when the completion timer fires early;
+        # charge half the armed timeout rather than probing the inner cost
+        # model (which the Transport protocol deliberately does not expose).
+        wasted = self.timeout_us / 2.0
+        self.clock.advance(wasted)
+        self.stats.record_fault(wasted)
+        return float(received)
+
+    def _fail_sync(self, kind: FaultKind, op: str, nbytes: int):
+        if kind is FaultKind.TIMEOUT:
+            self.clock.advance(self.timeout_us)
+            self.stats.record_fault(self.timeout_us)
+            raise TransportTimeoutError(
+                f"{op} timed out after {self.timeout_us:.0f} us "
+                f"(simulated fault)", op=op)
+        if kind is FaultKind.PARTIAL_READ:
+            received = int(self._charge_partial(nbytes))
+            raise PartialReadError(
+                f"{op} returned {received} of {nbytes} bytes "
+                f"(simulated torn DMA)", op=op, expected=nbytes,
+                received=received)
+        raise AssertionError(kind)  # stale/corrupt handled post-read
+
+    def _fail_post_read(self, kind: FaultKind, op: str) -> None:
+        """Raise for faults that are detected *after* a completed READ."""
+        self.stats.record_fault()
+        if kind is FaultKind.STALE_METADATA:
+            raise StaleReadError(
+                f"{op} observed remote metadata mid-update "
+                f"(simulated stale read)", op=op)
+        raise CorruptedReadError(
+            f"{op} payload failed integrity check (simulated bit flip)",
+            op=op)
+
+    # -- synchronous verbs ----------------------------------------------
+    def read(self, rkey: int, addr: int, length: int) -> bytes:
+        kind = self.plan.next_fault()
+        if kind in (FaultKind.TIMEOUT, FaultKind.PARTIAL_READ):
+            self._fail_sync(kind, "READ", length)
+        payload = self.inner.read(rkey, addr, length)
+        if kind is not None:
+            self._fail_post_read(kind, "READ")
+        return payload
+
+    def write(self, rkey: int, addr: int, data: bytes) -> None:
+        self.inner.write(rkey, addr, data)
+
+    def cas(self, rkey: int, addr: int, expected: int, desired: int) -> int:
+        return self.inner.cas(rkey, addr, expected, desired)
+
+    def faa(self, rkey: int, addr: int, delta: int) -> int:
+        return self.inner.faa(rkey, addr, delta)
+
+    # -- batched verbs --------------------------------------------------
+    def read_batch(self, descriptors: list[ReadDescriptor],
+                   doorbell: bool = True) -> list[bytes]:
+        kind = self.plan.next_fault()
+        total = sum(d.length for d in descriptors)
+        if kind in (FaultKind.TIMEOUT, FaultKind.PARTIAL_READ):
+            self._fail_sync(kind, "READ_BATCH", total)
+        payloads = self.inner.read_batch(descriptors, doorbell=doorbell)
+        if kind is not None:
+            self._fail_post_read(kind, "READ_BATCH")
+        return payloads
+
+    def write_batch(self, descriptors: list[WriteDescriptor],
+                    doorbell: bool = True) -> None:
+        self.inner.write_batch(descriptors, doorbell=doorbell)
+
+    def read_batch_async(self, descriptors: list[ReadDescriptor],
+                         doorbell: bool = True) -> PendingRead:
+        kind = self.plan.next_fault()
+        pending = self.inner.read_batch_async(descriptors, doorbell=doorbell)
+        if kind is not None:
+            total = sum(d.length for d in descriptors)
+            self._pending_faults[id(pending)] = (kind, total)
+        return pending
+
+    def poll(self, pending: PendingRead) -> list[bytes]:
+        fault = self._pending_faults.pop(id(pending), None)
+        if fault is None:
+            return self.inner.poll(pending)
+        kind, total = fault
+        if kind in (FaultKind.TIMEOUT, FaultKind.PARTIAL_READ):
+            # The error completion carries no data: the inner CQE is
+            # abandoned (no bytes are accounted) and only the armed-timeout
+            # wait is charged.  The NIC channel stays busy with the dead
+            # WQE, which is what a real timed-out READ leaves behind.
+            self._fail_sync(kind, "ASYNC_READ", total)
+        self.inner.poll(pending)  # full wire charge; payload discarded
+        self._fail_post_read(kind, "ASYNC_READ")
+        raise AssertionError("unreachable")
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self.inner.close()

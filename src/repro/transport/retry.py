@@ -1,0 +1,170 @@
+"""Bounded retry with exponential backoff over any transport.
+
+:class:`RetryingTransport` wraps a :class:`~repro.transport.base.Transport`
+and absorbs transient :class:`~repro.errors.TransportError` failures on
+READ-shaped verbs.  Each re-attempt is preceded by an exponential backoff
+charged to the wrapped transport's :class:`~repro.rdma.clock.SimClock` and
+accounted in ``RdmaStats.retries`` / ``backoff_time_us``, so a request that
+survived a fault is visibly slower than a clean one while returning
+bit-identical payloads.  When the budget runs out the last failure is
+re-raised wrapped in :class:`~repro.errors.RetryExhaustedError`.
+
+Async READs retry at :meth:`poll` time: the failed completion is replaced
+by a *synchronous* re-issue of the recorded descriptors, because by poll
+time the caller has already burned its overlap window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError, RetryExhaustedError, TransportError
+from repro.transport.base import (
+    PendingRead,
+    ReadDescriptor,
+    Transport,
+    WriteDescriptor,
+)
+
+__all__ = ["RetryPolicy", "RetryingTransport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a failed verb, and how patiently.
+
+    Backoff before re-attempt ``n`` (1-based) is
+    ``min(base_backoff_us * backoff_multiplier**(n-1), max_backoff_us)``.
+    """
+
+    max_retries: int = 3
+    base_backoff_us: float = 50.0
+    backoff_multiplier: float = 2.0
+    max_backoff_us: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_backoff_us < 0.0:
+            raise ConfigError(
+                f"base_backoff_us must be >= 0, got {self.base_backoff_us}")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                "backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}")
+        if self.max_backoff_us < self.base_backoff_us:
+            raise ConfigError(
+                f"max_backoff_us ({self.max_backoff_us}) must be >= "
+                f"base_backoff_us ({self.base_backoff_us})")
+
+    def backoff_us(self, attempt: int) -> float:
+        """Backoff charged before re-attempt ``attempt`` (1-based)."""
+        raw = self.base_backoff_us * self.backoff_multiplier ** (attempt - 1)
+        return min(raw, self.max_backoff_us)
+
+
+class RetryingTransport:
+    """A transport decorator that retries failed READs within a policy."""
+
+    def __init__(self, inner: Transport,
+                 policy: RetryPolicy | None = None) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        # Descriptors of in-flight async batches, so a failed poll can be
+        # replayed synchronously.  Keyed by token identity; PendingRead is
+        # a plain dataclass and not hashable.
+        self._inflight: dict[int, tuple[list[ReadDescriptor], bool]] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    # -- retry loop -----------------------------------------------------
+    def _run(self, op: str, fn):
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except RetryExhaustedError:
+                raise  # a nested retry layer already gave up; don't stack
+            except TransportError as exc:
+                attempt += 1
+                if attempt > self.policy.max_retries:
+                    raise RetryExhaustedError(
+                        f"{op} failed after {attempt} attempt(s): {exc}",
+                        last_error=exc, attempts=attempt, op=op) from exc
+                backoff = self.policy.backoff_us(attempt)
+                self.clock.advance(backoff)
+                self.stats.record_retry(backoff)
+
+    # -- synchronous verbs ----------------------------------------------
+    def read(self, rkey: int, addr: int, length: int) -> bytes:
+        return self._run("READ", lambda: self.inner.read(rkey, addr, length))
+
+    def write(self, rkey: int, addr: int, data: bytes) -> None:
+        self._run("WRITE", lambda: self.inner.write(rkey, addr, data))
+
+    def cas(self, rkey: int, addr: int, expected: int, desired: int) -> int:
+        return self._run(
+            "CAS", lambda: self.inner.cas(rkey, addr, expected, desired))
+
+    def faa(self, rkey: int, addr: int, delta: int) -> int:
+        return self._run("FAA", lambda: self.inner.faa(rkey, addr, delta))
+
+    # -- batched verbs --------------------------------------------------
+    def read_batch(self, descriptors: list[ReadDescriptor],
+                   doorbell: bool = True) -> list[bytes]:
+        return self._run(
+            "READ_BATCH",
+            lambda: self.inner.read_batch(descriptors, doorbell=doorbell))
+
+    def write_batch(self, descriptors: list[WriteDescriptor],
+                    doorbell: bool = True) -> None:
+        self._run(
+            "WRITE_BATCH",
+            lambda: self.inner.write_batch(descriptors, doorbell=doorbell))
+
+    def read_batch_async(self, descriptors: list[ReadDescriptor],
+                         doorbell: bool = True) -> PendingRead:
+        pending = self.inner.read_batch_async(descriptors, doorbell=doorbell)
+        self._inflight[id(pending)] = (list(descriptors), doorbell)
+        return pending
+
+    def poll(self, pending: PendingRead) -> list[bytes]:
+        descriptors, doorbell = self._inflight.pop(
+            id(pending), (None, True))
+        attempt = 0
+        try:
+            return self.inner.poll(pending)
+        except RetryExhaustedError:
+            raise
+        except TransportError as exc:
+            if descriptors is None:
+                raise  # token we never issued; nothing to replay
+            last = exc
+        while True:
+            attempt += 1
+            if attempt > self.policy.max_retries:
+                raise RetryExhaustedError(
+                    f"ASYNC_READ failed after {attempt} attempt(s): {last}",
+                    last_error=last, attempts=attempt,
+                    op="ASYNC_READ") from last
+            backoff = self.policy.backoff_us(attempt)
+            self.clock.advance(backoff)
+            self.stats.record_retry(backoff)
+            try:
+                return self.inner.read_batch(descriptors, doorbell=doorbell)
+            except RetryExhaustedError:
+                raise
+            except TransportError as exc:
+                last = exc
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,96 @@
+"""The simulated-RDMA transport: ``repro.rdma`` behind the seam.
+
+:class:`SimRdmaTransport` adapts a connected
+:class:`~repro.rdma.qp.QueuePair` to the :class:`~repro.transport.base.
+Transport` protocol.  It adds **zero** cost of its own — every verb maps
+1:1 onto the queue pair's, so simulated numbers are bit-identical to
+pre-seam code that called the QP directly.
+
+:func:`connect` builds the whole substrate stack (queue pair over a memory
+node) so upper layers can obtain a transport without naming
+``repro.rdma.qp`` — the builder's bulk-load path uses it.
+"""
+
+from __future__ import annotations
+
+from repro.rdma.clock import SimClock
+from repro.rdma.memory_node import MemoryNode
+from repro.rdma.network import CostModel
+from repro.rdma.qp import (
+    PendingRead,
+    QueuePair,
+    ReadDescriptor,
+    WriteDescriptor,
+)
+from repro.rdma.stats import RdmaStats
+
+__all__ = ["SimRdmaTransport", "connect"]
+
+
+class SimRdmaTransport:
+    """One-sided verbs over the simulated RDMA queue pair."""
+
+    def __init__(self, qp: QueuePair) -> None:
+        self._qp = qp
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def clock(self) -> SimClock:
+        return self._qp.clock
+
+    @property
+    def stats(self) -> RdmaStats:
+        return self._qp.stats
+
+    # -- synchronous verbs ----------------------------------------------
+    def read(self, rkey: int, addr: int, length: int) -> bytes:
+        return self._qp.post_read(rkey, addr, length)
+
+    def write(self, rkey: int, addr: int, data: bytes) -> None:
+        self._qp.post_write(rkey, addr, data)
+
+    def cas(self, rkey: int, addr: int, expected: int, desired: int) -> int:
+        return self._qp.post_cas(rkey, addr, expected, desired)
+
+    def faa(self, rkey: int, addr: int, delta: int) -> int:
+        return self._qp.post_faa(rkey, addr, delta)
+
+    # -- batched verbs --------------------------------------------------
+    def read_batch(self, descriptors: list[ReadDescriptor],
+                   doorbell: bool = True) -> list[bytes]:
+        if doorbell:
+            return self._qp.post_read_batch(descriptors)
+        return [self._qp.post_read(d.rkey, d.addr, d.length)
+                for d in descriptors]
+
+    def write_batch(self, descriptors: list[WriteDescriptor],
+                    doorbell: bool = True) -> None:
+        if doorbell:
+            self._qp.post_write_batch(descriptors)
+            return
+        for descriptor in descriptors:
+            self._qp.post_write(descriptor.rkey, descriptor.addr,
+                                descriptor.data)
+
+    def read_batch_async(self, descriptors: list[ReadDescriptor],
+                         doorbell: bool = True) -> PendingRead:
+        return self._qp.post_read_batch_async(descriptors, doorbell=doorbell)
+
+    def poll(self, pending: PendingRead) -> list[bytes]:
+        return self._qp.poll_cq(pending)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self._qp.close()
+
+
+def connect(memory_node: MemoryNode, clock: SimClock, cost_model: CostModel,
+            stats: RdmaStats | None = None) -> SimRdmaTransport:
+    """Connect a fresh queue pair to ``memory_node`` and wrap it.
+
+    The sanctioned way for upper layers to stand up a transport without
+    importing the queue-pair machinery.
+    """
+    qp = QueuePair(memory_node, clock, cost_model, stats)
+    qp.connect()
+    return SimRdmaTransport(qp)

@@ -1,0 +1,78 @@
+"""Import-layering contract for the three-layer serving runtime.
+
+The transport seam only works if upper layers actually go through it:
+``repro.serving`` and ``repro.core`` must never import the RDMA substrate
+modules (``repro.rdma.qp``, ``repro.rdma.memory_node``) directly — queue
+pairs and raw region access are ``repro.transport``'s business.  Parsed
+from source with ``ast`` so the check catches lazy/function-local imports
+too, not just module top-levels.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+#: Substrate modules upper layers must reach only through repro.transport.
+FORBIDDEN = ("repro.rdma.qp", "repro.rdma.memory_node")
+
+#: Packages bound by the contract.
+CONSTRAINED = ("serving", "core")
+
+
+def iter_imports(path: pathlib.Path):
+    """Yield (module_name, lineno) for every import in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            # Relative imports (level > 0) resolve inside the package
+            # itself and cannot name another top-level module.
+            if node.level == 0:
+                yield node.module, node.lineno
+
+
+def test_upper_layers_never_import_the_rdma_substrate():
+    violations = []
+    for package in CONSTRAINED:
+        for path in sorted((SRC_ROOT / package).rglob("*.py")):
+            for module, lineno in iter_imports(path):
+                if any(module == banned or module.startswith(banned + ".")
+                       for banned in FORBIDDEN):
+                    violations.append(
+                        f"{path.relative_to(SRC_ROOT.parent)}:{lineno} "
+                        f"imports {module}")
+    assert not violations, (
+        "substrate imports must go through repro.transport:\n  "
+        + "\n  ".join(violations))
+
+
+def test_transport_is_the_only_qp_consumer():
+    """Outside the substrate itself, only ``repro.transport`` (and the
+    persistence sidecar, which serializes raw regions) may name the queue
+    pair / memory-node modules."""
+    allowed_parents = {"transport", "rdma"}
+    allowed_files = {SRC_ROOT / "persist.py"}
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        parent = path.relative_to(SRC_ROOT).parts[0]
+        if parent in allowed_parents or path in allowed_files:
+            continue
+        for module, lineno in iter_imports(path):
+            if any(module == banned or module.startswith(banned + ".")
+                   for banned in FORBIDDEN):
+                offenders.append(f"{path.name}:{lineno} imports {module}")
+    assert not offenders, "\n".join(offenders)
+
+
+def test_contract_scope_is_nonempty():
+    """Guard the walker itself: the contract must actually scan files."""
+    scanned = [path for package in CONSTRAINED
+               for path in (SRC_ROOT / package).rglob("*.py")]
+    assert len(scanned) > 10

@@ -1,0 +1,204 @@
+"""Unit tests for the fault-injecting transport decorator.
+
+These exercise the transport layer in isolation — one registered region,
+one queue pair — so every charge and counter can be asserted exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    CorruptedReadError,
+    PartialReadError,
+    StaleReadError,
+    TransportTimeoutError,
+)
+from repro.rdma import CostModel, MemoryNode
+from repro.rdma.clock import SimClock
+from repro.rdma.qp import ReadDescriptor
+from repro.rdma.stats import RdmaStats
+from repro.transport import (
+    FaultInjectingTransport,
+    FaultKind,
+    FaultPlan,
+    Transport,
+    connect,
+)
+
+PAYLOAD = bytes(range(64))
+
+
+@pytest.fixture()
+def node() -> MemoryNode:
+    return MemoryNode()
+
+
+@pytest.fixture()
+def wired(node):
+    """(transport, rkey, base_addr) over a 4 KiB region holding PAYLOAD."""
+    region = node.register(4096)
+    transport = connect(node, SimClock(), CostModel(), RdmaStats())
+    transport.write(region.rkey, region.base_addr, PAYLOAD)
+    return transport, region.rkey, region.base_addr
+
+
+def faulty(inner, timeout_us=1000.0, **plan_kwargs):
+    return FaultInjectingTransport(inner, FaultPlan(**plan_kwargs),
+                                   timeout_us=timeout_us)
+
+
+class TestFaultPlan:
+    def test_schedule_mode_fires_on_exact_ordinals(self):
+        plan = FaultPlan(schedule={1: FaultKind.TIMEOUT,
+                                   3: FaultKind.CORRUPT_EXTENT})
+        decisions = [plan.next_fault() for _ in range(5)]
+        assert decisions == [None, FaultKind.TIMEOUT, None,
+                             FaultKind.CORRUPT_EXTENT, None]
+        assert plan.ops_seen == 5
+        assert plan.faults_injected == 2
+
+    def test_probability_mode_is_seed_deterministic(self):
+        draws_a = [FaultPlan(seed=42, fault_rate=0.5).next_fault()
+                   for _ in range(1)]
+        for _ in range(3):
+            plan = FaultPlan(seed=42, fault_rate=0.5)
+            assert [plan.next_fault()] == draws_a
+
+    def test_different_seeds_differ_eventually(self):
+        plan_a = FaultPlan(seed=1, fault_rate=0.5)
+        plan_b = FaultPlan(seed=2, fault_rate=0.5)
+        seq_a = [plan_a.next_fault() for _ in range(32)]
+        seq_b = [plan_b.next_fault() for _ in range(32)]
+        assert seq_a != seq_b
+
+    def test_max_faults_caps_injections(self):
+        plan = FaultPlan(fault_rate=1.0, kinds=(FaultKind.TIMEOUT,),
+                         max_faults=2)
+        fired = [plan.next_fault() for _ in range(10)]
+        assert sum(kind is not None for kind in fired) == 2
+        assert plan.faults_injected == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(fault_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(fault_rate=0.5, kinds=())
+        with pytest.raises(ConfigError):
+            FaultPlan(max_faults=-1)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjectingTransport(None, FaultPlan(), timeout_us=0.0)
+
+
+class TestSyncFaults:
+    def test_timeout_charges_armed_timeout_and_moves_no_bytes(self, wired):
+        inner, rkey, addr = wired
+        transport = faulty(inner, timeout_us=500.0,
+                           schedule={0: FaultKind.TIMEOUT})
+        before_us = transport.clock.now_us
+        net_before = transport.stats.network_time_us
+        with pytest.raises(TransportTimeoutError) as exc:
+            transport.read(rkey, addr, len(PAYLOAD))
+        assert transport.clock.now_us - before_us == pytest.approx(500.0)
+        assert transport.stats.bytes_read == 0
+        assert transport.stats.faults_injected == 1
+        # Wasted wait lands in the network ledger (it is exposed time).
+        assert (transport.stats.network_time_us - net_before
+                == pytest.approx(500.0))
+        assert exc.value.op == "READ"
+
+    def test_partial_read_charges_half_timeout(self, wired):
+        inner, rkey, addr = wired
+        transport = faulty(inner, timeout_us=800.0,
+                           schedule={0: FaultKind.PARTIAL_READ})
+        before_us = transport.clock.now_us
+        with pytest.raises(PartialReadError) as exc:
+            transport.read(rkey, addr, len(PAYLOAD))
+        assert transport.clock.now_us - before_us == pytest.approx(400.0)
+        assert exc.value.expected == len(PAYLOAD)
+        assert exc.value.received == len(PAYLOAD) // 2
+        assert transport.stats.bytes_read == 0
+
+    @pytest.mark.parametrize("kind,error", [
+        (FaultKind.STALE_METADATA, StaleReadError),
+        (FaultKind.CORRUPT_EXTENT, CorruptedReadError),
+    ])
+    def test_post_read_faults_charge_full_wire_cost(self, wired, node,
+                                                    kind, error):
+        inner, rkey, addr = wired
+        # Cost of the same READ on a clean transport, for comparison.
+        probe = connect(node, SimClock(), CostModel(), RdmaStats())
+        probe.read(rkey, addr, len(PAYLOAD))
+        wire_us = probe.clock.now_us
+
+        transport = faulty(inner, schedule={0: kind})
+        before_us = transport.clock.now_us
+        with pytest.raises(error):
+            transport.read(rkey, addr, len(PAYLOAD))
+        # The READ really executed: full wire charge, bytes accounted.
+        assert transport.clock.now_us - before_us == pytest.approx(wire_us)
+        assert transport.stats.bytes_read == len(PAYLOAD)
+        assert transport.stats.faults_injected == 1
+        # Remote state is intact, so the retry returns the real payload.
+        assert transport.read(rkey, addr, len(PAYLOAD)) == PAYLOAD
+
+    def test_batch_faults_report_batch_totals(self, wired):
+        inner, rkey, addr = wired
+        transport = faulty(inner, schedule={0: FaultKind.PARTIAL_READ})
+        descriptors = [ReadDescriptor(rkey, addr, 16),
+                       ReadDescriptor(rkey, addr + 16, 16)]
+        with pytest.raises(PartialReadError) as exc:
+            transport.read_batch(descriptors)
+        assert exc.value.expected == 32
+        assert exc.value.op == "READ_BATCH"
+
+    def test_writes_and_atomics_never_fault(self, wired):
+        inner, rkey, addr = wired
+        transport = faulty(inner, fault_rate=1.0)
+        transport.write(rkey, addr + 1024, b"abc")
+        assert transport.faa(rkey, addr + 2048, 3) == 0
+        assert transport.stats.faults_injected == 0
+        assert transport.plan.ops_seen == 0
+
+
+class TestAsyncFaults:
+    def test_async_timeout_abandons_inner_completion(self, wired):
+        inner, rkey, addr = wired
+        transport = faulty(inner, timeout_us=600.0,
+                           schedule={0: FaultKind.TIMEOUT})
+        pending = transport.read_batch_async(
+            [ReadDescriptor(rkey, addr, len(PAYLOAD))])
+        before_us = transport.clock.now_us
+        with pytest.raises(TransportTimeoutError):
+            transport.poll(pending)
+        assert transport.clock.now_us - before_us == pytest.approx(600.0)
+        # The error completion carried no data.
+        assert transport.stats.bytes_read == 0
+
+    def test_async_corrupt_polls_inner_then_raises(self, wired):
+        inner, rkey, addr = wired
+        transport = faulty(inner, schedule={0: FaultKind.CORRUPT_EXTENT})
+        pending = transport.read_batch_async(
+            [ReadDescriptor(rkey, addr, len(PAYLOAD))])
+        with pytest.raises(CorruptedReadError):
+            transport.poll(pending)
+        assert transport.stats.bytes_read == len(PAYLOAD)
+        # Reissuing the read synchronously succeeds with the true payload.
+        assert transport.read_batch(
+            [ReadDescriptor(rkey, addr, len(PAYLOAD))]) == [PAYLOAD]
+
+    def test_clean_async_path_unaffected(self, wired):
+        inner, rkey, addr = wired
+        transport = faulty(inner)  # no schedule, zero rate
+        pending = transport.read_batch_async(
+            [ReadDescriptor(rkey, addr, len(PAYLOAD))])
+        assert transport.poll(pending) == [PAYLOAD]
+
+
+def test_transport_protocol_conformance(wired):
+    inner, _, _ = wired
+    assert isinstance(inner, Transport)
+    assert isinstance(faulty(inner), Transport)
