@@ -549,6 +549,10 @@ class DHnswClient:
         tasks = []
         for cid in member_ids:
             cluster = self.metadata.clusters[cid]
+            # Mandatory copy: the rebuild below retires this extent and
+            # writes relocated blobs, so the zero-copy READ payload must
+            # not survive past the mutation (and the blob is pickled to
+            # pool workers anyway).
             blob = bytes(payload[cluster.blob_offset - start:
                                  cluster.blob_offset - start
                                  + cluster.blob_length])

@@ -7,7 +7,13 @@ from repro.datasets.loaders import (
     write_fvecs,
     write_ivecs,
 )
-from repro.datasets.synthetic import Dataset, gist_like, make_clustered, sift_like
+from repro.datasets.synthetic import (
+    Dataset,
+    gist_like,
+    make_clustered,
+    sift1m_like,
+    sift_like,
+)
 
 __all__ = [
     "Dataset",
@@ -16,6 +22,7 @@ __all__ = [
     "make_clustered",
     "read_fvecs",
     "read_ivecs",
+    "sift1m_like",
     "sift_like",
     "write_fvecs",
     "write_ivecs",

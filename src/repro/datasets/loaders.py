@@ -19,7 +19,10 @@ __all__ = ["read_fvecs", "write_fvecs", "read_ivecs", "write_ivecs"]
 
 
 def _read_vecs(path: "str | os.PathLike[str]", dtype: np.dtype,
-               max_vectors: int | None) -> np.ndarray:
+               max_vectors: int | None,
+               mmap_mode: str | None = None) -> np.ndarray:
+    if mmap_mode is not None:
+        return _mmap_vecs(path, dtype, max_vectors, mmap_mode)
     with open(path, "rb") as handle:
         raw = handle.read()
     if not raw:
@@ -47,16 +50,63 @@ def _read_vecs(path: "str | os.PathLike[str]", dtype: np.dtype,
     return body.astype(np.int32, copy=True)
 
 
+def _mmap_vecs(path: "str | os.PathLike[str]", dtype: np.dtype,
+               max_vectors: int | None, mmap_mode: str) -> np.ndarray:
+    """Memory-mapped variant: vectors page in from disk on demand.
+
+    The returned array is a strided view over the interleaved on-disk
+    records (the per-row dimension words are skipped by the view, not
+    copied out), so a 1M-vector file costs address space, not RSS.  Row
+    values equal the eager path's bit for bit.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        return np.empty((0, 0), dtype=dtype)
+    if size < 4:
+        raise SerializationError(f"{path}: truncated header")
+    with open(path, "rb") as handle:
+        (dim,) = struct.unpack("<i", handle.read(4))
+    if dim <= 0:
+        raise SerializationError(f"{path}: invalid dimension {dim}")
+    record_bytes = 4 + 4 * dim
+    if size % record_bytes != 0:
+        raise SerializationError(
+            f"{path}: size {size} not a multiple of record size "
+            f"{record_bytes}")
+    count = size // record_bytes
+    if max_vectors is not None:
+        count = min(count, max_vectors)
+    flat = np.memmap(path, dtype=np.int32, mode=mmap_mode,
+                     shape=(count, dim + 1))
+    if not np.all(flat[:, 0] == dim):
+        raise SerializationError(f"{path}: inconsistent dimensions")
+    body = flat[:, 1:]
+    if dtype == np.float32:
+        # Same-itemsize view: reinterprets the payload words in place.
+        return body.view(np.float32)
+    return body
+
+
 def read_fvecs(path: "str | os.PathLike[str]",
-               max_vectors: int | None = None) -> np.ndarray:
-    """Load float vectors from an ``.fvecs`` file."""
-    return _read_vecs(path, np.dtype(np.float32), max_vectors)
+               max_vectors: int | None = None,
+               mmap_mode: str | None = None) -> np.ndarray:
+    """Load float vectors from an ``.fvecs`` file.
+
+    ``mmap_mode`` (e.g. ``"r"``) returns a lazily-paged ``np.memmap``
+    view instead of slurping the file into RAM; the default eager path
+    returns an owning in-memory copy as before.
+    """
+    return _read_vecs(path, np.dtype(np.float32), max_vectors, mmap_mode)
 
 
 def read_ivecs(path: "str | os.PathLike[str]",
-               max_vectors: int | None = None) -> np.ndarray:
-    """Load integer vectors (e.g. ground-truth ids) from ``.ivecs``."""
-    return _read_vecs(path, np.dtype(np.int32), max_vectors)
+               max_vectors: int | None = None,
+               mmap_mode: str | None = None) -> np.ndarray:
+    """Load integer vectors (e.g. ground-truth ids) from ``.ivecs``.
+
+    ``mmap_mode`` behaves as in :func:`read_fvecs`.
+    """
+    return _read_vecs(path, np.dtype(np.int32), max_vectors, mmap_mode)
 
 
 def _write_vecs(path: "str | os.PathLike[str]", array: np.ndarray,

@@ -100,8 +100,10 @@ class CsrGraph:
     Attributes
     ----------
     vectors:
-        ``(num_nodes, dim)`` float32, C-contiguous (private copy, decoupled
-        from the source graph's growable buffer).
+        ``(num_nodes, dim)`` float32, C-contiguous.  A private copy when
+        compiled from a growable (writable) graph store; a shared
+        read-only view when the source graph adopted a zero-copy decode
+        buffer (``bulk_load(copy=False)``).
     indptr / indices:
         One int32 pair per layer, bottom-up.  ``indices[level]``
         concatenates the neighbour lists in node order (adjacency order is
@@ -139,8 +141,16 @@ class CsrGraph:
     def from_layered(cls, graph: LayeredGraph) -> "CsrGraph":
         """Compile a (from now on frozen) layered graph to CSR."""
         num_nodes = len(graph)
-        vectors = np.array(graph.vectors, dtype=np.float32, copy=True,
-                           order="C")
+        source = graph.vectors
+        if (source.dtype == np.float32 and source.flags.c_contiguous
+                and not source.flags.writeable):
+            # A read-only float32 store is a zero-copy adopted view over
+            # remote memory (``bulk_load(copy=False)``); keep sharing it —
+            # copying here would defeat the zero-copy decode path.
+            vectors = source
+        else:
+            vectors = np.array(source, dtype=np.float32, copy=True,
+                               order="C")
         indptr: list[np.ndarray] = []
         indices: list[np.ndarray] = []
         for level in range(graph.max_level + 1):

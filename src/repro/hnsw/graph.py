@@ -84,15 +84,21 @@ class LayeredGraph:
         return node
 
     def bulk_load(self, vectors: np.ndarray,
-                  adjacency: list[list[list[int]]]) -> None:
+                  adjacency: list[list[list[int]]],
+                  copy: bool = True) -> None:
         """Replace all contents with pre-parsed arrays in one step.
 
-        The deserializer's fast path: ``vectors`` is copied wholesale into
-        writable storage (the source may be a read-only ``frombuffer``
-        view) and ``adjacency`` is adopted as-is, so the caller must hand
-        over fresh mutable lists with ids already validated against
-        ``len(vectors)``.  ``entry_point`` / ``max_level`` are left for
-        the caller to set from its own metadata.
+        The deserializer's fast path: with ``copy=True`` (default)
+        ``vectors`` is copied wholesale into writable storage; with
+        ``copy=False`` a float32 C-contiguous source is *adopted* without
+        copying — the zero-copy decode path hands a read-only
+        ``frombuffer`` view over remote memory straight to a frozen graph,
+        and a later ``add_node`` migrates to fresh writable storage via
+        ``_grow``.  ``adjacency`` is adopted as-is either way, so the
+        caller must hand over fresh mutable lists with ids already
+        validated against ``len(vectors)``.  ``entry_point`` /
+        ``max_level`` are left for the caller to set from its own
+        metadata.
         """
         vectors = np.atleast_2d(vectors)
         count = vectors.shape[0]
@@ -101,10 +107,14 @@ class LayeredGraph:
         if len(adjacency) != count:
             raise ValueError(
                 f"{count} vectors but adjacency for {len(adjacency)} nodes")
-        capacity = max(_INITIAL_CAPACITY, count)
-        store = np.empty((capacity, self.dim), dtype=np.float32)
-        store[:count] = vectors
-        self._vectors = store
+        if (not copy and count and vectors.dtype == np.float32
+                and vectors.flags.c_contiguous):
+            self._vectors = vectors
+        else:
+            capacity = max(_INITIAL_CAPACITY, count)
+            store = np.empty((capacity, self.dim), dtype=np.float32)
+            store[:count] = vectors
+            self._vectors = store
         self._count = count
         self.adjacency = adjacency
 

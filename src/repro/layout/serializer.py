@@ -225,13 +225,17 @@ def serialize_cluster_reference(index: HnswIndex, cluster_id: int) -> bytes:
     return b"".join(parts)
 
 
-def deserialize_cluster(blob: bytes,
+def deserialize_cluster(blob: "bytes | memoryview",
                         params: HnswParams | None = None
                         ) -> tuple[HnswIndex, int]:
     """Rebuild a sub-HNSW from a blob; returns ``(index, cluster_id)``.
 
     The graph structure is restored verbatim — no re-insertion — so a
     deserialized cluster answers queries identically to the original.
+    Zero-copy: ``blob`` may be a ``memoryview`` straight off a READ
+    payload; the vector store becomes a frozen ``frombuffer`` view over
+    it (adopted by the graph without copying), so the returned index
+    aliases ``blob``'s memory and shares its lifetime.
     """
     if len(blob) < _HEADER.size:
         raise SerializationError(
@@ -313,6 +317,10 @@ def deserialize_cluster(blob: bytes,
         blob, dtype=np.float32, count=num_nodes * dim,
         offset=take(4 * num_nodes * dim, "vectors")).reshape(num_nodes,
                                                              dim)
+    # The view may sit over writable region memory (a zero-copy READ
+    # payload); freeze it so the graph adopts it as a frozen store and
+    # nothing downstream can scribble on the memory node through it.
+    vectors.flags.writeable = False
     if num_nodes:
         if not -1 <= entry < num_nodes:
             raise SerializationError(
@@ -327,7 +335,7 @@ def deserialize_cluster(blob: bytes,
     index = HnswIndex(dim, params if params is not None else HnswParams())
     graph = index.graph
     if num_nodes:
-        graph.bulk_load(vectors, adjacency)
+        graph.bulk_load(vectors, adjacency, copy=False)
     graph.max_level = max_level
     graph.entry_point = entry if entry >= 0 else None
     index.labels = labels.tolist()

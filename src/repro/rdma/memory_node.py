@@ -8,32 +8,71 @@ pairs.  No index logic lives here.
 Addresses are node-local virtual addresses; a region registration returns
 an ``rkey`` that every verb must present, and all accesses are bounds- and
 rkey-checked, mirroring real RDMA protection domains.
+
+Zero-copy substrate
+-------------------
+Registered regions are ``mmap``-backed (anonymous by default, file-backed
+when the node is constructed with a ``backing_dir``), and :meth:`read`
+returns a writable-region ``memoryview`` slice rather than a ``bytes``
+copy, so a million-vector region never gets duplicated on the fetch path.
+One-sided READ semantics ("the payload is the remote memory as of the
+issue") are preserved for in-flight asynchronous batches by
+:meth:`guard_payloads`: a mutating verb landing inside a guarded range
+materializes the affected payloads *before* the mutation — copy-on-write,
+so the serving hot path (which never writes mid-fetch) stays zero-copy.
+
+Buffer lifetime: a ``memoryview`` handed out by :meth:`read` aliases the
+region until the region's ``mmap`` is garbage collected; holders must copy
+before the viewed extent can be rewritten in place (see
+``docs/architecture.md`` §"memory substrate").
 """
 
 from __future__ import annotations
 
 import dataclasses
+import mmap
+import os
 import struct
+import tempfile
 
 from repro.errors import ProtectionError
 
-__all__ = ["MemoryNode", "MemoryRegion"]
+__all__ = ["MemoryNode", "MemoryRegion", "as_byte_view"]
 
 _U64 = struct.Struct("<Q")
 
 
+def as_byte_view(data) -> memoryview:
+    """A flat unsigned-byte ``memoryview`` over any buffer-protocol object.
+
+    The write path's single normalization point: accepts ``bytes``,
+    ``bytearray``, ``memoryview`` slices and C-contiguous NumPy arrays
+    without copying.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
+    if view.format != "B" or view.ndim != 1:
+        view = view.cast("B")
+    return view
+
+
 @dataclasses.dataclass
 class MemoryRegion:
-    """A registered memory region: base address, length, key, buffer."""
+    """A registered memory region: base address, length, key, buffer.
+
+    ``buffer`` is a writable ``memoryview`` over the region's ``mmap``;
+    slicing it is zero-copy.  The backing map is kept alive by ``_mmap``
+    for as long as the region (or any exported view) exists.
+    """
 
     rkey: int
     base_addr: int
-    buffer: bytearray
+    buffer: memoryview
+    _mmap: mmap.mmap | None = dataclasses.field(default=None, repr=False)
 
     @property
     def length(self) -> int:
         """Registered length in bytes."""
-        return len(self.buffer)
+        return self.buffer.nbytes
 
     def contains(self, addr: int, length: int) -> bool:
         """Whether ``[addr, addr + length)`` lies inside the region."""
@@ -41,26 +80,68 @@ class MemoryRegion:
                 and addr + length <= self.base_addr + self.length)
 
 
+class _SnapshotGuard:
+    """Copy-on-write protection for one in-flight async READ batch.
+
+    Holds the (rkey, offset, length) ranges of a pending batch plus the
+    *shared* payload list; :meth:`MemoryNode._materialize_overlaps`
+    replaces any still-aliased payload with a ``bytes`` copy the moment a
+    mutating verb targets its range.
+    """
+
+    __slots__ = ("ranges", "payloads")
+
+    def __init__(self, ranges: list[tuple[int, int, int]],
+                 payloads: list) -> None:
+        self.ranges = ranges    # (rkey, region-relative offset, length)
+        self.payloads = payloads
+
+
 class MemoryNode:
-    """A passive memory instance in the disaggregated pool."""
+    """A passive memory instance in the disaggregated pool.
+
+    ``backing_dir`` selects file-backed registered regions (one sparse
+    temporary file per region under that directory) instead of anonymous
+    memory — the configuration a persistent-memory port would use.
+    """
 
     _REGION_ALIGN = 4096
 
-    def __init__(self, name: str = "mem0") -> None:
+    def __init__(self, name: str = "mem0",
+                 backing_dir: "str | os.PathLike[str] | None" = None) -> None:
         self.name = name
+        self.backing_dir = backing_dir
         self._regions: dict[int, MemoryRegion] = {}
         self._next_rkey = 1
         self._next_addr = self._REGION_ALIGN
+        self._guards: list[_SnapshotGuard] = []
 
     # ------------------------------------------------------------------
+    def _map(self, length: int) -> mmap.mmap:
+        if self.backing_dir is None:
+            return mmap.mmap(-1, length)
+        fd, path = tempfile.mkstemp(prefix=f"{self.name}-region-",
+                                    suffix=".mem", dir=self.backing_dir)
+        try:
+            os.ftruncate(fd, length)
+            mapped = mmap.mmap(fd, length)
+        finally:
+            os.close(fd)
+            # The mapping keeps the inode alive; unlink so the file
+            # disappears with the region.
+            os.unlink(path)
+        return mapped
+
     def register(self, length: int) -> MemoryRegion:
         """Register ``length`` bytes; returns the new region."""
         if length <= 0:
             raise ValueError(f"region length must be positive, got {length}")
+        mapped = self._map(length)
         region = MemoryRegion(
             rkey=self._next_rkey,
             base_addr=self._next_addr,
-            buffer=bytearray(length),
+            buffer=memoryview(mapped),
+            _mmap=mapped,
         )
         self._regions[region.rkey] = region
         self._next_rkey += 1
@@ -79,7 +160,12 @@ class MemoryNode:
         return region
 
     def deregister(self, rkey: int) -> None:
-        """Drop a region; subsequent access with its rkey fails."""
+        """Drop a region; subsequent access with its rkey fails.
+
+        The backing map is *not* unmapped eagerly: exported views may
+        still be alive, and ``mmap.close`` would raise ``BufferError``.
+        It is reclaimed when the last view drops.
+        """
         if rkey not in self._regions:
             raise ProtectionError(f"deregister of unknown rkey {rkey}")
         del self._regions[rkey]
@@ -105,17 +191,62 @@ class MemoryNode:
                 addr=addr, length=length)
         return region
 
-    def read(self, rkey: int, addr: int, length: int) -> bytes:
-        """Service a one-sided READ."""
+    def read(self, rkey: int, addr: int, length: int) -> memoryview:
+        """Service a one-sided READ: a zero-copy view of region memory."""
         region = self._resolve(rkey, addr, length)
         offset = addr - region.base_addr
-        return bytes(region.buffer[offset:offset + length])
+        return region.buffer[offset:offset + length]
 
-    def write(self, rkey: int, addr: int, data: bytes) -> None:
-        """Service a one-sided WRITE."""
-        region = self._resolve(rkey, addr, len(data))
+    def write(self, rkey: int, addr: int, data) -> int:
+        """Service a one-sided WRITE from any buffer-protocol object.
+
+        Writes through a single ``memoryview`` — no intermediate
+        ``bytes`` materialization.  Returns the byte count written.
+        """
+        view = as_byte_view(data)
+        nbytes = view.nbytes
+        region = self._resolve(rkey, addr, nbytes)
         offset = addr - region.base_addr
-        region.buffer[offset:offset + len(data)] = data
+        self._materialize_overlaps(rkey, offset, nbytes)
+        region.buffer[offset:offset + nbytes] = view
+        return nbytes
+
+    # ------------------------------------------------------------------
+    # Copy-on-write guards for in-flight async READ batches
+    # ------------------------------------------------------------------
+    def guard_payloads(self, ranges: list[tuple[int, int, int]],
+                       payloads: list) -> _SnapshotGuard:
+        """Arm snapshot-at-issue semantics for an async batch.
+
+        ``ranges`` holds ``(rkey, region-relative offset, length)`` per
+        payload; ``payloads`` is the *shared* list the queue pair will
+        return from its completion poll.  Until :meth:`release_guard`,
+        any mutating verb overlapping a range copies the affected payload
+        first, so the poller observes memory as of the issue.
+        """
+        guard = _SnapshotGuard(ranges, payloads)
+        self._guards.append(guard)
+        return guard
+
+    def release_guard(self, guard: _SnapshotGuard) -> None:
+        """Disarm a guard (the batch completed); idempotent."""
+        try:
+            self._guards.remove(guard)
+        except ValueError:
+            pass
+
+    def _materialize_overlaps(self, rkey: int, offset: int,
+                              length: int) -> None:
+        """Snapshot guarded payloads that a mutation is about to clobber."""
+        if not self._guards:
+            return
+        end = offset + length
+        for guard in self._guards:
+            for index, (guard_rkey, start, nbytes) in enumerate(guard.ranges):
+                if (guard_rkey == rkey and start < end
+                        and offset < start + nbytes
+                        and isinstance(guard.payloads[index], memoryview)):
+                    guard.payloads[index] = bytes(guard.payloads[index])
 
     # ------------------------------------------------------------------
     # 8-byte atomics; RDMA requires natural alignment.
@@ -133,6 +264,7 @@ class MemoryNode:
         offset = addr - region.base_addr
         (current,) = _U64.unpack_from(region.buffer, offset)
         if current == expected:
+            self._materialize_overlaps(rkey, offset, 8)
             _U64.pack_into(region.buffer, offset, desired)
         return current
 
@@ -142,5 +274,6 @@ class MemoryNode:
         region = self._resolve(rkey, addr, 8)
         offset = addr - region.base_addr
         (current,) = _U64.unpack_from(region.buffer, offset)
+        self._materialize_overlaps(rkey, offset, 8)
         _U64.pack_into(region.buffer, offset, (current + delta) % (1 << 64))
         return current

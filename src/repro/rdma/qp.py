@@ -26,7 +26,7 @@ import enum
 
 from repro.errors import QpStateError
 from repro.rdma.clock import SimClock
-from repro.rdma.memory_node import MemoryNode
+from repro.rdma.memory_node import MemoryNode, as_byte_view
 from repro.rdma.network import CostModel
 from repro.rdma.stats import RdmaStats
 
@@ -56,24 +56,31 @@ class ReadDescriptor:
 
 @dataclasses.dataclass(frozen=True)
 class WriteDescriptor:
-    """One WQE of a doorbell-batched WRITE."""
+    """One WQE of a doorbell-batched WRITE.
+
+    ``data`` is any buffer-protocol object (``bytes``, ``memoryview``,
+    C-contiguous NumPy array); it is written through a single byte view,
+    never copied into an intermediate ``bytes``.
+    """
 
     rkey: int
     addr: int
-    data: bytes
+    data: "bytes | bytearray | memoryview"
 
 
 @dataclasses.dataclass
 class PendingRead:
     """An in-flight READ batch issued by ``post_read_batch_async``.
 
-    Holds the payload snapshot taken at issue time (one-sided READs observe
-    remote memory as of the issue) plus the timeline bookkeeping
-    :meth:`QueuePair.poll_cq` needs to split wire time into an exposed wait
-    and an overlapped (hidden) portion.
+    Payloads are zero-copy region views observed at issue time; a
+    copy-on-write guard on the memory node preserves snapshot-at-issue
+    semantics (a write landing inside a payload's range between issue and
+    poll materializes that payload first).  Also carries the timeline
+    bookkeeping :meth:`QueuePair.poll_cq` needs to split wire time into an
+    exposed wait and an overlapped (hidden) portion.
     """
 
-    payloads: list[bytes]
+    payloads: "list[memoryview | bytes]"
     sizes: list[int]
     rings: int
     doorbell: bool
@@ -81,6 +88,7 @@ class PendingRead:
     completes_at_us: float
     elapsed_us: float
     completed: bool = False
+    guard: object | None = None
 
 
 class QueuePair:
@@ -111,8 +119,8 @@ class QueuePair:
             raise QpStateError(f"verb posted on QP in state {self.state.value}")
 
     # ------------------------------------------------------------------
-    def post_read(self, rkey: int, addr: int, length: int) -> bytes:
-        """One-sided READ of ``length`` bytes."""
+    def post_read(self, rkey: int, addr: int, length: int) -> memoryview:
+        """One-sided READ of ``length`` bytes (zero-copy region view)."""
         self._require_ready()
         data = self.memory_node.read(rkey, addr, length)
         elapsed = self.cost_model.read_us(length)
@@ -120,13 +128,13 @@ class QueuePair:
         self.stats.record_read(length, charged)
         return data
 
-    def post_write(self, rkey: int, addr: int, data: bytes) -> None:
-        """One-sided WRITE of ``data``."""
+    def post_write(self, rkey: int, addr: int, data) -> None:
+        """One-sided WRITE of any buffer-protocol ``data``."""
         self._require_ready()
-        self.memory_node.write(rkey, addr, bytes(data))
-        elapsed = self.cost_model.write_us(len(data))
+        nbytes = self.memory_node.write(rkey, addr, data)
+        elapsed = self.cost_model.write_us(nbytes)
         charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)
-        self.stats.record_write(len(data), charged)
+        self.stats.record_write(nbytes, charged)
 
     def post_cas(self, rkey: int, addr: int, expected: int,
                  desired: int) -> int:
@@ -148,11 +156,13 @@ class QueuePair:
         return prior
 
     # ------------------------------------------------------------------
-    def post_read_batch(self, descriptors: list[ReadDescriptor]) -> list[bytes]:
+    def post_read_batch(self, descriptors: list[ReadDescriptor]
+                        ) -> list[memoryview]:
         """Doorbell-batched READ: many WQEs, few network round trips.
 
         The cost model splits the batch into rings of at most
-        ``doorbell_limit`` WQEs; each ring is one round trip.
+        ``doorbell_limit`` WQEs; each ring is one round trip.  Payloads
+        are zero-copy region views.
         """
         self._require_ready()
         if not descriptors:
@@ -171,13 +181,15 @@ class QueuePair:
         """Issue a READ batch without waiting for completion.
 
         The batch occupies the clock's network channel starting as soon as
-        the channel is free; ``now_us`` does not advance.  Payloads are
-        snapshotted at issue time (one-sided semantics).  Call
-        :meth:`poll_cq` to retrieve them — only the portion of the wire
-        time that has not already passed under intervening compute is then
-        charged.  With ``doorbell=False`` the batch costs the same as a
-        loop of single READs (no WQE coalescing), letting non-doorbell
-        schemes pipeline too.
+        the channel is free; ``now_us`` does not advance.  Payloads observe
+        remote memory as of the issue (one-sided semantics): they are
+        zero-copy views, armed with a copy-on-write guard so a conflicting
+        write before :meth:`poll_cq` snapshots the affected payload first.
+        Only the portion of the wire time that has not already passed
+        under intervening compute is charged at poll.  With
+        ``doorbell=False`` the batch costs the same as a loop of single
+        READs (no WQE coalescing), letting non-doorbell schemes pipeline
+        too.
         """
         self._require_ready()
         now = self.clock.now_us
@@ -187,6 +199,11 @@ class QueuePair:
                                completes_at_us=now, elapsed_us=0.0)
         payloads = [self.memory_node.read(d.rkey, d.addr, d.length)
                     for d in descriptors]
+        ranges = []
+        for d in descriptors:
+            base = self.memory_node.get_region(d.rkey).base_addr
+            ranges.append((d.rkey, d.addr - base, d.length))
+        guard = self.memory_node.guard_payloads(ranges, payloads)
         sizes = [d.length for d in descriptors]
         if doorbell:
             rings = self.cost_model.doorbell_rings(len(sizes))
@@ -197,9 +214,10 @@ class QueuePair:
         completes = self.clock.issue(NETWORK_CHANNEL, elapsed)
         return PendingRead(payloads=payloads, sizes=sizes, rings=rings,
                            doorbell=doorbell, issued_at_us=now,
-                           completes_at_us=completes, elapsed_us=elapsed)
+                           completes_at_us=completes, elapsed_us=elapsed,
+                           guard=guard)
 
-    def poll_cq(self, pending: PendingRead) -> list[bytes]:
+    def poll_cq(self, pending: PendingRead) -> "list[memoryview | bytes]":
         """Wait for an async READ batch and return its payloads.
 
         Advances the clock only to the batch's completion time — time that
@@ -210,6 +228,9 @@ class QueuePair:
         if pending.completed:
             raise QpStateError("poll_cq called twice on the same PendingRead")
         pending.completed = True
+        if pending.guard is not None:
+            self.memory_node.release_guard(pending.guard)
+            pending.guard = None
         if not pending.sizes:
             return []
         waited = self.clock.advance_to(pending.completes_at_us)
@@ -228,10 +249,8 @@ class QueuePair:
         self._require_ready()
         if not descriptors:
             return
-        for descriptor in descriptors:
-            self.memory_node.write(descriptor.rkey, descriptor.addr,
-                                   bytes(descriptor.data))
-        sizes = [len(d.data) for d in descriptors]
+        sizes = [self.memory_node.write(d.rkey, d.addr, d.data)
+                 for d in descriptors]
         rings = self.cost_model.doorbell_rings(len(sizes))
         elapsed = self.cost_model.doorbell_read_us(sizes)
         charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)

@@ -47,7 +47,7 @@ class Decoder:
         return pending
 
     def decode_extent(self, cluster_id: int, extent_offset: int,
-                      payload: bytes) -> CachedCluster:
+                      payload: "bytes | memoryview") -> CachedCluster:
         """Deserialize a fetched extent, charging the simulated CPU cost.
 
         Decoding is memoized on (cluster, version, overflow tail) purely to
@@ -74,8 +74,13 @@ class Decoder:
         return dataclasses.replace(memoized, overflow=list(memoized.overflow))
 
     def parse_extent(self, cluster_id: int, extent_offset: int,
-                     payload: bytes) -> CachedCluster:
-        """Split a fetched extent into blob + overflow and deserialize."""
+                     payload: "bytes | memoryview") -> CachedCluster:
+        """Split a fetched extent into blob + overflow and deserialize.
+
+        Zero-copy: a ``memoryview`` payload is sliced, never materialized
+        — the decoded index's vector store is a frozen NumPy view over
+        the payload's memory (see :func:`deserialize_cluster`).
+        """
         host = self.host
         cluster = host.metadata.clusters[cluster_id]
         group = host.metadata.groups[cluster.group_id]

@@ -10,13 +10,28 @@ same numbers the benchmarks assert on.
 from __future__ import annotations
 
 import dataclasses
+import resource
+import sys
 
 from repro.cluster.deployment import Deployment
 from repro.core.client import DHnswClient
 from repro.serving.trace import StageReport, TraceContext
 
 __all__ = ["CacheTelemetry", "ClientTelemetry", "DeploymentTelemetry",
-           "StageReport", "TraceContext", "render_report", "render_trace"]
+           "StageReport", "TraceContext", "peak_rss_bytes", "render_report",
+           "render_trace"]
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
+    here so benchmark gates and the operator report agree across hosts.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return peak
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,6 +145,10 @@ class DeploymentTelemetry:
     num_groups: int
     daemon_requests: int
     daemon_cpu_us: float
+    #: Peak RSS of the simulating process (the whole deployment shares
+    #: one address space), so operators see the real memory-node-plus-
+    #: compute footprint next to the simulated registered bytes.
+    peak_rss: int = 0
 
     @classmethod
     def from_deployment(cls,
@@ -150,6 +169,7 @@ class DeploymentTelemetry:
             num_groups=layout.metadata.num_groups,
             daemon_requests=daemon.requests_served if daemon else 0,
             daemon_cpu_us=daemon.cpu_time_us if daemon else 0.0,
+            peak_rss=peak_rss_bytes(),
         )
 
     @property
@@ -177,6 +197,7 @@ def render_report(telemetry: DeploymentTelemetry) -> str:
         f"metadata v{telemetry.metadata_version}",
         f"control daemon   : {telemetry.daemon_requests} requests, "
         f"{telemetry.daemon_cpu_us:.1f} us CPU",
+        f"process peak RSS : {telemetry.peak_rss / 2**20:.2f} MiB",
         "",
         "=== compute pool ===",
         f"{'instance':<12} {'scheme':<20} {'rt':>7} {'MiB_rd':>8} "

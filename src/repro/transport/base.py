@@ -35,6 +35,12 @@ class Transport(Protocol):
     clock's network channel without advancing time, so intervening compute
     hides wire time (see ``repro.rdma.clock.SimClock``).
 
+    READ payloads are zero-copy ``memoryview`` slices of remote memory on
+    the base transport (decorators that mutate or replay payloads may
+    return ``bytes``); callers that stash a payload past the next mutating
+    verb on the same extent must copy (``docs/architecture.md`` §"memory
+    substrate").  WRITE ``data`` is any buffer-protocol object.
+
     Implementations must be deterministic: the same verb sequence against
     the same remote state yields the same payloads, charges, and counters.
     """
@@ -51,12 +57,12 @@ class Transport(Protocol):
         ...
 
     # -- synchronous verbs ----------------------------------------------
-    def read(self, rkey: int, addr: int, length: int) -> bytes:
-        """One-sided READ of ``length`` bytes."""
+    def read(self, rkey: int, addr: int, length: int) -> "memoryview | bytes":
+        """One-sided READ of ``length`` bytes (zero-copy view)."""
         ...
 
-    def write(self, rkey: int, addr: int, data: bytes) -> None:
-        """One-sided WRITE of ``data``."""
+    def write(self, rkey: int, addr: int, data) -> None:
+        """One-sided WRITE of any buffer-protocol ``data``."""
         ...
 
     def cas(self, rkey: int, addr: int, expected: int, desired: int) -> int:
@@ -69,7 +75,7 @@ class Transport(Protocol):
 
     # -- batched verbs --------------------------------------------------
     def read_batch(self, descriptors: list[ReadDescriptor],
-                   doorbell: bool = True) -> list[bytes]:
+                   doorbell: bool = True) -> "list[memoryview | bytes]":
         """READ several extents; ``doorbell`` selects WQE coalescing.
 
         With ``doorbell=False`` the batch costs the same as a loop of
@@ -87,7 +93,7 @@ class Transport(Protocol):
         """Issue a READ batch without blocking; complete with :meth:`poll`."""
         ...
 
-    def poll(self, pending: PendingRead) -> list[bytes]:
+    def poll(self, pending: PendingRead) -> "list[memoryview | bytes]":
         """Wait for an async READ batch and return its payloads."""
         ...
 

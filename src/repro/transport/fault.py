@@ -197,7 +197,8 @@ class FaultInjectingTransport:
             op=op)
 
     # -- synchronous verbs ----------------------------------------------
-    def read(self, rkey: int, addr: int, length: int) -> bytes:
+    def read(self, rkey: int, addr: int,
+             length: int) -> "memoryview | bytes":
         kind = self.plan.next_fault()
         if kind in (FaultKind.TIMEOUT, FaultKind.PARTIAL_READ):
             self._fail_sync(kind, "READ", length)
@@ -206,7 +207,7 @@ class FaultInjectingTransport:
             self._fail_post_read(kind, "READ")
         return payload
 
-    def write(self, rkey: int, addr: int, data: bytes) -> None:
+    def write(self, rkey: int, addr: int, data) -> None:
         self.inner.write(rkey, addr, data)
 
     def cas(self, rkey: int, addr: int, expected: int, desired: int) -> int:
@@ -217,7 +218,7 @@ class FaultInjectingTransport:
 
     # -- batched verbs --------------------------------------------------
     def read_batch(self, descriptors: list[ReadDescriptor],
-                   doorbell: bool = True) -> list[bytes]:
+                   doorbell: bool = True) -> "list[memoryview | bytes]":
         kind = self.plan.next_fault()
         total = sum(d.length for d in descriptors)
         if kind in (FaultKind.TIMEOUT, FaultKind.PARTIAL_READ):
@@ -240,7 +241,7 @@ class FaultInjectingTransport:
             self._pending_faults[id(pending)] = (kind, total)
         return pending
 
-    def poll(self, pending: PendingRead) -> list[bytes]:
+    def poll(self, pending: PendingRead) -> "list[memoryview | bytes]":
         fault = self._pending_faults.pop(id(pending), None)
         if fault is None:
             return self.inner.poll(pending)

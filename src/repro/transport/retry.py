@@ -104,10 +104,11 @@ class RetryingTransport:
                 self.stats.record_retry(backoff)
 
     # -- synchronous verbs ----------------------------------------------
-    def read(self, rkey: int, addr: int, length: int) -> bytes:
+    def read(self, rkey: int, addr: int,
+             length: int) -> "memoryview | bytes":
         return self._run("READ", lambda: self.inner.read(rkey, addr, length))
 
-    def write(self, rkey: int, addr: int, data: bytes) -> None:
+    def write(self, rkey: int, addr: int, data) -> None:
         self._run("WRITE", lambda: self.inner.write(rkey, addr, data))
 
     def cas(self, rkey: int, addr: int, expected: int, desired: int) -> int:
@@ -119,7 +120,7 @@ class RetryingTransport:
 
     # -- batched verbs --------------------------------------------------
     def read_batch(self, descriptors: list[ReadDescriptor],
-                   doorbell: bool = True) -> list[bytes]:
+                   doorbell: bool = True) -> "list[memoryview | bytes]":
         return self._run(
             "READ_BATCH",
             lambda: self.inner.read_batch(descriptors, doorbell=doorbell))
@@ -136,7 +137,7 @@ class RetryingTransport:
         self._inflight[id(pending)] = (list(descriptors), doorbell)
         return pending
 
-    def poll(self, pending: PendingRead) -> list[bytes]:
+    def poll(self, pending: PendingRead) -> "list[memoryview | bytes]":
         descriptors, doorbell = self._inflight.pop(
             id(pending), (None, True))
         attempt = 0

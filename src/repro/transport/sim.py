@@ -43,10 +43,10 @@ class SimRdmaTransport:
         return self._qp.stats
 
     # -- synchronous verbs ----------------------------------------------
-    def read(self, rkey: int, addr: int, length: int) -> bytes:
+    def read(self, rkey: int, addr: int, length: int) -> memoryview:
         return self._qp.post_read(rkey, addr, length)
 
-    def write(self, rkey: int, addr: int, data: bytes) -> None:
+    def write(self, rkey: int, addr: int, data) -> None:
         self._qp.post_write(rkey, addr, data)
 
     def cas(self, rkey: int, addr: int, expected: int, desired: int) -> int:
@@ -57,7 +57,7 @@ class SimRdmaTransport:
 
     # -- batched verbs --------------------------------------------------
     def read_batch(self, descriptors: list[ReadDescriptor],
-                   doorbell: bool = True) -> list[bytes]:
+                   doorbell: bool = True) -> list[memoryview]:
         if doorbell:
             return self._qp.post_read_batch(descriptors)
         return [self._qp.post_read(d.rkey, d.addr, d.length)
@@ -76,7 +76,7 @@ class SimRdmaTransport:
                          doorbell: bool = True) -> PendingRead:
         return self._qp.post_read_batch_async(descriptors, doorbell=doorbell)
 
-    def poll(self, pending: PendingRead) -> list[bytes]:
+    def poll(self, pending: PendingRead) -> "list[memoryview | bytes]":
         return self._qp.poll_cq(pending)
 
     # -- lifecycle ------------------------------------------------------

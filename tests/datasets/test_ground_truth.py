@@ -31,6 +31,32 @@ def test_chunking_does_not_change_result(data):
     np.testing.assert_array_equal(whole, chunked)
 
 
+def test_corpus_blocking_does_not_change_result(data):
+    """Streaming the corpus in blocks must merge to the same winners."""
+    corpus, queries = data
+    whole = exact_knn(corpus, queries, 8, corpus_block=10_000)
+    for block in (7, 64, 399, 400, 401):
+        np.testing.assert_array_equal(
+            whole, exact_knn(corpus, queries, 8, corpus_block=block))
+
+
+def test_corpus_block_smaller_than_k(data):
+    """Blocks narrower than k still accumulate a full top-k."""
+    corpus, queries = data
+    whole = exact_knn(corpus, queries, 8, corpus_block=10_000)
+    np.testing.assert_array_equal(
+        whole, exact_knn(corpus, queries, 8, corpus_block=3))
+
+
+def test_distance_ties_break_by_id():
+    """Duplicate corpus rows: the lower id must win deterministically."""
+    row = np.ones((1, 4), dtype=np.float32)
+    corpus = np.concatenate([row, row, row, np.zeros((1, 4))]).astype(
+        np.float32)
+    result = exact_knn(corpus, row, 3, corpus_block=2)
+    np.testing.assert_array_equal(result, [[0, 1, 2]])
+
+
 def test_k_clipped_to_corpus_size():
     corpus = np.eye(3, dtype=np.float32)
     queries = corpus[:1]
@@ -66,3 +92,5 @@ def test_validation():
         exact_knn(corpus, corpus, 0)
     with pytest.raises(ValueError):
         exact_knn(corpus, corpus, 1, chunk_size=0)
+    with pytest.raises(ValueError):
+        exact_knn(corpus, corpus, 1, corpus_block=0)

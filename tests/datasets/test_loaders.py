@@ -45,6 +45,42 @@ def test_record_framing_matches_texmex(tmp_path):
     assert struct.unpack("<2f", raw[4:]) == (1.5, -2.5)
 
 
+def test_mmap_mode_equals_eager_fvecs(tmp_path):
+    path = tmp_path / "vectors.fvecs"
+    data = np.random.default_rng(3).standard_normal((40, 9)).astype(
+        np.float32)
+    write_fvecs(path, data)
+    mapped = read_fvecs(path, mmap_mode="r")
+    np.testing.assert_array_equal(mapped, read_fvecs(path))
+    assert mapped.dtype == np.float32
+    assert isinstance(mapped.base, np.memmap)
+
+
+def test_mmap_mode_equals_eager_ivecs(tmp_path):
+    path = tmp_path / "gt.ivecs"
+    data = np.arange(120, dtype=np.int32).reshape(20, 6)
+    write_ivecs(path, data)
+    np.testing.assert_array_equal(read_ivecs(path, mmap_mode="r"), data)
+
+
+def test_mmap_mode_respects_max_vectors(tmp_path):
+    path = tmp_path / "vectors.fvecs"
+    write_fvecs(path, np.ones((50, 4), dtype=np.float32))
+    assert read_fvecs(path, max_vectors=7, mmap_mode="r").shape == (7, 4)
+
+
+def test_mmap_mode_validates_like_eager(tmp_path):
+    path = tmp_path / "ragged.fvecs"
+    write_fvecs(path, np.ones((2, 3), dtype=np.float32))
+    with open(path, "ab") as handle:
+        handle.write(b"\x00\x00")
+    with pytest.raises(SerializationError, match="multiple"):
+        read_fvecs(path, mmap_mode="r")
+    empty = tmp_path / "empty.fvecs"
+    empty.write_bytes(b"")
+    assert read_fvecs(empty, mmap_mode="r").size == 0
+
+
 def test_empty_file(tmp_path):
     path = tmp_path / "empty.fvecs"
     path.write_bytes(b"")

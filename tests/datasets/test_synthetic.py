@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets.synthetic import Dataset, gist_like, make_clustered, sift_like
+from repro.datasets.loaders import write_fvecs, write_ivecs
+from repro.datasets.synthetic import (
+    Dataset,
+    gist_like,
+    make_clustered,
+    sift1m_like,
+    sift_like,
+)
 
 
 class TestMakeClustered:
@@ -38,12 +45,24 @@ class TestMakeClustered:
         overall = dists[np.isfinite(dists)].mean()
         assert nearest < overall / 10
 
+    def test_chunked_generation_bit_identical(self):
+        """Streaming in chunks must not perturb the random stream."""
+        whole = make_clustered(500, 16, 8, 0.05, np.random.default_rng(7),
+                               chunk_size=10_000)
+        for chunk_size in (1, 33, 500, 501):
+            chunked = make_clustered(500, 16, 8, 0.05,
+                                     np.random.default_rng(7),
+                                     chunk_size=chunk_size)
+            np.testing.assert_array_equal(whole, chunked)
+
     def test_validation(self):
         rng = np.random.default_rng(0)
         with pytest.raises(ValueError):
             make_clustered(0, 4, 2, 0.1, rng)
         with pytest.raises(ValueError):
             make_clustered(10, 4, 2, 0.1, rng, low=1.0, high=1.0)
+        with pytest.raises(ValueError):
+            make_clustered(10, 4, 2, 0.1, rng, chunk_size=0)
 
 
 class TestNamedCorpora:
@@ -76,6 +95,59 @@ class TestNamedCorpora:
         np.testing.assert_array_equal(first.vectors, second.vectors)
         np.testing.assert_array_equal(first.ground_truth,
                                       second.ground_truth)
+
+
+class TestSift1mLike:
+    def test_synthetic_shape_and_range(self):
+        ds = sift1m_like(num_vectors=600, num_queries=12, num_clusters=10)
+        assert ds.name == "sift1m-like"
+        assert ds.dim == 128
+        assert ds.num_vectors == 600
+        assert ds.num_queries == 12
+        assert ds.vectors.min() >= 0.0
+        assert ds.vectors.max() <= 255.0
+
+    def test_synthetic_deterministic(self):
+        first = sift1m_like(num_vectors=300, num_queries=5,
+                            num_clusters=8, seed=3)
+        second = sift1m_like(num_vectors=300, num_queries=5,
+                             num_clusters=8, seed=3)
+        np.testing.assert_array_equal(first.vectors, second.vectors)
+        np.testing.assert_array_equal(first.ground_truth,
+                                      second.ground_truth)
+
+    def test_fvecs_dir_loads_real_files(self, tmp_path):
+        rng = np.random.default_rng(9)
+        base = rng.uniform(0.0, 255.0, size=(80, 128)).astype(np.float32)
+        queries = rng.uniform(0.0, 255.0, size=(6, 128)).astype(np.float32)
+        write_fvecs(tmp_path / "sift_base.fvecs", base)
+        write_fvecs(tmp_path / "sift_query.fvecs", queries)
+        ds = sift1m_like(num_vectors=80, num_queries=6, gt_k=5,
+                         fvecs_dir=tmp_path)
+        assert ds.name == "sift1m"
+        np.testing.assert_array_equal(ds.vectors, base)
+        np.testing.assert_array_equal(ds.queries, queries)
+        # Base vectors come through the memmap path.
+        assert isinstance(ds.vectors.base, np.memmap)
+        # Recomputed ground truth matches the streaming oracle.
+        from repro.datasets.ground_truth import exact_knn
+        np.testing.assert_array_equal(ds.ground_truth,
+                                      exact_knn(base, queries, 5))
+
+    def test_fvecs_dir_recomputes_gt_for_truncated_corpus(self, tmp_path):
+        """Shipped neighbours index the full 1M corpus; loading fewer
+        vectors must trigger a recompute, not reuse stale ids."""
+        rng = np.random.default_rng(2)
+        base = rng.uniform(0.0, 255.0, size=(50, 128)).astype(np.float32)
+        queries = base[:4]
+        write_fvecs(tmp_path / "sift_base.fvecs", base)
+        write_fvecs(tmp_path / "sift_query.fvecs", queries)
+        bogus = np.full((4, 10), 999_999, dtype=np.int32)
+        write_ivecs(tmp_path / "sift_groundtruth.ivecs", bogus)
+        ds = sift1m_like(num_vectors=50, num_queries=4, gt_k=3,
+                         fvecs_dir=tmp_path)
+        np.testing.assert_array_equal(ds.ground_truth[:, 0],
+                                      np.arange(4))
 
 
 class TestDatasetValidation:
