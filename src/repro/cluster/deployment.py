@@ -59,6 +59,13 @@ class Deployment:
         ]
 
     @property
+    def memory_nodes(self) -> list[MemoryNode]:
+        """All memory nodes of the pool, primary first (k-way replication
+        adds ``config.replication_factor - 1`` byte-identical secondaries
+        built by the bulk load's fan-out)."""
+        return self.layout.memory_nodes
+
+    @property
     def num_compute_instances(self) -> int:
         """Size of the compute pool."""
         return len(self.clients)

@@ -15,7 +15,8 @@ from repro.core.cache import CachedCluster, ClusterCache
 from repro.core.client import DHnswClient, InsertReport
 from repro.core.config import DHnswConfig
 from repro.core.engine import BuildReport, DHnswBuilder, RemoteLayout
-from repro.core.fsck import Finding, FsckReport, fsck
+from repro.core.fsck import (Finding, FsckReport, RepairReport,
+                             fsck, repair_replica)
 from repro.core.meta_index import MetaHnsw, sample_representatives
 from repro.core.partitions import (
     Partitioning,
@@ -42,6 +43,7 @@ __all__ = [
     "Partitioning",
     "QueryResult",
     "RemoteLayout",
+    "RepairReport",
     "Scheme",
     "SchemePolicy",
     "TuningResult",
@@ -49,6 +51,7 @@ __all__ = [
     "assign_partitions",
     "build_sub_hnsws",
     "fsck",
+    "repair_replica",
     "plan_batch",
     "tune_ef_search",
     "policy_for",

@@ -39,6 +39,17 @@ class CachedCluster:
     overflow_tail: int
     metadata_version: int
     nbytes: int
+    #: In-flight compute references.  The zero-copy decode path leaves
+    #: ``index`` holding read-only views over remote region memory; a
+    #: pinned entry is being searched right now, so the cache must not
+    #: spill it (DRAM accounting would free memory still in use) and must
+    #: :meth:`materialize` it before the backing extent can be rewritten.
+    #: Mutated only under the owning cache's lock.
+    pins: int = 0
+
+    def materialize(self) -> bool:
+        """Copy any region-aliasing vector views to private memory."""
+        return self.index.materialize()
 
 
 class ClusterCache:
@@ -113,6 +124,41 @@ class ClusterCache:
         with self._lock:
             return self._entries.get(cluster_id)
 
+    # ------------------------------------------------------------------
+    # Pinning (in-flight compute protection)
+    # ------------------------------------------------------------------
+    def pin(self, entry: CachedCluster) -> None:
+        """Mark ``entry`` as in use by compute: it will not be evicted,
+        and invalidation will materialize it instead of leaving the
+        searcher's zero-copy views over soon-to-be-rewritten memory."""
+        with self._lock:
+            entry.pins += 1
+
+    def unpin(self, entry: CachedCluster) -> None:
+        """Release one compute reference taken by :meth:`pin`."""
+        with self._lock:
+            if entry.pins <= 0:
+                raise ValueError(
+                    f"cluster {entry.cluster_id} unpinned more times than "
+                    f"pinned")
+            entry.pins -= 1
+
+    def _pop_victim(self) -> CachedCluster | None:
+        """Remove and return the least recently used *unpinned* entry.
+
+        Must be called under the lock.  Returns None when every resident
+        entry is pinned — the caller defers eviction (a transient
+        capacity/budget overshoot) rather than spilling memory a worker
+        thread is searching right now.
+        """
+        for cluster_id, entry in self._entries.items():
+            if entry.pins == 0:
+                del self._entries[cluster_id]
+                self._evictions += 1
+                self._cached_bytes -= entry.nbytes
+                return entry
+        return None
+
     def put(self, entry: CachedCluster,
             count_miss: bool = True) -> list[CachedCluster]:
         """Insert (or replace) an entry; returns any evicted entries.
@@ -121,6 +167,9 @@ class ClusterCache:
         produced ``entry`` went to remote memory.  Pass
         ``count_miss=False`` when a failed :meth:`get` already counted it
         (the evicted-between-planning-and-execution refetch path).
+        Pinned entries are never chosen as victims; if everything
+        resident is pinned the cache transiently exceeds capacity and
+        sheds the excess on a later unpinned ``put``.
         """
         with self._lock:
             evicted = []
@@ -130,29 +179,36 @@ class ClusterCache:
             elif count_miss:
                 self._misses += 1
             while len(self._entries) >= self.capacity_clusters:
-                _, victim = self._entries.popitem(last=False)
-                self._evictions += 1
-                self._cached_bytes -= victim.nbytes
+                victim = self._pop_victim()
+                if victim is None:
+                    break
                 evicted.append(victim)
             self._entries[entry.cluster_id] = entry
             self._cached_bytes += entry.nbytes
             return evicted
 
     def pop_lru(self) -> CachedCluster | None:
-        """Evict and return the least recently used entry, if any."""
+        """Evict and return the least recently used unpinned entry.
+
+        Returns None when the cache is empty *or* every entry is pinned
+        by in-flight compute (callers distinguish via ``len(cache)``).
+        """
         with self._lock:
-            if not self._entries:
-                return None
-            _, victim = self._entries.popitem(last=False)
-            self._evictions += 1
-            self._cached_bytes -= victim.nbytes
-            return victim
+            return self._pop_victim()
 
     def invalidate(self, cluster_id: int) -> bool:
-        """Drop one entry (stale after a rebuild); True if it was cached."""
+        """Drop one entry (stale after a rebuild); True if it was cached.
+
+        A pinned victim is materialized first: invalidation means the
+        backing extent is being retired and may be rewritten, and the
+        in-flight search holding the pin must keep seeing the bytes it
+        started with.
+        """
         with self._lock:
             victim = self._entries.pop(cluster_id, None)
             if victim is not None:
+                if victim.pins > 0:
+                    victim.materialize()
                 self._cached_bytes -= victim.nbytes
                 self._invalidations += 1
                 return True
@@ -161,9 +217,25 @@ class ClusterCache:
     def invalidate_all(self) -> None:
         """Drop everything (metadata version change)."""
         with self._lock:
+            for victim in self._entries.values():
+                if victim.pins > 0:
+                    victim.materialize()
             self._invalidations += len(self._entries)
             self._entries.clear()
             self._cached_bytes = 0
+
+    def materialize_all(self) -> int:
+        """Privatize every resident entry's region-aliasing views.
+
+        Called before remote memory the entries may alias is rewritten
+        in place — replica repair, or simulated corruption in the chaos
+        harness (on real hardware compute-local DRAM is naturally private;
+        the simulator's zero-copy views are not).  Returns the number of
+        entries that actually copied storage.
+        """
+        with self._lock:
+            return sum(1 for entry in self._entries.values()
+                       if entry.materialize())
 
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache."""

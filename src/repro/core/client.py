@@ -42,7 +42,9 @@ from repro.core.meta_index import MetaHnsw
 from repro.core.query_planner import BatchPlan, Wave
 from repro.core.results import BatchResult, QueryResult
 from repro.core.build_pool import BuildPool
-from repro.errors import LayoutError, OverflowFullError
+from repro.core.fsck import RepairReport, repair_replica
+from repro.errors import (LayoutError, NoHealthyReplicaError,
+                          OverflowFullError)
 from repro.hnsw.parallel_build import ClusterRebuildTask, rebuild_cluster_blob
 from repro.layout.group_layout import (
     OVERFLOW_TAIL_BYTES,
@@ -64,9 +66,13 @@ from repro.serving.engine import ServingEngine
 from repro.serving.executor import PlanExecution, overlap_saved
 from repro.transport import (
     ReadDescriptor,
+    ReplicatedTransport,
+    RetryingTransport,
+    RetryPolicy,
     SimRdmaTransport,
     Transport,
     WriteDescriptor,
+    connect,
 )
 
 __all__ = ["DHnswClient", "InsertReport"]
@@ -97,7 +103,11 @@ class DHnswClient:
                  name: str = "compute0",
                  compiled_engine: bool = True,
                  transport_factory:
-                 "Callable[[Transport], Transport] | None" = None) -> None:
+                 "Callable[[Transport], Transport] | None" = None,
+                 retry_policy: RetryPolicy | None = None,
+                 replica_transport_factory:
+                 "Callable[[Transport, int], Transport] | None" = None
+                 ) -> None:
         self.layout = layout
         self.config = config if config is not None else DHnswConfig()
         self.scheme = scheme
@@ -138,7 +148,28 @@ class DHnswClient:
         # The transport seam: every remote byte this client moves goes
         # through here.  ``transport_factory`` lets callers stack
         # decorators (fault injection, retry) over the simulated verbs.
+        #
+        # With a replicated layout, each replica gets its own stack —
+        # ``replica_transport_factory(base, index)`` decorates a single
+        # replica (e.g. per-node fault injection), then a retrying layer
+        # absorbs transient errors, and the ReplicatedTransport on top
+        # fails reads over / fans writes out.  All per-replica transports
+        # share this client's clock, stats, and NIC channel.
         self.transport: Transport = SimRdmaTransport(self.node.qp)
+        if layout.replicas:
+            stack: list[Transport] = []
+            for index, replica_node in enumerate(layout.memory_nodes):
+                base: Transport = (
+                    self.transport if index == 0
+                    else connect(replica_node, self.node.clock,
+                                 self.cost_model, self.node.stats))
+                if replica_transport_factory is not None:
+                    base = replica_transport_factory(base, index)
+                stack.append(RetryingTransport(base, retry_policy))
+            self.transport = ReplicatedTransport(stack,
+                                                 seed=self.config.seed)
+        elif retry_policy is not None:
+            self.transport = RetryingTransport(self.transport, retry_policy)
         if transport_factory is not None:
             self.transport = transport_factory(self.transport)
 
@@ -225,6 +256,50 @@ class DHnswClient:
                 self.cache.invalidate(cid)
         self.metadata = fresh
         return True
+
+    # ------------------------------------------------------------------
+    # Replica repair (fsck-driven, scheduled by the transport on failover)
+    # ------------------------------------------------------------------
+    def _replicated_transport(self) -> ReplicatedTransport | None:
+        """The replication layer of this client's transport stack, if any."""
+        transport = self.transport
+        while transport is not None:
+            if isinstance(transport, ReplicatedTransport):
+                return transport
+            transport = getattr(transport, "inner", None)
+        return None
+
+    def run_pending_repairs(self) -> "list[RepairReport]":
+        """Repair every replica the transport marked unhealthy.
+
+        For each queued target, re-copies damaged extents byte-for-byte
+        from a healthy replica (``repro.core.fsck.repair_replica``) and
+        returns the replica to the selectable set.  Repair runs on the
+        memory pool's control path, off this client's request timeline,
+        so no SimClock time is charged here.  Returns one report per
+        repaired replica (empty when nothing was queued).
+        """
+        replicated = self._replicated_transport()
+        if replicated is None:
+            return []
+        targets = replicated.drain_repairs()
+        if targets:
+            # Repair rewrites extents in place on the target replica.
+            # Cached entries may hold zero-copy views over any replica's
+            # memory (reads fan in from whichever replica served them),
+            # so privatize them before the bytes underneath change.
+            self.cache.materialize_all()
+        reports: list[RepairReport] = []
+        for target in targets:
+            healthy = replicated.selector.healthy_replicas()
+            if not healthy:
+                raise NoHealthyReplicaError(
+                    f"cannot repair replica {target}: no healthy source "
+                    f"replica remains", op="REPAIR")
+            reports.append(repair_replica(self.layout, target=target,
+                                          source=healthy[0]))
+            replicated.mark_repaired(target)
+        return reports
 
     # ------------------------------------------------------------------
     # Search (façade over the serving engine)

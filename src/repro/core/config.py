@@ -90,6 +90,14 @@ class DHnswConfig:
         cluster's insertion seed is ``sub_params.seed + cluster_id``,
         so the resulting layout is byte-identical at every worker
         count.
+    replication_factor:
+        Copies of the remote layout kept on distinct memory nodes.
+        ``1`` (default) is the paper's single passive memory node.
+        ``k >= 2`` fans every build/load and mutation WRITE out to ``k``
+        byte-identical nodes; READs pick a replica by health and queue
+        depth (``repro.transport.replica.ReplicaSelector``, seeded from
+        ``seed`` so traces replay) and fail over to a healthy peer when
+        one replica exhausts its retry budget mid-request.
     """
 
     num_representatives: int | None = None
@@ -107,6 +115,7 @@ class DHnswConfig:
     search_executor: str = "thread"
     region_headroom: float = 3.0
     build_workers: int = 0
+    replication_factor: int = 1
     seed: int = 0
     meta_params: HnswParams = dataclasses.field(
         default_factory=lambda: HnswParams(
@@ -143,6 +152,10 @@ class DHnswConfig:
         if self.build_workers < 0:
             raise ConfigError(
                 f"build_workers must be >= 0, got {self.build_workers}")
+        if self.replication_factor < 1:
+            raise ConfigError(
+                f"replication_factor must be >= 1, got "
+                f"{self.replication_factor}")
         if self.search_workers < 1:
             raise ConfigError(
                 f"search_workers must be >= 1, got {self.search_workers}")

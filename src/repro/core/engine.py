@@ -41,6 +41,7 @@ from repro.rdma.clock import SimClock
 from repro.rdma.control import ControlClient, MemoryDaemon
 from repro.rdma.network import CostModel
 from repro.rdma.stats import RdmaStats
+from repro.transport.replica import ReplicatedTransport
 from repro.transport.sim import connect as connect_transport
 
 __all__ = ["RemoteLayout", "BuildReport", "DHnswBuilder"]
@@ -64,6 +65,16 @@ class RemoteLayout:
     metadata: GlobalMetadata
     dim: int
     daemon: MemoryDaemon | None = None
+    #: Secondary memory nodes holding byte-identical copies of the region
+    #: (``DHnswConfig.replication_factor`` - 1 of them).  Each registered
+    #: the same capacity as a fresh node, so rkey and base_addr match the
+    #: primary and one address space reaches every replica.
+    replicas: list[MemoryNode] = dataclasses.field(default_factory=list)
+
+    @property
+    def memory_nodes(self) -> list[MemoryNode]:
+        """All replicas of the pool, primary first."""
+        return [self.memory_node, *self.replicas]
 
     @property
     def rkey(self) -> int:
@@ -165,6 +176,23 @@ class DHnswBuilder:
         control = ControlClient(daemon, clock, self.cost_model)
         rkey, _, _ = control.alloc_region(capacity)
         region = self.memory_node.get_region(rkey)
+
+        # Secondary replicas: fresh nodes register identically-sized
+        # regions, so rkey/base_addr line up with the primary and the
+        # same descriptors address every copy.
+        replica_nodes: list[MemoryNode] = []
+        for i in range(1, self.config.replication_factor):
+            node = MemoryNode(name=f"{self.memory_node.name}-r{i}")
+            mirror = node.register(capacity)
+            if (mirror.rkey, mirror.base_addr) != (region.rkey,
+                                                   region.base_addr):
+                raise LayoutError(
+                    f"replica {i} registered (rkey={mirror.rkey}, "
+                    f"base=0x{mirror.base_addr:x}) but the primary is "
+                    f"(rkey={region.rkey}, base=0x{region.base_addr:x}); "
+                    f"replica nodes must be fresh")
+            replica_nodes.append(node)
+
         allocator = RegionAllocator(capacity, metadata_reserve=reserve)
         # Claim the initial groups from the allocator so rebuild
         # relocations start allocating at the layout tail.
@@ -177,13 +205,20 @@ class DHnswBuilder:
             clusters=cluster_entries, groups=group_entries)
         layout = RemoteLayout(memory_node=self.memory_node, region=region,
                               allocator=allocator, metadata=metadata,
-                              dim=dim, daemon=daemon)
+                              dim=dim, daemon=daemon, replicas=replica_nodes)
 
         # Bulk-load through a build-time transport; traffic is reported
-        # separately from query-time stats.
+        # separately from query-time stats.  With replication the load
+        # goes through a ReplicatedTransport so the same write loop fans
+        # every blob out to all k nodes.
         stats = RdmaStats()
         transport = connect_transport(self.memory_node, clock,
                                       self.cost_model, stats)
+        if replica_nodes:
+            mirrors = [connect_transport(node, clock, self.cost_model, stats)
+                       for node in replica_nodes]
+            transport = ReplicatedTransport([transport, *mirrors],
+                                            seed=self.config.seed)
         blobs = source.blobs()
         for plan in plans:
             transport.write(region.rkey, layout.addr(plan.first_offset),

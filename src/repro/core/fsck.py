@@ -16,6 +16,14 @@ overflow area — and validates the invariants the query path relies on:
 The checker never mutates remote memory and reports *all* findings
 rather than stopping at the first, so an operator sees the full damage
 picture at once.
+
+With a replicated pool (``DHnswConfig.replication_factor > 1``) the walk
+can target any replica (``fsck(layout, replica=i)``), and
+:func:`repair_replica` is the background-repair half of the failover
+story: it re-reads every extent the metadata names from a healthy source
+replica, byte-compares it against the damaged target, and rewrites only
+the extents that differ — restoring the target to byte-identical before
+the selector readmits it.
 """
 
 from __future__ import annotations
@@ -33,7 +41,8 @@ from repro.layout.serializer import (
     unpack_overflow_records,
 )
 
-__all__ = ["FsckReport", "Finding", "fsck"]
+__all__ = ["FsckReport", "Finding", "RepairReport", "fsck",
+           "repair_replica"]
 
 _U64 = struct.Struct("<Q")
 
@@ -82,18 +91,23 @@ class FsckReport:
         return "\n".join(lines)
 
 
-def _read(layout: RemoteLayout, offset: int, length: int) -> bytes:
-    return layout.memory_node.read(layout.rkey, layout.addr(offset), length)
+def _read(node, layout: RemoteLayout, offset: int, length: int) -> bytes:
+    return node.read(layout.rkey, layout.addr(offset), length)
 
 
-def fsck(layout: RemoteLayout) -> FsckReport:
-    """Validate a remote layout; returns a report of all findings."""
+def fsck(layout: RemoteLayout, replica: int = 0) -> FsckReport:
+    """Validate a remote layout; returns a report of all findings.
+
+    ``replica`` selects which copy of a replicated pool to walk
+    (0 = the primary ``layout.memory_node``).
+    """
+    node = layout.memory_nodes[replica]
     report = FsckReport(findings=[])
 
     # --- metadata block -------------------------------------------------
     try:
         metadata = GlobalMetadata.unpack(
-            _read(layout, 0, layout.metadata_nbytes))
+            _read(node, layout, 0, layout.metadata_nbytes))
     except LayoutError as error:
         report.findings.append(Finding("error", "metadata", str(error)))
         return report
@@ -131,14 +145,14 @@ def fsck(layout: RemoteLayout) -> FsckReport:
             continue
         extents.append((group.overflow_offset,
                         group.overflow_offset + area_size, location))
-        (tail,) = _U64.unpack(_read(layout, group.overflow_offset, 8))
+        (tail,) = _U64.unpack(_read(node, layout, group.overflow_offset, 8))
         tails[gid] = min(int(tail), group.capacity_records)
         if tail > group.capacity_records:
             report.findings.append(Finding(
                 "warning", location,
                 f"tail counter {tail} exceeds capacity "
                 f"{group.capacity_records} (torn reservation)"))
-        blob = _read(layout, group.overflow_offset + 8,
+        blob = _read(node, layout, group.overflow_offset + 8,
                      tails[gid] * record_size)
         records = unpack_overflow_records(blob, metadata.dim, tails[gid])
         valid_members = set(members_by_group.get(gid, []))
@@ -166,7 +180,7 @@ def fsck(layout: RemoteLayout) -> FsckReport:
         extents.append((cluster.blob_offset, end, location))
         try:
             index, parsed_cid = deserialize_cluster(
-                _read(layout, cluster.blob_offset, cluster.blob_length))
+                _read(node, layout, cluster.blob_offset, cluster.blob_length))
         except SerializationError as error:
             report.findings.append(Finding("error", location, str(error)))
             continue
@@ -200,4 +214,81 @@ def fsck(layout: RemoteLayout) -> FsckReport:
                 "error", f"{left}/{right}",
                 f"extents overlap ({left} ends at {end}, {right} starts "
                 f"at {start})"))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Replica repair (the background half of the failover story)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class RepairReport:
+    """Outcome of one replica repair pass."""
+
+    replica: int
+    source: int
+    extents_checked: int = 0
+    extents_damaged: int = 0
+    extents_repaired: int = 0
+    bytes_repaired: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the target was already byte-identical to the source."""
+        return self.extents_damaged == 0
+
+    def summary(self) -> str:
+        return (f"replica {self.replica} repaired from replica "
+                f"{self.source}: {self.extents_repaired}/"
+                f"{self.extents_checked} extents rewritten "
+                f"({self.bytes_repaired} B)")
+
+
+def _layout_extents(layout: RemoteLayout,
+                    metadata: GlobalMetadata) -> list[tuple[int, int, str]]:
+    """Every live extent of the layout: metadata, overflow areas, blobs."""
+    extents = [(0, layout.metadata_nbytes, "metadata")]
+    area_size = overflow_area_size(metadata.dim,
+                                   metadata.overflow_capacity_records)
+    for gid, group in enumerate(metadata.groups):
+        extents.append((group.overflow_offset, area_size, f"group {gid}"))
+    for cid, cluster in enumerate(metadata.clusters):
+        extents.append((cluster.blob_offset, cluster.blob_length,
+                        f"cluster {cid}"))
+    return extents
+
+
+def repair_replica(layout: RemoteLayout, target: int,
+                   source: int = 0) -> RepairReport:
+    """Restore replica ``target`` to byte-identical with ``source``.
+
+    Walks every extent the *source's* authoritative metadata names —
+    the metadata block, each group's overflow area, each cluster blob —
+    byte-compares source against target, and rewrites only the extents
+    that differ.  By construction every damaged extent is repaired, so
+    ``extents_damaged == extents_repaired`` on return; the caller then
+    readmits the replica to selection.
+    """
+    nodes = layout.memory_nodes
+    if not 0 <= target < len(nodes) or not 0 <= source < len(nodes):
+        raise LayoutError(
+            f"repair targets replica {target} from {source}, but the "
+            f"pool has {len(nodes)} replica(s)")
+    if target == source:
+        raise LayoutError(f"cannot repair replica {target} from itself")
+    src_node, dst_node = nodes[source], nodes[target]
+    # Trust the source's metadata, not the (possibly damaged) target's.
+    metadata = GlobalMetadata.unpack(
+        _read(src_node, layout, 0, layout.metadata_nbytes))
+    report = RepairReport(replica=target, source=source)
+    for offset, length, _location in _layout_extents(layout, metadata):
+        report.extents_checked += 1
+        if length == 0:
+            continue
+        want = _read(src_node, layout, offset, length)
+        have = _read(dst_node, layout, offset, length)
+        if bytes(want) != bytes(have):
+            report.extents_damaged += 1
+            dst_node.write(layout.rkey, layout.addr(offset), want)
+            report.extents_repaired += 1
+            report.bytes_repaired += length
     return report

@@ -90,6 +90,21 @@ class StaleReadError(TransportError):
     mismatch); the caller should re-issue the READ."""
 
 
+class NoHealthyReplicaError(TransportError):
+    """Every replica of the memory pool is marked unhealthy (or was
+    already tried for this request), so a READ cannot fail over anywhere.
+
+    Carries the final underlying failure as ``last_error`` when the
+    request burned through live replicas on the way here.
+    """
+
+    def __init__(self, message: str, *,
+                 last_error: "TransportError | None" = None,
+                 **kwargs: object) -> None:
+        super().__init__(message, **kwargs)
+        self.last_error = last_error
+
+
 class RetryExhaustedError(TransportError):
     """The retry policy's budget ran out without a successful completion.
 

@@ -124,6 +124,21 @@ class LayeredGraph:
         grown[: self._count] = self._vectors[: self._count]
         self._vectors = grown
 
+    def materialize(self) -> bool:
+        """Replace an adopted read-only vector store with a private copy.
+
+        The zero-copy decode path (:meth:`bulk_load` with ``copy=False``)
+        leaves the store as a read-only ``frombuffer`` view over remote
+        region memory; before that memory can be rewritten (extent
+        reclamation, replica repair) the view must stop aliasing it.
+        Returns True if a copy was made, False if storage was already
+        private.
+        """
+        if self._vectors.flags.writeable:
+            return False
+        self._vectors = np.array(self._vectors, dtype=np.float32, order="C")
+        return True
+
     # ------------------------------------------------------------------
     # Edge management
     # ------------------------------------------------------------------

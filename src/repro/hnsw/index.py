@@ -226,6 +226,23 @@ class HnswIndex:
         """Drop the cached CSR compilation (after direct graph mutation)."""
         self._compiled = None
 
+    def materialize(self) -> bool:
+        """Privatize any vector storage aliasing remote region memory.
+
+        Copies both the layered store and the compiled CSR's shared
+        read-only view (the CSR adopts the decode buffer when the source
+        was read-only), so a materialized index survives the backing
+        extent being rewritten.  Idempotent; returns True if anything
+        was copied.
+        """
+        copied = self.graph.materialize()
+        compiled = self._compiled
+        if compiled is not None and not compiled.vectors.flags.writeable:
+            compiled.vectors = np.array(compiled.vectors, dtype=np.float32,
+                                        order="C")
+            copied = True
+        return copied
+
     def __getstate__(self) -> dict:
         # The compiled graph is a derived cache: dropping it keeps pickled
         # snapshots slim and independent of the CsrGraph layout.

@@ -56,11 +56,18 @@ class ComputeNode:
         """Remaining DRAM budget."""
         return self.dram_budget_bytes - self._dram_used_bytes
 
-    def reserve_dram(self, nbytes: int) -> bool:
-        """Reserve ``nbytes`` of cache DRAM; False if it would overflow."""
+    def reserve_dram(self, nbytes: int, force: bool = False) -> bool:
+        """Reserve ``nbytes`` of cache DRAM; False if it would overflow.
+
+        ``force=True`` reserves past the budget — the cache uses it to
+        defer eviction of pinned entries rather than free memory that a
+        worker thread is still searching (``dram_used_bytes`` then
+        honestly reports the overshoot).
+        """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        if self._dram_used_bytes + nbytes > self.dram_budget_bytes:
+        if (not force
+                and self._dram_used_bytes + nbytes > self.dram_budget_bytes):
             return False
         self._dram_used_bytes += nbytes
         return True

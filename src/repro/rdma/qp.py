@@ -217,6 +217,23 @@ class QueuePair:
                            completes_at_us=completes, elapsed_us=elapsed,
                            guard=guard)
 
+    def abandon_cq(self, pending: PendingRead) -> None:
+        """Discard an async READ whose payloads will never be consumed.
+
+        An error completion carries no data, so the failed batch's token
+        must be retired without charging time or recording traffic — but
+        its copy-on-write guard has to be released, or the memory node
+        keeps snapshotting payloads for a reader that no longer exists.
+        The network channel stays busy with the dead WQE, which is what a
+        real timed-out READ leaves behind.  Idempotent.
+        """
+        if pending.completed:
+            return
+        pending.completed = True
+        if pending.guard is not None:
+            self.memory_node.release_guard(pending.guard)
+            pending.guard = None
+
     def poll_cq(self, pending: PendingRead) -> "list[memoryview | bytes]":
         """Wait for an async READ batch and return its payloads.
 

@@ -42,6 +42,9 @@ class RdmaStats:
     backoff_time_us: float = 0.0
     #: Faults a ``FaultInjectingTransport`` injected (simulation-only).
     faults_injected: int = 0
+    #: READs re-routed to another replica after one replica exhausted its
+    #: retry budget (see ``repro.transport.replica``).
+    failovers: int = 0
 
     def record_read(self, nbytes: int, time_us: float) -> None:
         """Account one single READ."""
@@ -113,6 +116,10 @@ class RdmaStats:
         self.faults_injected += 1
         self.network_time_us += wasted_us
 
+    def record_failover(self) -> None:
+        """Account one READ failed over to a different replica."""
+        self.failovers += 1
+
     # ------------------------------------------------------------------
     def snapshot(self) -> "RdmaStats":
         """A frozen copy of the current counters."""
@@ -134,6 +141,7 @@ class RdmaStats:
             retries=self.retries - earlier.retries,
             backoff_time_us=self.backoff_time_us - earlier.backoff_time_us,
             faults_injected=self.faults_injected - earlier.faults_injected,
+            failovers=self.failovers - earlier.failovers,
         )
 
     def merge(self, other: "RdmaStats") -> None:
@@ -150,3 +158,4 @@ class RdmaStats:
         self.retries += other.retries
         self.backoff_time_us += other.backoff_time_us
         self.faults_injected += other.faults_injected
+        self.failovers += other.failovers

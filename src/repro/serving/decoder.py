@@ -46,6 +46,16 @@ class Decoder:
         self.pending_deserialize_us = 0.0
         return pending
 
+    def drop_memo(self) -> None:
+        """Forget memoized decodes (no simulated-cost effect).
+
+        Memoized entries hold zero-copy views over remote region memory;
+        drop them when that memory is damaged or rewritten in place
+        (chaos harness, replica repair) so stale bytes cannot resurface
+        through the memo.
+        """
+        self._decode_cache.clear()
+
     def decode_extent(self, cluster_id: int, extent_offset: int,
                       payload: "bytes | memoryview") -> CachedCluster:
         """Deserialize a fetched extent, charging the simulated CPU cost.

@@ -127,6 +127,12 @@ class ServingEngine:
                                        trace)
         rdma_delta = host.node.stats.delta(before)
         breakdown.network_us += rdma_delta.network_time_us
+        # Fault-path attribution: which request paid for retries and
+        # replica failovers (counters are this request's deltas).
+        trace.record_event("faults_injected", rdma_delta.faults_injected)
+        trace.record_event("retries", rdma_delta.retries)
+        trace.record_event("backoff_us", rdma_delta.backoff_time_us)
+        trace.record_event("failovers", rdma_delta.failovers)
         _, misses_before, evictions_before = cache_counters_before
         _, misses_after, evictions_after = host.cache.counters()
         return BatchResult(results=results, breakdown=breakdown,

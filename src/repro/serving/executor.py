@@ -239,25 +239,37 @@ class WaveExecutor:
                     raise LayoutError(
                         f"planned cluster {cid} missing during wave")
                 tasks.append((cid, entry, query_indices))
-            workers = host.config.search_workers
-            started = time.perf_counter()
-            if workers > 1 and len(tasks) > 1:
-                if host.config.search_executor == "process":
-                    outputs = self._get_search_pool().run_wave(
-                        [(cid, (entry.metadata_version, entry.overflow_tail),
-                          entry, queries[query_indices], k, ef)
-                         for cid, entry, query_indices in tasks])
+            # Pin for the duration of the search: a concurrent request's
+            # cache admission must not spill these entries (their vector
+            # stores may be zero-copy views whose DRAM accounting would
+            # be freed mid-search), and a concurrent invalidation must
+            # materialize rather than leave them over rewritten memory.
+            for _, entry, _ in tasks:
+                host.cache.pin(entry)
+            try:
+                workers = host.config.search_workers
+                started = time.perf_counter()
+                if workers > 1 and len(tasks) > 1:
+                    if host.config.search_executor == "process":
+                        outputs = self._get_search_pool().run_wave(
+                            [(cid,
+                              (entry.metadata_version, entry.overflow_tail),
+                              entry, queries[query_indices], k, ef)
+                             for cid, entry, query_indices in tasks])
+                    else:
+                        pool = self._get_thread_pool()
+                        futures = [pool.submit(search_cluster_entry, entry,
+                                               queries[query_indices], k, ef)
+                                   for _, entry, query_indices in tasks]
+                        outputs = [future.result() for future in futures]
                 else:
-                    pool = self._get_thread_pool()
-                    futures = [pool.submit(search_cluster_entry, entry,
-                                           queries[query_indices], k, ef)
+                    outputs = [search_cluster_entry(entry,
+                                                    queries[query_indices],
+                                                    k, ef)
                                for _, entry, query_indices in tasks]
-                    outputs = [future.result() for future in futures]
-            else:
-                outputs = [search_cluster_entry(entry,
-                                                queries[query_indices],
-                                                k, ef)
-                           for _, entry, query_indices in tasks]
+            finally:
+                for _, entry, _ in tasks:
+                    host.cache.unpin(entry)
             host.node.record_wall_compute(time.perf_counter() - started)
             wave_evals = 0
             for (_, _, query_indices), output in zip(tasks, outputs):

@@ -85,6 +85,14 @@ class Fetcher:
         while not host.node.reserve_dram(entry.nbytes):
             victim = host.cache.pop_lru()
             if victim is None:
+                if len(host.cache):
+                    # Every resident entry is pinned by in-flight compute:
+                    # spilling one would free DRAM a worker thread is
+                    # searching right now.  Over-commit the budget
+                    # transiently instead; pressure resolves once the
+                    # pins drop and a later put evicts.
+                    host.node.reserve_dram(entry.nbytes, force=True)
+                    break
                 raise LayoutError(
                     f"cluster {entry.cluster_id} ({entry.nbytes} B) cannot "
                     f"fit in compute DRAM even with an empty cache")

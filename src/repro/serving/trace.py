@@ -52,6 +52,15 @@ class TraceContext:
         self._clock = clock
         self._stats = stats
         self.stages: dict[str, StageReport] = {}
+        #: Fault-path events attributed to this request (e.g.
+        #: ``"failovers"``, ``"retries"``, ``"faults_injected"``) — how an
+        #: operator sees *which* request paid for a replica failure.
+        self.events: dict[str, float] = {}
+
+    def record_event(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a named fault-path event onto this request."""
+        if value:
+            self.events[name] = self.events.get(name, 0.0) + value
 
     @contextlib.contextmanager
     def stage(self, name: str) -> Iterator[StageReport]:

@@ -22,16 +22,28 @@ __all__ = ["CacheTelemetry", "ClientTelemetry", "DeploymentTelemetry",
            "render_trace"]
 
 
+def _maxrss_to_bytes(ru_maxrss: int, platform: str | None = None) -> int:
+    """Normalize a raw ``ru_maxrss`` reading to bytes.
+
+    POSIX leaves the unit implementation-defined: Linux (and the BSDs)
+    report kilobytes, macOS reports bytes.  Split out from
+    :func:`peak_rss_bytes` so the conversion is regression-testable on
+    any host without mocking ``getrusage``.
+    """
+    if (platform if platform is not None else sys.platform) == "darwin":
+        return int(ru_maxrss)
+    return int(ru_maxrss) * 1024
+
+
 def peak_rss_bytes() -> int:
     """This process's peak resident set size, in bytes.
 
     ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
-    here so benchmark gates and the operator report agree across hosts.
+    here so benchmark gates (e.g. ``BENCH_scale.json``'s RSS budget) and
+    the operator report agree across hosts.
     """
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform != "darwin":
-        peak *= 1024
-    return peak
+    return _maxrss_to_bytes(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,12 +98,20 @@ class ClientTelemetry:
     backoff_time_us: float = 0.0
     #: Faults injected by a ``FaultInjectingTransport`` (simulation-only).
     faults_injected: int = 0
+    #: READs re-routed to another replica after retry-budget exhaustion.
+    failovers: int = 0
+    #: Per-replica health/traffic rows (``ReplicaSelector.status()``);
+    #: empty for an unreplicated pool.
+    replicas: tuple = ()
 
     @classmethod
     def from_client(cls, client: DHnswClient) -> "ClientTelemetry":
         """Snapshot a client's current counters."""
         stats = client.node.stats
         cache = client.cache
+        replicated = client._replicated_transport()
+        replicas = (tuple(replicated.selector.status())
+                    if replicated is not None else ())
         return cls(
             name=client.node.name,
             scheme=client.scheme.value,
@@ -127,6 +147,8 @@ class ClientTelemetry:
             retries=stats.retries,
             backoff_time_us=stats.backoff_time_us,
             faults_injected=stats.faults_injected,
+            failovers=stats.failovers,
+            replicas=replicas,
         )
 
 
@@ -213,18 +235,34 @@ def render_report(telemetry: DeploymentTelemetry) -> str:
             f"{client.compute_time_us:>10.1f} "
             f"{client.cache.hit_rate:>9.2%}")
     faulted = [client for client in telemetry.clients
-               if client.retries or client.faults_injected]
+               if client.retries or client.faults_injected
+               or client.failovers]
     if faulted:
         lines += [
             "",
             "=== transport faults ===",
             f"{'instance':<12} {'faults':>7} {'retries':>8} "
-            f"{'backoff_us':>11}",
+            f"{'backoff_us':>11} {'failovers':>10}",
         ]
         for client in faulted:
             lines.append(
                 f"{client.name:<12} {client.faults_injected:>7} "
-                f"{client.retries:>8} {client.backoff_time_us:>11.1f}")
+                f"{client.retries:>8} {client.backoff_time_us:>11.1f} "
+                f"{client.failovers:>10}")
+    replicated = [client for client in telemetry.clients if client.replicas]
+    if replicated:
+        lines += [
+            "",
+            "=== replication ===",
+            f"{'instance':<12} {'replica':>8} {'health':>10} {'reads':>8} "
+            f"{'failovers':>10}",
+        ]
+        for client in replicated:
+            for row in client.replicas:
+                lines.append(
+                    f"{client.name:<12} {row['replica']:>8} "
+                    f"{row['health']:>10} {row['reads']:>8} "
+                    f"{row['failovers']:>10}")
     return "\n".join(lines)
 
 
@@ -244,4 +282,8 @@ def render_trace(trace: TraceContext) -> str:
         f"{'total':<10} {'':>6} {trace.total_sim_us:>10.1f} "
         f"{trace.total_wall_s * 1e3:>9.2f} "
         f"{trace.total_bytes_read / 2**20:>8.3f}")
+    if trace.events:
+        events = "  ".join(
+            f"{name}={value:g}" for name, value in trace.events.items())
+        lines.append(f"fault path: {events}")
     return "\n".join(lines)

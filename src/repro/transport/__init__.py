@@ -24,6 +24,11 @@ from repro.transport.fault import (
     FaultKind,
     FaultPlan,
 )
+from repro.transport.replica import (
+    ReplicaHealth,
+    ReplicaSelector,
+    ReplicatedTransport,
+)
 from repro.transport.retry import RetryingTransport, RetryPolicy
 from repro.transport.sim import SimRdmaTransport, connect
 
@@ -33,6 +38,9 @@ __all__ = [
     "FaultPlan",
     "PendingRead",
     "ReadDescriptor",
+    "ReplicaHealth",
+    "ReplicaSelector",
+    "ReplicatedTransport",
     "RetryPolicy",
     "RetryingTransport",
     "SimRdmaTransport",

@@ -97,6 +97,14 @@ class Transport(Protocol):
         """Wait for an async READ batch and return its payloads."""
         ...
 
+    def abandon(self, pending: PendingRead) -> None:
+        """Retire an async READ whose completion will never be consumed.
+
+        Charges no time and records no traffic; releases any resources
+        (e.g. copy-on-write guards) the in-flight batch held.  Idempotent.
+        """
+        ...
+
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         """Tear the transport down; further verbs raise."""

@@ -185,6 +185,28 @@ class FaultInjectingTransport:
                 received=received)
         raise AssertionError(kind)  # stale/corrupt handled post-read
 
+    def _fail_async(self, kind: FaultKind, op: str, nbytes: int,
+                    issued_at_us: float):
+        """Surface a timeout/torn fault on a polled async READ.
+
+        The timer armed at *issue*, so only the part of the window that
+        has not already elapsed under the caller's compute is charged —
+        the same issue-timeline accounting a clean async READ gets.
+        """
+        if kind is FaultKind.TIMEOUT:
+            waited = self.clock.advance_to(issued_at_us + self.timeout_us)
+            self.stats.record_fault(waited)
+            raise TransportTimeoutError(
+                f"{op} timed out after {self.timeout_us:.0f} us "
+                f"(simulated fault)", op=op)
+        received = nbytes // 2
+        waited = self.clock.advance_to(issued_at_us + self.timeout_us / 2.0)
+        self.stats.record_fault(waited)
+        raise PartialReadError(
+            f"{op} returned {received} of {nbytes} bytes "
+            f"(simulated torn DMA)", op=op, expected=nbytes,
+            received=received)
+
     def _fail_post_read(self, kind: FaultKind, op: str) -> None:
         """Raise for faults that are detected *after* a completed READ."""
         self.stats.record_fault()
@@ -248,13 +270,21 @@ class FaultInjectingTransport:
         kind, total = fault
         if kind in (FaultKind.TIMEOUT, FaultKind.PARTIAL_READ):
             # The error completion carries no data: the inner CQE is
-            # abandoned (no bytes are accounted) and only the armed-timeout
-            # wait is charged.  The NIC channel stays busy with the dead
-            # WQE, which is what a real timed-out READ leaves behind.
-            self._fail_sync(kind, "ASYNC_READ", total)
+            # abandoned (no bytes are accounted, and its copy-on-write
+            # guard is released) and only the not-yet-elapsed part of the
+            # armed timeout is charged.  The NIC channel stays busy with
+            # the dead WQE, which is what a real timed-out READ leaves
+            # behind.
+            issued_at = pending.issued_at_us
+            self.inner.abandon(pending)
+            self._fail_async(kind, "ASYNC_READ", total, issued_at)
         self.inner.poll(pending)  # full wire charge; payload discarded
         self._fail_post_read(kind, "ASYNC_READ")
         raise AssertionError("unreachable")
+
+    def abandon(self, pending: PendingRead) -> None:
+        self._pending_faults.pop(id(pending), None)
+        self.inner.abandon(pending)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:

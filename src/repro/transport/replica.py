@@ -1,0 +1,325 @@
+"""k-way replicated memory pool: replica selection, failover, repair feed.
+
+The paper keeps the whole layout on one passive memory node, so a single
+lost or flaky node takes the dataset offline.  :class:`ReplicatedTransport`
+removes that single point of failure behind the transport seam: it owns one
+transport per byte-identical replica (all sharing the compute instance's
+clock, stats, and NIC channel) and
+
+* routes each READ-shaped verb to one replica, chosen by
+  :class:`ReplicaSelector` from health and queue depth;
+* fans every WRITE / CAS / FAA out to all replicas so they stay
+  byte-identical (an unhealthy replica is skipped and queued for repair —
+  the repair pass re-copies whatever it missed);
+* when a replica's verb fails — in practice after an inner
+  :class:`~repro.transport.retry.RetryingTransport` exhausted its budget —
+  marks it unhealthy, schedules background repair, accounts the event in
+  ``RdmaStats.failovers``, and re-issues the READ on a healthy peer
+  *within the same request*.  Every attempt's wait, backoff, and re-issue
+  wire time is already on the shared :class:`~repro.rdma.clock.SimClock`,
+  so a failed-over request is visibly slower than a clean one while
+  returning bit-identical payloads.
+
+Determinism rule: replica selection is a pure function of the verb
+sequence.  Queue-depth ties are broken by a ``random.Random(seed)`` stream
+consumed once per tied selection, so the same seed and the same request
+stream pick the same replicas — traces replay exactly.
+
+Repair is *scheduled*, not performed, here: damaged replica indices queue
+on :attr:`ReplicatedTransport.pending_repairs`; the owner (see
+``DHnswClient.run_pending_repairs`` and ``repro.core.fsck.repair_replica``)
+re-copies damaged extents from a healthy peer and calls
+:meth:`ReplicatedTransport.mark_repaired` to return the replica to the
+selectable set.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.errors import ConfigError, NoHealthyReplicaError, TransportError
+from repro.transport.base import (
+    PendingRead,
+    ReadDescriptor,
+    Transport,
+    WriteDescriptor,
+)
+
+__all__ = ["ReplicaHealth", "ReplicaSelector", "ReplicatedTransport"]
+
+
+class ReplicaHealth(enum.Enum):
+    """Health state of one replica, as seen by the selector.
+
+    HEALTHY -> UNHEALTHY on retry-budget exhaustion (or any transport
+    error surfacing through the replica's stack); UNHEALTHY -> HEALTHY
+    only via :meth:`ReplicaSelector.mark_repaired` after a repair pass
+    restored byte-identical extents.
+    """
+
+    HEALTHY = "healthy"
+    UNHEALTHY = "unhealthy"
+
+
+class ReplicaSelector:
+    """Picks the replica each READ goes to: health first, queue depth next.
+
+    Tracks per-replica health, in-flight READ depth, and counters for
+    telemetry.  Selection among equally-loaded healthy replicas uses a
+    seeded RNG stream (one draw per tied selection), so the choice
+    sequence is deterministic for a given seed and verb sequence.
+    """
+
+    def __init__(self, num_replicas: int, seed: int = 0) -> None:
+        if num_replicas < 1:
+            raise ConfigError(
+                f"num_replicas must be >= 1, got {num_replicas}")
+        self.num_replicas = num_replicas
+        self._health = [ReplicaHealth.HEALTHY] * num_replicas
+        self._inflight = [0] * num_replicas
+        self._rng = random.Random(seed)
+        #: READ-shaped verbs routed to each replica.
+        self.reads_by_replica = [0] * num_replicas
+        #: Failovers charged *against* each replica (it failed mid-read).
+        self.failovers_by_replica = [0] * num_replicas
+
+    # -- health ---------------------------------------------------------
+    def health(self, index: int) -> ReplicaHealth:
+        return self._health[index]
+
+    def healthy_replicas(self) -> list[int]:
+        """Indices currently eligible for selection."""
+        return [i for i in range(self.num_replicas)
+                if self._health[i] is ReplicaHealth.HEALTHY]
+
+    def mark_unhealthy(self, index: int) -> None:
+        self._health[index] = ReplicaHealth.UNHEALTHY
+
+    def mark_repaired(self, index: int) -> None:
+        self._health[index] = ReplicaHealth.HEALTHY
+
+    # -- queue depth ----------------------------------------------------
+    def begin_read(self, index: int) -> None:
+        self._inflight[index] += 1
+        self.reads_by_replica[index] += 1
+
+    def end_read(self, index: int) -> None:
+        self._inflight[index] = max(0, self._inflight[index] - 1)
+
+    def queue_depth(self, index: int) -> int:
+        return self._inflight[index]
+
+    # -- selection ------------------------------------------------------
+    def select(self, exclude: "frozenset[int] | set[int]" = frozenset()
+               ) -> int:
+        """The replica the next READ should target.
+
+        Healthy replicas not in ``exclude`` compete; the least-loaded
+        wins, with seeded-RNG tie-breaking.  Raises
+        :class:`~repro.errors.NoHealthyReplicaError` when nothing is
+        eligible.
+        """
+        candidates = [i for i in self.healthy_replicas() if i not in exclude]
+        if not candidates:
+            raise NoHealthyReplicaError(
+                f"no healthy replica available ({self.num_replicas} total, "
+                f"{len(exclude)} excluded this request)", op="SELECT")
+        depth = min(self._inflight[i] for i in candidates)
+        tied = [i for i in candidates if self._inflight[i] == depth]
+        if len(tied) == 1:
+            return tied[0]
+        return tied[self._rng.randrange(len(tied))]
+
+    def status(self) -> list[dict]:
+        """Per-replica counters for telemetry."""
+        return [{"replica": i,
+                 "health": self._health[i].value,
+                 "queue_depth": self._inflight[i],
+                 "reads": self.reads_by_replica[i],
+                 "failovers": self.failovers_by_replica[i]}
+                for i in range(self.num_replicas)]
+
+
+class ReplicatedTransport:
+    """One logical transport over ``k`` byte-identical replica transports.
+
+    All replica transports must share one clock and one stats ledger (one
+    compute NIC issues every verb); the aggregate counters therefore show
+    the honest total traffic, while :attr:`selector` keeps the per-replica
+    split.  Replica 0 is conventionally the primary the layout handle
+    points at.
+    """
+
+    def __init__(self, replicas: list[Transport],
+                 selector: ReplicaSelector | None = None,
+                 seed: int = 0) -> None:
+        if not replicas:
+            raise ConfigError("need at least one replica transport")
+        self.replicas = list(replicas)
+        self.selector = (selector if selector is not None
+                         else ReplicaSelector(len(replicas), seed=seed))
+        if self.selector.num_replicas != len(self.replicas):
+            raise ConfigError(
+                f"selector covers {self.selector.num_replicas} replicas "
+                f"but {len(self.replicas)} transports were given")
+        #: Replica indices awaiting fsck-driven repair (deduplicated,
+        #: in damage order).  Drained by the owning client.
+        self.pending_repairs: list[int] = []
+        # Async bookkeeping: token identity -> (replica, descriptors,
+        # doorbell) so a failed poll can fail over synchronously.
+        self._inflight: dict[int, tuple[int, list[ReadDescriptor], bool]] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+    @property
+    def clock(self):
+        return self.replicas[0].clock
+
+    @property
+    def stats(self):
+        return self.replicas[0].stats
+
+    # -- failure handling -----------------------------------------------
+    def _note_failure(self, index: int) -> None:
+        """Mark a replica dead and queue it for background repair."""
+        self.selector.mark_unhealthy(index)
+        self.selector.failovers_by_replica[index] += 1
+        if index not in self.pending_repairs:
+            self.pending_repairs.append(index)
+
+    def drain_repairs(self) -> list[int]:
+        """Pop the queued repair targets (oldest damage first)."""
+        queued, self.pending_repairs = self.pending_repairs, []
+        return queued
+
+    def mark_repaired(self, index: int) -> None:
+        """Return a repaired replica to the selectable set."""
+        self.selector.mark_repaired(index)
+
+    def _failover(self, op: str, fn):
+        """Run a READ-shaped verb with same-request failover.
+
+        Tries the selected replica; on any transport error marks it
+        unhealthy, schedules repair, accounts one failover, and re-issues
+        on the next healthy peer.  Every attempt's simulated cost is
+        already on the shared clock when the error surfaces, so the
+        failed-over request pays for the detour honestly.
+        """
+        tried: set[int] = set()
+        last: TransportError | None = None
+        while True:
+            try:
+                index = self.selector.select(exclude=tried)
+            except NoHealthyReplicaError:
+                if last is None:
+                    raise
+                raise NoHealthyReplicaError(
+                    f"{op} failed on all {len(tried)} eligible replica(s); "
+                    f"last error: {last}", op=op, last_error=last) from last
+            self.selector.begin_read(index)
+            try:
+                return fn(self.replicas[index])
+            except TransportError as exc:
+                last = exc
+                tried.add(index)
+                self._note_failure(index)
+                self.stats.record_failover()
+            finally:
+                self.selector.end_read(index)
+
+    # -- synchronous verbs ----------------------------------------------
+    def read(self, rkey: int, addr: int,
+             length: int) -> "memoryview | bytes":
+        return self._failover(
+            "READ", lambda t: t.read(rkey, addr, length))
+
+    def write(self, rkey: int, addr: int, data) -> None:
+        self._fan_out("WRITE", lambda t: t.write(rkey, addr, data))
+
+    def cas(self, rkey: int, addr: int, expected: int, desired: int) -> int:
+        return self._fan_out(
+            "CAS", lambda t: t.cas(rkey, addr, expected, desired))
+
+    def faa(self, rkey: int, addr: int, delta: int) -> int:
+        return self._fan_out("FAA", lambda t: t.faa(rkey, addr, delta))
+
+    def _fan_out(self, op: str, fn):
+        """Apply a mutating verb to every healthy replica, in id order.
+
+        Unhealthy replicas are skipped — the repair pass re-copies what
+        they missed.  A replica that fails its write is marked unhealthy
+        mid-fan-out; at least one replica must accept the mutation or the
+        pool has lost the write entirely and the last error propagates.
+        Returns the first successful replica's result (CAS/FAA results
+        are identical across byte-identical replicas).
+        """
+        result = None
+        applied = 0
+        last: TransportError | None = None
+        for index in list(self.selector.healthy_replicas()):
+            try:
+                value = fn(self.replicas[index])
+            except TransportError as exc:
+                last = exc
+                self._note_failure(index)
+                continue
+            if applied == 0:
+                result = value
+            applied += 1
+        if applied == 0:
+            raise NoHealthyReplicaError(
+                f"{op} accepted by no replica", op=op, last_error=last)
+        return result
+
+    # -- batched verbs --------------------------------------------------
+    def read_batch(self, descriptors: list[ReadDescriptor],
+                   doorbell: bool = True) -> "list[memoryview | bytes]":
+        return self._failover(
+            "READ_BATCH",
+            lambda t: t.read_batch(descriptors, doorbell=doorbell))
+
+    def write_batch(self, descriptors: list[WriteDescriptor],
+                    doorbell: bool = True) -> None:
+        self._fan_out(
+            "WRITE_BATCH",
+            lambda t: t.write_batch(descriptors, doorbell=doorbell))
+
+    def read_batch_async(self, descriptors: list[ReadDescriptor],
+                         doorbell: bool = True) -> PendingRead:
+        index = self.selector.select()
+        self.selector.begin_read(index)
+        pending = self.replicas[index].read_batch_async(descriptors,
+                                                        doorbell=doorbell)
+        self._inflight[id(pending)] = (index, list(descriptors), doorbell)
+        return pending
+
+    def poll(self, pending: PendingRead) -> "list[memoryview | bytes]":
+        index, descriptors, doorbell = self._inflight.pop(
+            id(pending), (None, None, True))
+        if index is None:
+            return self.replicas[0].poll(pending)
+        try:
+            return self.replicas[index].poll(pending)
+        except TransportError:
+            # The overlap window is burned by poll time, so the failover
+            # re-issue is synchronous — same rule as a retry replay.
+            self._note_failure(index)
+            self.stats.record_failover()
+            return self._failover(
+                "ASYNC_READ",
+                lambda t: t.read_batch(descriptors, doorbell=doorbell))
+        finally:
+            self.selector.end_read(index)
+
+    def abandon(self, pending: PendingRead) -> None:
+        index, _, _ = self._inflight.pop(id(pending), (None, None, True))
+        if index is None:
+            self.replicas[0].abandon(pending)
+            return
+        self.selector.end_read(index)
+        self.replicas[index].abandon(pending)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()

@@ -166,6 +166,10 @@ class RetryingTransport:
             except TransportError as exc:
                 last = exc
 
+    def abandon(self, pending: PendingRead) -> None:
+        self._inflight.pop(id(pending), None)
+        self.inner.abandon(pending)
+
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         self.inner.close()

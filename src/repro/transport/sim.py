@@ -79,6 +79,9 @@ class SimRdmaTransport:
     def poll(self, pending: PendingRead) -> "list[memoryview | bytes]":
         return self._qp.poll_cq(pending)
 
+    def abandon(self, pending: PendingRead) -> None:
+        self._qp.abandon_cq(pending)
+
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         self._qp.close()

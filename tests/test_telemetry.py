@@ -8,6 +8,8 @@ from repro.telemetry import (
     CacheTelemetry,
     ClientTelemetry,
     DeploymentTelemetry,
+    _maxrss_to_bytes,
+    peak_rss_bytes,
     render_report,
 )
 
@@ -91,3 +93,25 @@ class TestHitRateEdgeCases:
             assert telemetry.control_requests == 0
         finally:
             client.control = saved_control
+
+
+class TestPeakRssUnits:
+    """``ru_maxrss`` is KB on Linux/BSD but bytes on macOS (satellite of
+    the fault-path PR: the scale benchmark's RSS gate read 1024x high on
+    macOS before the normalization split)."""
+
+    def test_linux_reports_kilobytes(self):
+        assert _maxrss_to_bytes(2048, platform="linux") == 2048 * 1024
+
+    def test_macos_reports_bytes(self):
+        assert _maxrss_to_bytes(2048, platform="darwin") == 2048
+
+    def test_bsd_falls_into_the_kilobyte_default(self):
+        assert _maxrss_to_bytes(100, platform="freebsd14") == 100 * 1024
+
+    def test_current_platform_is_positive_and_plausible(self):
+        rss = peak_rss_bytes()
+        # A python process with numpy loaded needs well over 4 MiB; a
+        # unit mix-up (bytes treated as KB or vice versa) lands far
+        # outside this window.
+        assert 4 * 2**20 < rss < 1 * 2**40
