@@ -10,6 +10,11 @@ Two operational questions every vector-search service answers:
    quantization: PQ codes shrink transfers by an order of magnitude and
    a small exact re-rank repairs the recall.
 
+Both questions concern one batch in isolation.  For the follow-on —
+serving *arriving* traffic against the tuned operating point, with
+batching, multi-tenant fairness, and overload degradation — see
+``examples/frontdoor_slo.py``.
+
 Run:  python examples/slo_tuning.py
 """
 

@@ -47,6 +47,12 @@ from repro.core import (
     Scheme,
 )
 from repro.datasets import Dataset, exact_knn, gist_like, sift_like
+from repro.frontdoor import (
+    FrontDoor,
+    FrontDoorConfig,
+    LoadReport,
+    TenantPolicy,
+)
 from repro.hnsw import DistanceKernel, HnswIndex, HnswParams, Metric
 from repro.metrics import LatencyBreakdown, recall_at_k
 from repro.persist import load_deployment, save_deployment
@@ -65,11 +71,14 @@ __all__ = [
     "Dataset",
     "Deployment",
     "DistanceKernel",
+    "FrontDoor",
+    "FrontDoorConfig",
     "HnswIndex",
     "HnswParams",
     "InsertReport",
     "LatencyBreakdown",
     "LoadBalancer",
+    "LoadReport",
     "MemoryNode",
     "MetaHnsw",
     "Metric",
@@ -78,6 +87,7 @@ __all__ = [
     "Scheme",
     "ShardedDeployment",
     "SimClock",
+    "TenantPolicy",
     "exact_knn",
     "gist_like",
     "load_deployment",

@@ -13,7 +13,7 @@ Typical usage::
 from repro.core.baselines import Scheme, SchemePolicy, policy_for
 from repro.core.cache import CachedCluster, ClusterCache
 from repro.core.client import DHnswClient, InsertReport
-from repro.core.config import DHnswConfig
+from repro.core.config import DHnswConfig, FrontDoorConfig
 from repro.core.engine import BuildReport, DHnswBuilder, RemoteLayout
 from repro.core.fsck import (Finding, FsckReport, RepairReport,
                              fsck, repair_replica)
@@ -37,6 +37,7 @@ __all__ = [
     "DHnswClient",
     "DHnswConfig",
     "Finding",
+    "FrontDoorConfig",
     "FsckReport",
     "InsertReport",
     "MetaHnsw",

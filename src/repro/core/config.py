@@ -13,7 +13,7 @@ import dataclasses
 from repro.errors import ConfigError
 from repro.hnsw.params import HnswParams
 
-__all__ = ["DHnswConfig"]
+__all__ = ["DHnswConfig", "FrontDoorConfig"]
 
 #: Meta-HNSW is fixed at three layers (L0, L1, L2) per §3.1.
 META_MAX_LEVEL = 2
@@ -215,5 +215,109 @@ class DHnswConfig:
                 f"via num_representatives")
 
     def replace(self, **changes: object) -> "DHnswConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontDoorConfig:
+    """Knobs of the multi-tenant request layer (:mod:`repro.frontdoor`).
+
+    The front door coalesces independently arriving single-query requests
+    into waves before they reach the serving engine, so one doorbell-
+    batched fetch (and the planner's cross-query cluster dedup) serves
+    many tenants.  Every decision it makes is a pure function of the
+    arrival sequence and ``seed``, so schedules replay deterministically.
+
+    Attributes
+    ----------
+    max_wait_us:
+        Latency budget of the batch former: a wave dispatches as soon as
+        its oldest pending request has waited this long (or earlier, when
+        ``max_batch`` fills).  ``0`` dispatches every request immediately
+        — per-query serving, the baseline the benchmark compares against.
+    max_batch:
+        Wave size ceiling.  Reaching it dispatches immediately.
+    slo_us:
+        Default end-to-end deadline budget stamped onto requests whose
+        tenant policy does not override it; the scheduler sheds requests
+        already past their deadline at dispatch time (``shed_late``).
+    drr_quantum:
+        Requests a weight-1.0 tenant may dispatch per deficit-round-robin
+        round.  Larger quanta favour burst locality (consecutive slots to
+        one tenant), smaller quanta interleave more finely; fairness over
+        a backlogged window is weight-proportional either way.
+    default_weight:
+        DRR weight for tenants without an explicit policy.
+    default_rate_qps:
+        Token-bucket admission rate for tenants without an explicit
+        policy.  ``None`` (default) admits everything.
+    default_burst:
+        Token-bucket capacity for tenants without an explicit policy.
+    shed_late:
+        When True (default), requests whose deadline has already passed
+        when their wave forms are shed (counted, never answered) instead
+        of wasting engine work that cannot meet the SLO.
+    degraded_ef:
+        Overload escape valve: when the post-wave backlog exceeds
+        ``degrade_backlog_waves`` full waves, dispatch with this (lower)
+        ``ef_search`` instead of the requested beam — trading recall for
+        drain rate, with the downgrade recorded honestly on every
+        affected request.  ``None`` (default) never degrades.  Calibrate
+        against a relaxed recall target with
+        :func:`repro.frontdoor.scheduler.calibrate_degraded_ef`.
+    degrade_backlog_waves:
+        Backlog threshold (in units of ``max_batch``) beyond which the
+        scheduler switches to ``degraded_ef``.
+    seed:
+        Seed for the front door's only randomness-adjacent choice (tenant
+        ring tie-breaks); kept so replays are reproducible by
+        construction.
+    """
+
+    max_wait_us: float = 2000.0
+    max_batch: int = 64
+    slo_us: float = 50_000.0
+    drr_quantum: int = 4
+    default_weight: float = 1.0
+    default_rate_qps: float | None = None
+    default_burst: int = 32
+    shed_late: bool = True
+    degraded_ef: int | None = None
+    degrade_backlog_waves: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_wait_us < 0.0:
+            raise ConfigError(
+                f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.max_batch < 1:
+            raise ConfigError(
+                f"max_batch must be >= 1, got {self.max_batch}")
+        if self.slo_us <= 0.0:
+            raise ConfigError(f"slo_us must be > 0, got {self.slo_us}")
+        if self.drr_quantum < 1:
+            raise ConfigError(
+                f"drr_quantum must be >= 1, got {self.drr_quantum}")
+        if self.default_weight <= 0.0:
+            raise ConfigError(
+                f"default_weight must be > 0, got {self.default_weight}")
+        if self.default_rate_qps is not None and self.default_rate_qps <= 0.0:
+            raise ConfigError(
+                f"default_rate_qps must be > 0 (or None for unlimited), "
+                f"got {self.default_rate_qps}")
+        if self.default_burst < 1:
+            raise ConfigError(
+                f"default_burst must be >= 1, got {self.default_burst}")
+        if self.degraded_ef is not None and self.degraded_ef < 1:
+            raise ConfigError(
+                f"degraded_ef must be >= 1 (or None to disable), got "
+                f"{self.degraded_ef}")
+        if self.degrade_backlog_waves <= 0.0:
+            raise ConfigError(
+                f"degrade_backlog_waves must be > 0, got "
+                f"{self.degrade_backlog_waves}")
+
+    def replace(self, **changes: object) -> "FrontDoorConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **changes)

@@ -205,8 +205,18 @@ class DeploymentTelemetry:
         return sum(client.round_trips for client in self.clients)
 
 
-def render_report(telemetry: DeploymentTelemetry) -> str:
-    """A fixed-width operator report."""
+def render_report(telemetry: DeploymentTelemetry,
+                  frontdoor=None) -> str:
+    """A fixed-width operator report.
+
+    ``frontdoor`` optionally takes a
+    :class:`repro.frontdoor.LoadReport`; when given, the report grows a
+    front-door section — waves, batch occupancy, queue-delay
+    percentiles, and per-tenant served / shed / degraded accounting —
+    next to the pool and fault sections, so one page shows the whole
+    serving story.  Duck-typed, so ``repro.telemetry`` stays importable
+    without the front door.
+    """
     lines = [
         "=== memory pool ===",
         f"registered       : {telemetry.registered_bytes / 2**20:.2f} MiB "
@@ -263,6 +273,35 @@ def render_report(telemetry: DeploymentTelemetry) -> str:
                     f"{client.name:<12} {row['replica']:>8} "
                     f"{row['health']:>10} {row['reads']:>8} "
                     f"{row['failovers']:>10}")
+    if frontdoor is not None:
+        queue = frontdoor.queue_delay_percentiles()
+        latency = frontdoor.latency_percentiles()
+        lines += [
+            "",
+            "=== front door ===",
+            f"waves            : {len(frontdoor.waves)} "
+            f"(occupancy mean {frontdoor.mean_occupancy:.1f}, "
+            f"max {frontdoor.max_occupancy})",
+            f"requests         : {frontdoor.offered} offered, "
+            f"{frontdoor.served} served ({frontdoor.degraded} degraded), "
+            f"{frontdoor.shed_admission} shed@admission, "
+            f"{frontdoor.shed_deadline} shed@deadline",
+            f"queue delay      : p50 {queue['p50']:.1f} / "
+            f"p99 {queue['p99']:.1f} / p999 {queue['p999']:.1f} us",
+            f"e2e latency      : p50 {latency['p50']:.1f} / "
+            f"p99 {latency['p99']:.1f} / p999 {latency['p999']:.1f} us "
+            f"({frontdoor.throughput_qps:.0f} qps)",
+            f"{'tenant':<12} {'offered':>8} {'served':>7} {'shed':>6} "
+            f"{'degraded':>9} {'q_p50us':>9} {'q_p99us':>9} {'share':>7}",
+        ]
+        for tenant in frontdoor.tenants():
+            shed = tenant.shed_admission + tenant.shed_deadline
+            lines.append(
+                f"{tenant.tenant:<12} {tenant.offered:>8} "
+                f"{tenant.served:>7} {shed:>6} {tenant.degraded:>9} "
+                f"{tenant.p50_queue_delay_us:>9.1f} "
+                f"{tenant.p99_queue_delay_us:>9.1f} "
+                f"{tenant.dispatch_share:>7.2%}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,35 @@
+"""Front-door fixtures: fresh clients over the shared tiny deployment.
+
+Every test that runs a :class:`~repro.frontdoor.FrontDoor` gets a fresh
+client (own clock, cold cache) so simulated timelines start at zero and
+schedule-replay assertions compare like with like.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.frontdoor import FrontDoor, FrontDoorConfig
+
+_names = itertools.count()
+
+
+@pytest.fixture()
+def fresh_client(built_deployment):
+    """A private client over the shared layout (fresh clock and cache)."""
+    return built_deployment.make_client(
+        built_deployment.client().scheme, name=f"door{next(_names)}")
+
+
+@pytest.fixture()
+def make_door(built_deployment):
+    """Factory: a FrontDoor on its own fresh client each call."""
+
+    def _make(config: FrontDoorConfig | None = None, tenants=None):
+        client = built_deployment.make_client(
+            built_deployment.client().scheme, name=f"door{next(_names)}")
+        return FrontDoor(client, config, tenants)
+
+    return _make

@@ -1,0 +1,168 @@
+"""Token-bucket admission and deficit-round-robin fairness units."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.frontdoor import (AdmissionController, DeficitRoundRobin,
+                             Request, TenantPolicy, TokenBucket)
+
+
+def make_request(request_id: int, tenant: str, arrival_us: float,
+                 slo_us: float = 50_000.0) -> Request:
+    return Request(request_id=request_id, tenant=tenant,
+                   query=np.zeros(4, dtype=np.float32), k=5,
+                   arrival_us=arrival_us, slo_us=slo_us)
+
+
+class TestTokenBucket:
+    def test_unlimited_rate_admits_everything(self):
+        bucket = TokenBucket(rate_qps=None, burst=1)
+        assert all(bucket.admit(t) for t in (0.0, 0.0, 1.0, 1.0))
+
+    def test_burst_then_dry(self):
+        bucket = TokenBucket(rate_qps=1000.0, burst=3)
+        assert [bucket.admit(0.0) for _ in range(4)] == [
+            True, True, True, False]
+
+    def test_lazy_refill_at_rate(self):
+        # 1000 qps = one token per 1000 us.
+        bucket = TokenBucket(rate_qps=1000.0, burst=1)
+        assert bucket.admit(0.0)
+        assert not bucket.admit(100.0)
+        assert bucket.admit(1100.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_qps=1000.0, burst=2)
+        bucket.admit(0.0)
+        bucket.admit(0.0)
+        # A long idle gap refills to the cap, not beyond it.
+        assert bucket.admit(1e9)
+        assert bucket.admit(1e9)
+        assert not bucket.admit(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate_qps=0.0, burst=1)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate_qps=100.0, burst=0)
+
+
+class TestTenantPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"weight": 0.0},
+        {"rate_qps": -1.0},
+        {"burst": 0},
+        {"slo_us": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            TenantPolicy(**kwargs)
+
+
+class TestAdmissionController:
+    def test_per_tenant_buckets_and_ledgers(self):
+        controller = AdmissionController(
+            {"limited": TenantPolicy(rate_qps=1000.0, burst=1)},
+            default_rate_qps=None, default_burst=32)
+        assert controller.admit(make_request(0, "limited", 0.0))
+        assert not controller.admit(make_request(1, "limited", 0.0))
+        # The unlisted tenant gets the (unlimited) default bucket.
+        assert controller.admit(make_request(2, "other", 0.0))
+        assert controller.admitted == {"limited": 1, "other": 1}
+        assert controller.shed == {"limited": 1}
+
+    def test_admission_is_a_function_of_arrivals_only(self):
+        def run() -> list[bool]:
+            controller = AdmissionController(
+                {}, default_rate_qps=2000.0, default_burst=2)
+            return [controller.admit(make_request(i, "t", i * 300.0))
+                    for i in range(10)]
+
+        assert run() == run()
+
+
+class TestDeficitRoundRobin:
+    def drr(self, quantum: int = 4, policies=None,
+            default_weight: float = 1.0) -> DeficitRoundRobin:
+        return DeficitRoundRobin(quantum, policies or {}, default_weight)
+
+    def fill(self, drr: DeficitRoundRobin, tenant: str, count: int,
+             first_id: int = 0) -> None:
+        for i in range(count):
+            drr.push(make_request(first_id + i, tenant, float(i)))
+
+    def test_fifo_within_tenant(self):
+        drr = self.drr()
+        self.fill(drr, "a", 3)
+        taken = drr.take(3)
+        assert [r.request_id for r in taken] == [0, 1, 2]
+        assert drr.pending == 0
+
+    def test_weighted_shares_under_backlog(self):
+        drr = self.drr(quantum=2,
+                       policies={"heavy": TenantPolicy(weight=3.0)})
+        self.fill(drr, "heavy", 60, first_id=0)
+        self.fill(drr, "light", 60, first_id=100)
+        taken = drr.take(40)
+        heavy = sum(1 for r in taken if r.tenant == "heavy")
+        # quantum x weight = 6 vs 2 per round: a 3:1 split.
+        assert heavy == 30
+        assert len(taken) == 40
+
+    def test_idle_tenant_forfeits_share(self):
+        drr = self.drr(quantum=1)
+        self.fill(drr, "busy", 10)
+        # No other tenant queued: busy gets every slot.
+        assert len(drr.take(10)) == 10
+
+    def test_cursor_persists_across_takes(self):
+        drr = self.drr(quantum=1)
+        self.fill(drr, "a", 4, first_id=0)
+        self.fill(drr, "b", 4, first_id=10)
+        first = [r.tenant for r in drr.take(2)]
+        second = [r.tenant for r in drr.take(2)]
+        # The ring resumes after a, b rather than restarting at a.
+        assert first == ["a", "b"]
+        assert second == ["a", "b"]
+
+    def test_drained_queue_resets_deficit(self):
+        drr = self.drr(quantum=8)
+        self.fill(drr, "a", 1)
+        drr.take(8)
+        # A fresh backlog must not inherit the unused deficit.
+        assert drr._deficit["a"] == 0.0
+
+    def test_take_more_than_pending(self):
+        drr = self.drr()
+        self.fill(drr, "a", 2)
+        assert len(drr.take(64)) == 2
+        assert drr.take(64) == []
+
+    def test_fractional_weight_still_progresses(self):
+        drr = self.drr(quantum=1,
+                       policies={"slow": TenantPolicy(weight=0.1)})
+        self.fill(drr, "slow", 3)
+        # 0.1 deficit per visit: needs sweeps, but must terminate.
+        assert len(drr.take(3)) == 3
+
+    def test_oldest_arrival(self):
+        drr = self.drr()
+        assert drr.oldest_arrival_us() is None
+        drr.push(make_request(0, "a", 500.0))
+        drr.push(make_request(1, "b", 200.0))
+        assert drr.oldest_arrival_us() == 200.0
+
+    def test_drain(self):
+        drr = self.drr()
+        self.fill(drr, "a", 2)
+        self.fill(drr, "b", 1, first_id=10)
+        drained = list(drr.drain())
+        assert len(drained) == 3
+        assert drr.pending == 0
+
+    def test_quantum_validation(self):
+        with pytest.raises(ConfigError):
+            self.drr(quantum=0)

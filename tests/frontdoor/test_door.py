@@ -1,0 +1,259 @@
+"""End-to-end front-door behaviour on the shared tiny deployment."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import FrontDoorConfig
+from repro.errors import ConfigError
+from repro.frontdoor import (ClosedLoopSession, FrontDoor, RequestStatus,
+                             TenantPolicy, calibrate_degraded_ef,
+                             make_requests, poisson_arrivals)
+from repro.telemetry import (DeploymentTelemetry, render_report,
+                             render_trace)
+
+
+def load(small_dataset, count: int = 60, rate_qps: float = 3000.0,
+         seed: int = 9, slo_us: float = 50_000.0, ef_search: int | None = 32,
+         tenants=("a", "b"), **make_kwargs):
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(rate_qps, count, rng)
+    return make_requests(arrivals, small_dataset.queries, k=10,
+                         slo_us=slo_us, rng=rng, tenants=tenants,
+                         ef_search=ef_search, **make_kwargs)
+
+
+class TestOpenLoop:
+    def test_serves_everything_and_matches_direct_search(
+            self, make_door, fresh_client, small_dataset):
+        requests = load(small_dataset)
+        door = make_door(FrontDoorConfig(max_wait_us=1500.0, max_batch=8))
+        report = door.run(requests)
+
+        assert report.offered == len(requests)
+        assert report.served == len(requests)
+        assert report.shed_admission == report.shed_deadline == 0
+        assert len(report.waves) >= 2
+        assert report.mean_occupancy > 1.0
+
+        # The bit-identity contract: coalescing never changes answers.
+        queries = np.stack([r.query for r in requests])
+        direct = fresh_client.search_batch(queries, 10, ef_search=32)
+        for outcome, result in zip(report.outcomes, direct.results):
+            assert outcome.status is RequestStatus.OK
+            assert np.array_equal(outcome.ids, result.ids)
+            assert np.array_equal(outcome.distances, result.distances)
+
+    def test_queue_delay_bounded_by_wait_budget_plus_service(
+            self, make_door, small_dataset):
+        config = FrontDoorConfig(max_wait_us=1500.0, max_batch=8)
+        door = make_door(config)
+        report = door.run(load(small_dataset))
+        slowest_wave = max(w.service_us for w in report.waves)
+        bound = config.max_wait_us + slowest_wave
+        for outcome in report.outcomes:
+            assert outcome.queue_delay_us <= bound + 1e-6
+
+    def test_schedule_and_histogram_replay(self, make_door, small_dataset):
+        requests = load(small_dataset)
+        config = FrontDoorConfig(max_wait_us=1500.0, max_batch=8)
+        first = make_door(config).run(requests)
+        second = make_door(config).run(requests)
+        assert first.schedule_signature() == second.schedule_signature()
+        assert first.latency_histogram() == second.latency_histogram()
+        assert (first.queue_delay_percentiles()
+                == second.queue_delay_percentiles())
+
+    def test_unsorted_arrivals_rejected(self, make_door, small_dataset):
+        requests = load(small_dataset)
+        door = make_door()
+        with pytest.raises(ValueError, match="sorted"):
+            door.run(list(reversed(requests)))
+
+    def test_zero_wait_budget_is_per_query_dispatch(self, make_door,
+                                                    small_dataset):
+        requests = load(small_dataset, count=12)
+        door = make_door(FrontDoorConfig(max_wait_us=0.0, max_batch=1))
+        report = door.run(requests)
+        assert len(report.waves) == 12
+        assert report.max_occupancy == 1
+
+
+class TestAdmissionPath:
+    def test_rate_limited_tenant_sheds_with_honest_outcome(
+            self, make_door, small_dataset):
+        requests = load(small_dataset, count=40, rate_qps=10_000.0,
+                        tenants=("limited",))
+        door = make_door(
+            FrontDoorConfig(max_wait_us=1500.0, max_batch=8),
+            tenants={"limited": TenantPolicy(rate_qps=500.0, burst=4)})
+        report = door.run(requests)
+        assert report.shed_admission > 0
+        assert report.served + report.shed_admission == report.offered
+        shed = [o for o in report.outcomes
+                if o.status is RequestStatus.SHED_ADMISSION]
+        for outcome in shed:
+            assert math.isnan(outcome.dispatch_us)
+            assert outcome.queue_delay_us == 0.0
+            assert outcome.wave_id == -1
+            assert outcome.ids is None
+
+
+class TestSloPath:
+    def test_expired_requests_are_shed_at_dispatch(self, make_door,
+                                                   small_dataset):
+        # SLO far below the wait budget: nothing can make its deadline.
+        requests = load(small_dataset, count=20, slo_us=100.0)
+        door = make_door(FrontDoorConfig(max_wait_us=5000.0, max_batch=64))
+        report = door.run(requests)
+        assert report.shed_deadline > 0
+        for outcome in report.outcomes:
+            if outcome.status is RequestStatus.SHED_DEADLINE:
+                assert not outcome.deadline_met
+                assert outcome.ef_used == 0
+
+    def test_overload_degrades_and_accounts(self, make_door, small_dataset):
+        requests = load(small_dataset, count=120, rate_qps=100_000.0,
+                        ef_search=64)
+        door = make_door(FrontDoorConfig(
+            max_wait_us=500.0, max_batch=4, degraded_ef=12,
+            degrade_backlog_waves=1.0))
+        report = door.run(requests)
+        degraded = [o for o in report.outcomes
+                    if o.status is RequestStatus.DEGRADED]
+        assert degraded
+        for outcome in degraded:
+            assert outcome.ef_used == 12
+        assert any(w.degraded for w in report.waves)
+
+    def test_calibrate_degraded_ef(self, fresh_client, small_dataset):
+        ef = calibrate_degraded_ef(fresh_client, small_dataset.queries,
+                                   small_dataset.ground_truth, k=10,
+                                   relaxed_recall=0.8)
+        assert 10 <= ef <= 128
+
+
+class TestClosedLoop:
+    def sessions(self, small_dataset, count: int = 4, per: int = 6):
+        rng = np.random.default_rng(21)
+        return [
+            ClosedLoopSession(
+                tenant=f"t{i % 2}",
+                queries=small_dataset.queries[i * per:(i + 1) * per],
+                think_us=rng.uniform(200.0, 2000.0, per),
+                k=10, ef_search=32)
+            for i in range(count)
+        ]
+
+    def test_every_session_request_resolves(self, make_door, small_dataset):
+        sessions = self.sessions(small_dataset)
+        door = make_door(FrontDoorConfig(max_wait_us=800.0, max_batch=8))
+        report = door.run_closed_loop(sessions)
+        assert report.offered == sum(len(s.queries) for s in sessions)
+        assert report.served == report.offered
+
+    def test_closed_loop_replays(self, make_door, small_dataset):
+        sessions = self.sessions(small_dataset)
+        config = FrontDoorConfig(max_wait_us=800.0, max_batch=8)
+        first = make_door(config).run_closed_loop(sessions)
+        second = make_door(config).run_closed_loop(sessions)
+        assert first.schedule_signature() == second.schedule_signature()
+
+    def test_rate_limited_session_keeps_pacing(self, make_door,
+                                               small_dataset):
+        sessions = self.sessions(small_dataset, count=2)
+        door = make_door(
+            FrontDoorConfig(max_wait_us=800.0, max_batch=8),
+            tenants={"t0": TenantPolicy(rate_qps=300.0, burst=1)})
+        report = door.run_closed_loop(sessions)
+        # Sheds complete instantly, so the session still issues all its
+        # queries instead of deadlocking on an answer that never comes.
+        assert report.offered == sum(len(s.queries) for s in sessions)
+        assert report.shed_admission > 0
+
+
+class TestFairness:
+    def test_weighted_share_under_saturation(self, make_door,
+                                             small_dataset):
+        requests = load(small_dataset, count=160, rate_qps=200_000.0,
+                        tenants=("heavy", "light"), slo_us=10_000_000.0)
+        door = make_door(
+            FrontDoorConfig(max_wait_us=1000.0, max_batch=8,
+                            drr_quantum=2),
+            tenants={"heavy": TenantPolicy(weight=3.0),
+                     "light": TenantPolicy(weight=1.0)})
+        report = door.run(requests)
+        by_tenant = {t.tenant: t for t in report.tenants()}
+        assert report.served == report.offered
+        # Everyone is served eventually; fairness shows up as the heavy
+        # tenant waiting less than the light one under saturation.
+        assert (by_tenant["heavy"].p50_queue_delay_us
+                < by_tenant["light"].p50_queue_delay_us)
+
+
+class TestObservability:
+    def test_queue_is_the_first_trace_stage(self, built_deployment,
+                                            make_door, small_dataset):
+        door = make_door(FrontDoorConfig(max_wait_us=800.0, max_batch=8))
+        captured = []
+        original = door.client.search_batch
+
+        def capture(*args, **kwargs):
+            batch = original(*args, **kwargs)
+            captured.append(batch)
+            return batch
+
+        door.client.search_batch = capture
+        door.run(load(small_dataset, count=20))
+        assert captured
+        for batch in captured:
+            stages = [s.name for s in batch.trace.report()]
+            assert stages[0] == "queue"
+            queue = batch.trace.stages["queue"]
+            assert queue.calls == len(batch.results)
+            assert queue.sim_us >= 0.0
+            rendered = render_trace(batch.trace)
+            assert rendered.splitlines()[2].startswith("queue")
+
+    def test_render_report_grows_a_front_door_section(
+            self, built_deployment, make_door, small_dataset):
+        door = make_door(FrontDoorConfig(max_wait_us=800.0, max_batch=8))
+        report = door.run(load(small_dataset, count=20))
+        text = render_report(
+            DeploymentTelemetry.from_deployment(built_deployment),
+            frontdoor=report)
+        assert "=== front door ===" in text
+        assert "queue delay" in text
+        for tenant in report.tenants():
+            assert tenant.tenant in text
+
+    def test_render_report_without_front_door_is_unchanged(
+            self, built_deployment):
+        text = render_report(
+            DeploymentTelemetry.from_deployment(built_deployment))
+        assert "front door" not in text
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_wait_us": -1.0},
+        {"max_batch": 0},
+        {"slo_us": 0.0},
+        {"drr_quantum": 0},
+        {"default_weight": 0.0},
+        {"default_rate_qps": 0.0},
+        {"default_burst": 0},
+        {"degraded_ef": 0},
+        {"degrade_backlog_waves": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            FrontDoorConfig(**kwargs)
+
+    def test_replace(self):
+        config = FrontDoorConfig()
+        assert config.replace(max_batch=8).max_batch == 8
+        assert config.max_batch == 64

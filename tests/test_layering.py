@@ -21,7 +21,13 @@ SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
 FORBIDDEN = ("repro.rdma.qp", "repro.rdma.memory_node")
 
 #: Packages bound by the contract.
-CONSTRAINED = ("serving", "core")
+CONSTRAINED = ("serving", "core", "frontdoor")
+
+#: The front door is a pure client of the serving layer: it may import
+#: ``repro.core`` / ``repro.serving``, but the transport seam and the
+#: whole RDMA substrate are off-limits — it reaches the clock only
+#: through ``client.node.clock``, never by importing it.
+FRONTDOOR_FORBIDDEN = ("repro.transport", "repro.rdma")
 
 
 def iter_imports(path: pathlib.Path):
@@ -69,6 +75,23 @@ def test_transport_is_the_only_qp_consumer():
                    for banned in FORBIDDEN):
                 offenders.append(f"{path.name}:{lineno} imports {module}")
     assert not offenders, "\n".join(offenders)
+
+
+def test_frontdoor_stays_above_the_transport_seam():
+    """``repro.frontdoor`` may import ``repro.serving``/``repro.core``
+    but must never name ``repro.transport`` or anything under
+    ``repro.rdma`` — it is a client of the engine, not of the fabric."""
+    violations = []
+    for path in sorted((SRC_ROOT / "frontdoor").rglob("*.py")):
+        for module, lineno in iter_imports(path):
+            if any(module == banned or module.startswith(banned + ".")
+                   for banned in FRONTDOOR_FORBIDDEN):
+                violations.append(
+                    f"{path.relative_to(SRC_ROOT.parent)}:{lineno} "
+                    f"imports {module}")
+    assert not violations, (
+        "the front door must stay above the transport seam:\n  "
+        + "\n  ".join(violations))
 
 
 def test_contract_scope_is_nonempty():

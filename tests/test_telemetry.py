@@ -77,6 +77,52 @@ class TestRenderReport:
             assert client.name in report
 
 
+class TestRenderReportFrontDoorSection:
+    """The report grows a front-door section when handed a LoadReport.
+
+    End-to-end coverage (real FrontDoor runs) lives in
+    ``tests/frontdoor/test_door.py``; here we pin the rendering itself —
+    column presence and honest counts — on a real (tiny) run.
+    """
+
+    @pytest.fixture(scope="class")
+    def frontdoor_report(self, built_deployment, small_dataset):
+        import numpy as np
+
+        from repro.frontdoor import (FrontDoor, FrontDoorConfig,
+                                     make_requests, poisson_arrivals)
+
+        client = built_deployment.make_client(
+            built_deployment.client().scheme, name="telemetry-door")
+        rng = np.random.default_rng(13)
+        requests = make_requests(
+            poisson_arrivals(3000.0, 24, rng), small_dataset.queries,
+            k=5, slo_us=50_000.0, rng=rng, tenants=("gold", "bronze"),
+            ef_search=16)
+        door = FrontDoor(client,
+                         FrontDoorConfig(max_wait_us=1000.0, max_batch=8))
+        return door.run(requests)
+
+    def test_section_and_columns(self, snapshot, frontdoor_report):
+        report = render_report(snapshot, frontdoor=frontdoor_report)
+        assert "=== front door ===" in report
+        assert "queue delay" in report
+        assert "e2e latency" in report
+        assert "shed@admission" in report
+        for column in ("tenant", "offered", "served", "degraded",
+                       "q_p99us", "share"):
+            assert column in report
+
+    def test_counts_match_the_load_report(self, snapshot, frontdoor_report):
+        report = render_report(snapshot, frontdoor=frontdoor_report)
+        assert f"{frontdoor_report.offered} offered" in report
+        assert f"{frontdoor_report.served} served" in report
+        assert "gold" in report and "bronze" in report
+
+    def test_omitting_frontdoor_keeps_the_report_unchanged(self, snapshot):
+        assert "front door" not in render_report(snapshot)
+
+
 class TestHitRateEdgeCases:
     def test_zero_lookups(self):
         cache = CacheTelemetry(capacity_clusters=1, resident_clusters=0,
