@@ -1,0 +1,329 @@
+"""Hot/cold tiered-memory benchmark: DRAM footprint vs quality.
+
+PR 9 put a PQ cold tier underneath the full-precision cluster cache:
+every cluster also has a compact cold extent (short codes, optionally a
+Vamana adjacency) served with one RDMA READ + ADC + a narrow exact
+rerank, and a background rebalancer promotes only the EWMA-hottest
+clusters into a bounded full-precision hot tier.  This harness stands up
+the CI scenario (200k x 128d, 400 clusters, batch 256) under a Zipfian
+cluster-popularity workload and gates the memory-frontier claim:
+
+* **DRAM reduction** — some swept hot-tier budget must cut steady-state
+  compute DRAM by >= 70 % against the untiered baseline...
+* **recall floor** — ...while keeping >= 95 % of the baseline's
+  recall@10...
+* **latency ceiling** — ...with p99 simulated batch latency within
+  1.5x of the baseline's;
+* **off bit-identity** — ``cold_tier="off"`` must remain *exactly*
+  today's engine: byte-identical base extents between an off build and
+  a pq build, and staged-vs-reference answers, RdmaStats and cache
+  counters identical across serial/pipelined x worker-count schedules.
+
+Any violated gate exits non-zero, so the CI tiered-smoke job doubles as
+a regression gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_tiered.py           # full
+    PYTHONPATH=src python benchmarks/perf/bench_tiered.py --ci      # 200k
+    PYTHONPATH=src python benchmarks/perf/bench_tiered.py --quick   # 30k
+
+Writes ``benchmarks/perf/BENCH_tiered.json`` (override with ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.cluster import Deployment
+from repro.core import DHnswClient, DHnswConfig
+from repro.core.partitions import assign_partitions
+from repro.datasets import exact_knn, sift1m_like
+from repro.layout.group_layout import cluster_read_extent
+from repro.workloads import zipfian_cluster_queries
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "BENCH_tiered.json"
+
+#: ``ci`` is the scenario the acceptance criteria name: 200k x 128d in
+#: 400 clusters, batch 256.  ``quick`` exists for local iteration;
+#: ``full`` approaches the paper's SIFT1M scale.
+SCALES = {
+    "full": dict(num_vectors=1_000_000, num_clusters=2_000,
+                 batch_size=256, batches=8, eval_queries=256),
+    "ci": dict(num_vectors=200_000, num_clusters=400,
+               batch_size=256, batches=8, eval_queries=256),
+    "quick": dict(num_vectors=30_000, num_clusters=120,
+                  batch_size=128, batches=6, eval_queries=128),
+}
+
+#: Swept hot-tier budgets, as fractions of the baseline's steady-state
+#: compute-DRAM footprint.
+BUDGET_FRACTIONS = [0.05, 0.15, 0.25]
+
+#: Batches excluded from the latency percentile: the first few batches
+#: pay cold-start fetches and tier warm-up on both sides of the
+#: comparison, and the gate is about *steady-state* p99.
+WARMUP_BATCHES = 3
+
+#: Acceptance thresholds (ISSUE 9).
+MIN_DRAM_REDUCTION = 0.70
+MIN_RECALL_RATIO = 0.95
+MAX_P99_RATIO = 1.5
+
+ORACLE_MATRIX = [(False, 1), (False, 4), (True, 1), (True, 4)]
+
+
+def check(condition: bool, what: str) -> None:
+    if not condition:
+        raise SystemExit(f"ACCEPTANCE FAILURE: {what}")
+
+
+def recall_at_10(ids: np.ndarray, ground_truth: np.ndarray) -> float:
+    hits = sum(len(np.intersect1d(row, truth))
+               for row, truth in zip(ids, ground_truth))
+    return hits / ground_truth.size
+
+
+def make_workload(vectors, assignments, scale, seed):
+    """Zipfian cluster-popularity batches + one held-out eval batch."""
+    rng = np.random.default_rng(seed)
+    batches = [zipfian_cluster_queries(vectors, assignments,
+                                       scale["batch_size"], rng,
+                                       skew=1.2, noise_std=0.01)
+               for _ in range(scale["batches"])]
+    eval_batch = zipfian_cluster_queries(vectors, assignments,
+                                         scale["eval_queries"], rng,
+                                         skew=1.2, noise_std=0.01)
+    return batches, eval_batch
+
+
+def serve(deployment, config, batches, eval_batch, ground_truth, name):
+    """Run the workload on one client; return the measured section."""
+    client = DHnswClient(deployment.layout, deployment.meta, config,
+                         cost_model=deployment.cost_model, name=name)
+    try:
+        latencies = []
+        cold_served = 0
+        promotions = demotions = 0
+        wall_start = time.perf_counter()
+        for index, batch in enumerate(batches):
+            result = client.search_batch(batch, k=10)
+            if index >= WARMUP_BATCHES:
+                latencies.append(result.latency_per_query_us)
+            cold_served += result.cold_clusters_served
+            promotions += result.tier_promotions
+            demotions += result.tier_demotions
+        wall = time.perf_counter() - wall_start
+        final = client.search_batch(eval_batch, k=10)
+        latencies.append(final.latency_per_query_us)
+        ids = np.stack([r.ids for r in final.results])
+        tier = client.tier_store
+        return {
+            "dram_used_bytes": client.node.dram_used_bytes,
+            "cache_bytes": client.cache.cached_bytes,
+            "recall_at_10": round(recall_at_10(ids, ground_truth), 4),
+            "p99_latency_per_query_us": round(
+                float(np.percentile(latencies, 99)), 2),
+            "mean_latency_per_query_us": round(
+                float(np.mean(latencies)), 2),
+            "wall_seconds": round(wall, 2),
+            "cold_clusters_served": cold_served,
+            "tier_promotions": promotions,
+            "tier_demotions": demotions,
+            "hot_tier_bytes": tier.hot_tier_bytes() if tier else None,
+            "tier_counts": list(tier.tier_counts()) if tier else None,
+        }
+    finally:
+        client.close()
+
+
+def off_bit_identity_oracle(deployment, queries):
+    """Staged vs reference, serial/pipelined x workers, off mode."""
+    outcomes = []
+    for pipeline, workers in ORACLE_MATRIX:
+        config = deployment.config.replace(pipeline_waves=pipeline,
+                                           search_workers=workers)
+        staged = DHnswClient(deployment.layout, deployment.meta, config,
+                             cost_model=deployment.cost_model,
+                             name=f"staged-{pipeline}-{workers}")
+        oracle = DHnswClient(deployment.layout, deployment.meta, config,
+                             cost_model=deployment.cost_model,
+                             name=f"oracle-{pipeline}-{workers}")
+        oracle.engine.plan_executor = "reference"
+        try:
+            lhs = staged.search_batch(queries, k=10)
+            rhs = oracle.search_batch(queries, k=10)
+            identical = (
+                all(np.array_equal(a.ids, b.ids)
+                    and np.array_equal(a.distances, b.distances)
+                    for a, b in zip(lhs.results, rhs.results))
+                and dataclasses.asdict(lhs.rdma)
+                == dataclasses.asdict(rhs.rdma)
+                and staged.cache.counters() == oracle.cache.counters())
+            check(identical,
+                  f"cold_tier='off' staged vs reference diverged at "
+                  f"pipeline={pipeline} workers={workers}")
+            outcomes.append({"pipeline_waves": pipeline,
+                             "search_workers": workers,
+                             "bit_identical": True})
+        finally:
+            staged.close()
+            oracle.close()
+    return outcomes
+
+
+def read_base_extents(deployment):
+    layout = deployment.layout
+    node = deployment.memory_node
+    metadata = layout.metadata
+    return [bytes(node.read(layout.rkey, layout.addr(offset), length))
+            for offset, length in
+            (cluster_read_extent(metadata, cid)
+             for cid in range(len(metadata.clusters)))]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--ci", action="store_true",
+                       help="200k-vector tiered-smoke run")
+    group.add_argument("--quick", action="store_true",
+                       help="30k-vector local iteration run")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    mode = "ci" if args.ci else "quick" if args.quick else "full"
+    scale = SCALES[mode]
+
+    dataset = sift1m_like(num_vectors=scale["num_vectors"],
+                          num_queries=scale["eval_queries"],
+                          num_clusters=scale["num_clusters"],
+                          gt_k=10, seed=42)
+    # 32 subspaces over 128d (4 dims per 8-bit code) keeps ADC faithful
+    # enough that a 128-deep per-query exact rerank recovers >= 95 % of
+    # full-precision recall; the codes never touch compute DRAM, so the
+    # finer quantization costs only memory-node bytes.
+    base = DHnswConfig(num_representatives=scale["num_clusters"],
+                       nprobe=4, ef_meta=32, cache_fraction=1.0,
+                       batch_size=scale["batch_size"],
+                       overflow_capacity_records=64, seed=42,
+                       pq_subspaces=64, rerank_depth=96)
+
+    build_start = time.perf_counter()
+    off_deployment = Deployment(dataset.vectors,
+                                base.replace(cold_tier="off"),
+                                simulate_link_contention=False)
+    off_build_s = time.perf_counter() - build_start
+    build_start = time.perf_counter()
+    pq_deployment = Deployment(dataset.vectors,
+                               base.replace(cold_tier="pq"),
+                               simulate_link_contention=False)
+    pq_build_s = time.perf_counter() - build_start
+
+    # Gate: the full-precision extents must not move by a byte.
+    check(read_base_extents(off_deployment)
+          == read_base_extents(pq_deployment),
+          "pq build perturbed the full-precision cluster extents")
+
+    assignments = assign_partitions(dataset.vectors,
+                                    off_deployment.meta).assignments
+    batches, eval_batch = make_workload(dataset.vectors, assignments,
+                                        scale, seed=7)
+    ground_truth = exact_knn(dataset.vectors, eval_batch, 10)
+
+    # Baseline: untiered full-precision serving, whole working set in DRAM.
+    baseline = serve(off_deployment, off_deployment.config, batches,
+                     eval_batch, ground_truth, "baseline")
+    baseline_dram = baseline["dram_used_bytes"]
+
+    # Budget sweep on the tiered build.
+    sweep = []
+    for fraction in BUDGET_FRACTIONS:
+        budget = int(baseline_dram * fraction)
+        config = pq_deployment.config.replace(
+            hot_tier_budget_bytes=budget)
+        section = serve(pq_deployment, config, batches, eval_batch,
+                        ground_truth, f"tiered-{fraction}")
+        section["budget_fraction"] = fraction
+        section["hot_tier_budget_bytes"] = budget
+        section["dram_reduction"] = round(
+            1.0 - section["dram_used_bytes"] / baseline_dram, 4)
+        section["recall_ratio"] = round(
+            section["recall_at_10"] / baseline["recall_at_10"], 4)
+        section["p99_ratio"] = round(
+            section["p99_latency_per_query_us"]
+            / baseline["p99_latency_per_query_us"], 4)
+        sweep.append(section)
+
+    passing = [s for s in sweep
+               if s["dram_reduction"] >= MIN_DRAM_REDUCTION
+               and s["recall_ratio"] >= MIN_RECALL_RATIO
+               and s["p99_ratio"] <= MAX_P99_RATIO]
+    check(bool(passing),
+          f"no swept budget reached {MIN_DRAM_REDUCTION:.0%} DRAM "
+          f"reduction at >= {MIN_RECALL_RATIO:.0%} relative recall@10 "
+          f"and p99 <= {MAX_P99_RATIO}x (sweep: "
+          + "; ".join(f"{s['budget_fraction']}: "
+                      f"dram -{s['dram_reduction']:.0%}, "
+                      f"recall x{s['recall_ratio']:.3f}, "
+                      f"p99 x{s['p99_ratio']:.2f}" for s in sweep) + ")")
+    headline = max(passing, key=lambda s: s["dram_reduction"])
+
+    oracle = off_bit_identity_oracle(off_deployment, batches[0])
+
+    report = {
+        "benchmark": "tiered hot/cold memory under Zipfian cluster skew",
+        "mode": mode,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "dataset": {
+            "kind": dataset.name,
+            "num_vectors": int(dataset.num_vectors),
+            "dim": int(dataset.dim),
+            "num_clusters": scale["num_clusters"],
+            "batch_size": scale["batch_size"],
+            "batches": scale["batches"],
+            "zipf_skew": 1.2,
+            "seed": 42,
+        },
+        "build_seconds": {"off": round(off_build_s, 1),
+                          "pq": round(pq_build_s, 1)},
+        "baseline": baseline,
+        "sweep": sweep,
+        "headline": {
+            "budget_fraction": headline["budget_fraction"],
+            "dram_reduction": headline["dram_reduction"],
+            "recall_ratio": headline["recall_ratio"],
+            "p99_ratio": headline["p99_ratio"],
+        },
+        "off_bit_identity": {
+            "base_extents_byte_identical": True,
+            "staged_vs_reference": oracle,
+        },
+        "acceptance": {
+            "min_dram_reduction": MIN_DRAM_REDUCTION,
+            "min_recall_ratio": MIN_RECALL_RATIO,
+            "max_p99_ratio": MAX_P99_RATIO,
+            "passed": True,
+        },
+    }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps({k: report[k] for k in
+                      ("baseline", "sweep", "headline",
+                       "off_bit_identity", "acceptance")}, indent=2))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import Scheme
+from repro.core.partitions import assign_partitions
 from repro.frontdoor import (FrontDoor, FrontDoorConfig, TenantPolicy,
                              make_requests, poisson_arrivals)
-from repro.workloads import uniform_queries, zipfian_queries
+from repro.workloads import (uniform_queries, zipfian_cluster_queries,
+                             zipfian_queries)
 
 from .conftest import emit_table
 
@@ -43,18 +45,29 @@ def test_workload_skew(sift_world, benchmark):
     world = sift_world
     corpus = world.dataset.vectors
 
+    assignments = assign_partitions(corpus, world.deployment.meta).assignments
+
     uniform_net, uniform_hits = run_stream(
         world, lambda rng: uniform_queries(corpus, BATCH_SIZE, rng,
                                            noise_std=1.0))
     zipf_net, zipf_hits = run_stream(
         world, lambda rng: zipfian_queries(corpus, BATCH_SIZE, rng,
                                            skew=SKEW, noise_std=1.0))
+    # Cluster-popularity skew — the same generator the tiered-memory
+    # bench sweeps — concentrates traffic at exactly the granularity the
+    # cache (and the hot tier) manages: whole partitions.
+    cluster_net, cluster_hits = run_stream(
+        world, lambda rng: zipfian_cluster_queries(corpus, assignments,
+                                                   BATCH_SIZE, rng,
+                                                   skew=SKEW,
+                                                   noise_std=1.0))
 
-    header = (f"{'workload':<10} {'network_us_per_query':>21} "
+    header = (f"{'workload':<14} {'network_us_per_query':>21} "
               f"{'cache_hit_rate':>15}")
     rows = [
-        f"{'uniform':<10} {uniform_net:>21.3f} {uniform_hits:>15.2%}",
-        f"{'zipfian':<10} {zipf_net:>21.3f} {zipf_hits:>15.2%}",
+        f"{'uniform':<14} {uniform_net:>21.3f} {uniform_hits:>15.2%}",
+        f"{'zipfian':<14} {zipf_net:>21.3f} {zipf_hits:>15.2%}",
+        f"{'zipf-cluster':<14} {cluster_net:>21.3f} {cluster_hits:>15.2%}",
     ]
     emit_table("workload_skew", header, rows)
 
@@ -63,6 +76,7 @@ def test_workload_skew(sift_world, benchmark):
     # per batch also shrink under skew because fewer distinct clusters
     # are requested at all, so only the traffic claim is asserted.)
     assert zipf_net < uniform_net
+    assert cluster_net < uniform_net
 
     client = world.client(Scheme.DHNSW)
     rng = np.random.default_rng(18)
@@ -101,9 +115,16 @@ def test_tenant_skew_fairness(sift_world):
         tenants={"hot": TenantPolicy(weight=1.0),
                  "cold": TenantPolicy(weight=COLD_WEIGHT)})
     rng = np.random.default_rng(23)
+    # The flood hammers popular partitions — cluster-popularity skew,
+    # same generator the tiered-memory bench sweeps.
+    corpus = world.dataset.vectors
+    assignments = assign_partitions(corpus,
+                                    world.deployment.meta).assignments
+    skewed_queries = zipfian_cluster_queries(
+        corpus, assignments, SKEW_REQUESTS, rng, skew=1.5, noise_std=1.0)
     requests = make_requests(
         poisson_arrivals(SKEW_RATE_QPS, SKEW_REQUESTS, rng),
-        world.dataset.queries, k=10, slo_us=1e9, rng=rng,
+        skewed_queries, k=10, slo_us=1e9, rng=rng,
         tenants=("hot", "cold"), tenant_weights=TENANT_SKEW,
         ef_search=16)
     report = door.run(requests)

@@ -55,11 +55,16 @@ class CachedCluster:
 class ClusterCache:
     """Lock-guarded LRU cache of deserialized sub-HNSW clusters."""
 
-    def __init__(self, capacity_clusters: int) -> None:
+    def __init__(self, capacity_clusters: int,
+                 freq_halflife_us: float = 50_000.0) -> None:
         if capacity_clusters < 1:
             raise ConfigError(
                 f"cache capacity must be >= 1, got {capacity_clusters}")
+        if freq_halflife_us <= 0:
+            raise ConfigError(
+                f"freq halflife must be > 0, got {freq_halflife_us}")
         self.capacity_clusters = int(capacity_clusters)
+        self.freq_halflife_us = float(freq_halflife_us)
         self._entries: collections.OrderedDict[int, CachedCluster] = (
             collections.OrderedDict())
         self._lock = threading.RLock()
@@ -68,6 +73,12 @@ class ClusterCache:
         self._evictions = 0
         self._invalidations = 0
         self._cached_bytes = 0
+        # EWMA access frequencies, keyed by cluster id.  Deliberately
+        # covers non-resident clusters too: the tier store scores *cold*
+        # clusters for promotion, so the signal must survive eviction.
+        # Each value is (score, last_access_us); the score decays by
+        # 2 ** (-elapsed / halflife) before each bump or read.
+        self._freq: dict[int, tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Counters (read-only: incremented inside get/put/invalidate)
@@ -123,6 +134,41 @@ class ClusterCache:
         """Look up without touching recency or counters (planner use)."""
         with self._lock:
             return self._entries.get(cluster_id)
+
+    # ------------------------------------------------------------------
+    # EWMA access-frequency tracking (tier promotion/demotion signal)
+    # ------------------------------------------------------------------
+    def record_access(self, cluster_id: int, now_us: float,
+                      weight: float = 1.0) -> float:
+        """Bump ``cluster_id``'s EWMA access score at time ``now_us``.
+
+        Separate from :meth:`get` recency/hit accounting: the tier store
+        records *every* required cluster — resident or not — while
+        ``get`` only sees hot lookups.  ``weight`` is how many queries
+        of the batch demanded the cluster, so popularity (not mere
+        presence in a batch) drives promotion.  Returns the updated
+        score.
+        """
+        if weight <= 0:
+            raise ConfigError(f"weight must be > 0, got {weight}")
+        with self._lock:
+            score, last = self._freq.get(cluster_id, (0.0, now_us))
+            if now_us > last:
+                score *= 2.0 ** (-(now_us - last) / self.freq_halflife_us)
+            score += weight
+            self._freq[cluster_id] = (score, max(now_us, last))
+            return score
+
+    def frequency(self, cluster_id: int, now_us: float) -> float:
+        """Read ``cluster_id``'s EWMA score decayed to ``now_us``."""
+        with self._lock:
+            record = self._freq.get(cluster_id)
+            if record is None:
+                return 0.0
+            score, last = record
+            if now_us > last:
+                score *= 2.0 ** (-(now_us - last) / self.freq_halflife_us)
+            return score
 
     # ------------------------------------------------------------------
     # Pinning (in-flight compute protection)

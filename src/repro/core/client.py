@@ -51,7 +51,9 @@ from repro.layout.group_layout import (
     cluster_read_extent,
     overflow_area_size,
 )
-from repro.layout.metadata import GlobalMetadata
+from repro.layout.cold import deserialize_codebook
+from repro.layout.metadata import (ColdDirectory, ColdExtentEntry,
+                                   GlobalMetadata)
 from repro.layout.serializer import (
     OverflowRecord,
     overflow_record_size,
@@ -64,6 +66,7 @@ from repro.rdma.network import CostModel
 from repro.serving import reference
 from repro.serving.engine import ServingEngine
 from repro.serving.executor import PlanExecution, overlap_saved
+from repro.serving.tiered import TieredClusterStore
 from repro.transport import (
     ReadDescriptor,
     ReplicatedTransport,
@@ -132,7 +135,8 @@ class DHnswClient:
 
         capacity = self.config.cache_capacity_clusters(
             layout.metadata.num_clusters)
-        self.cache = ClusterCache(capacity)
+        self.cache = ClusterCache(
+            capacity, freq_halflife_us=self.config.tier_ewma_halflife_us)
         meta_bytes = self.meta.serialized_size_bytes()
         max_extent = max(
             (cluster_read_extent(layout.metadata, cid)[1]
@@ -193,6 +197,29 @@ class DHnswClient:
 
         # Fetch the authoritative metadata block (one READ at startup).
         self.metadata = self._read_metadata()
+
+        # Tiered memory: with a cold tier configured, pull the
+        # deployment's PQ codebook (one READ) and stand up the hot/cold
+        # store.  ``cold_tier="off"`` leaves ``tier_store`` None and the
+        # serving path bit-identical to the untiered engine.
+        self.tier_store: TieredClusterStore | None = None
+        if self.config.cold_tier != "off":
+            if self.metadata.cold is None:
+                raise LayoutError(
+                    f'cold_tier="{self.config.cold_tier}" requires a '
+                    f"layout built with a cold directory (builder config "
+                    f"had cold_tier off)")
+            cold_dir = self.metadata.cold
+            blob = self.transport.read(
+                self.layout.rkey,
+                self.layout.addr(cold_dir.codebook_offset),
+                cold_dir.codebook_length)
+            self.node.charge_time(self.cost_model.deserialize_us(len(blob)))
+            if not self.node.reserve_dram(len(blob)):
+                raise LayoutError(
+                    "DRAM budget cannot hold the PQ codebook")
+            self.tier_store = TieredClusterStore(
+                self, deserialize_codebook(blob))
 
     # ------------------------------------------------------------------
     # Resource lifecycle
@@ -669,10 +696,27 @@ class DHnswClient:
         groups = list(self.metadata.groups)
         groups[group_id] = dataclasses.replace(
             groups[group_id], overflow_offset=overflow_offset)
+        # A rebuilt member's cold extent is stale twice over: its codes
+        # predate the merged overflow and its vectors_offset points at
+        # the retired blob.  Zero the entry (cluster serves hot until a
+        # future re-encode) and recycle the extent; everything else in
+        # the cold directory survives.
+        cold = self.metadata.cold
+        if cold is not None:
+            extents = list(cold.extents)
+            for cid in member_ids:
+                stale = extents[cid]
+                if stale.length > 0:
+                    self.layout.allocator.retire(stale.offset,
+                                                 stale.length)
+                extents[cid] = ColdExtentEntry(0, 0)
+            cold = ColdDirectory(codebook_offset=cold.codebook_offset,
+                                 codebook_length=cold.codebook_length,
+                                 extents=extents)
         fresh = GlobalMetadata(
             version=self.metadata.version + 1, dim=self.metadata.dim,
             overflow_capacity_records=self.metadata.overflow_capacity_records,
-            clusters=clusters, groups=groups)
+            clusters=clusters, groups=groups, cold=cold)
         self.transport.write(self.layout.rkey, self.layout.addr(0),
                              fresh.pack())
         self.metadata = fresh

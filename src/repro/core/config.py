@@ -98,6 +98,41 @@ class DHnswConfig:
         depth (``repro.transport.replica.ReplicaSelector``, seeded from
         ``seed`` so traces replay) and fail over to a healthy peer when
         one replica exhausts its retry budget mid-request.
+    cold_tier:
+        Tiered hot/cold memory mode.  ``"off"`` (default) serves every
+        cluster full-precision, exactly the pre-tiering engine — the
+        build writes no cold extents and the layout is byte-identical.
+        ``"pq"`` additionally writes a compact PQ-coded extent per
+        cluster; clusters outside the hot tier are served from one RDMA
+        read of the short codes (ADC scan + exact rerank of
+        ``rerank_depth`` candidates fetched in a second narrow read).
+        ``"vamana"`` stores a bounded-degree Vamana graph next to the
+        codes and replaces the ADC full scan with a greedy ADC beam
+        search from the medoid.
+    hot_tier_budget_bytes:
+        Compute-side DRAM the hot tier may occupy with full-precision
+        cluster extents.  ``None`` (default) is unbounded: every
+        accessed cluster is promoted, so the tier behaves like the
+        full-precision engine after warmup.  Ignored when
+        ``cold_tier="off"``.
+    rerank_depth:
+        Cold-serve candidates re-ranked with exact distances against
+        full vectors fetched in the narrow second read.
+    pq_subspaces / pq_bits:
+        Product-quantization shape of the cold codes (``pq_subspaces``
+        bytes per vector at 8 bits).  ``pq_subspaces`` must divide the
+        corpus dimensionality when the cold tier is enabled.
+    tier_ewma_halflife_us:
+        Half-life of the cluster cache's exponentially-weighted access
+        frequency, in simulated microseconds.  Shorter reacts faster to
+        workload shifts; longer damps promotion churn.
+    tier_hysteresis:
+        A cold cluster displaces a hot one only when its EWMA score
+        exceeds ``tier_hysteresis`` times the victim's — the guard that
+        prevents tier ping-pong under alternating access patterns.
+    vamana_degree:
+        Out-degree bound of the cold Vamana graphs
+        (``cold_tier="vamana"`` only).
     """
 
     num_representatives: int | None = None
@@ -116,6 +151,14 @@ class DHnswConfig:
     region_headroom: float = 3.0
     build_workers: int = 0
     replication_factor: int = 1
+    cold_tier: str = "off"
+    hot_tier_budget_bytes: int | None = None
+    rerank_depth: int = 48
+    pq_subspaces: int = 8
+    pq_bits: int = 8
+    tier_ewma_halflife_us: float = 50_000.0
+    tier_hysteresis: float = 2.0
+    vamana_degree: int = 16
     seed: int = 0
     meta_params: HnswParams = dataclasses.field(
         default_factory=lambda: HnswParams(
@@ -163,6 +206,35 @@ class DHnswConfig:
             raise ConfigError(
                 f"search_executor must be 'thread' or 'process', got "
                 f"{self.search_executor!r}")
+        if self.cold_tier not in ("off", "pq", "vamana"):
+            raise ConfigError(
+                f"cold_tier must be 'off', 'pq' or 'vamana', got "
+                f"{self.cold_tier!r}")
+        if (self.hot_tier_budget_bytes is not None
+                and self.hot_tier_budget_bytes < 0):
+            raise ConfigError(
+                f"hot_tier_budget_bytes must be >= 0 (or None for "
+                f"unbounded), got {self.hot_tier_budget_bytes}")
+        if self.rerank_depth < 1:
+            raise ConfigError(
+                f"rerank_depth must be >= 1, got {self.rerank_depth}")
+        if self.pq_subspaces < 1:
+            raise ConfigError(
+                f"pq_subspaces must be >= 1, got {self.pq_subspaces}")
+        if not 1 <= self.pq_bits <= 8:
+            raise ConfigError(
+                f"pq_bits must be in [1, 8], got {self.pq_bits}")
+        if self.tier_ewma_halflife_us <= 0.0:
+            raise ConfigError(
+                f"tier_ewma_halflife_us must be > 0, got "
+                f"{self.tier_ewma_halflife_us}")
+        if self.tier_hysteresis < 1.0:
+            raise ConfigError(
+                f"tier_hysteresis must be >= 1.0, got "
+                f"{self.tier_hysteresis}")
+        if self.vamana_degree < 1:
+            raise ConfigError(
+                f"vamana_degree must be >= 1, got {self.vamana_degree}")
         if self.adaptive_alpha < 1.0:
             raise ConfigError(
                 f"adaptive_alpha must be >= 1.0, got {self.adaptive_alpha}")

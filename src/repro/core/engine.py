@@ -25,6 +25,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.baselines.vamana import VamanaIndex
 from repro.core.build_pool import BuildPool
 from repro.core.config import DHnswConfig
 from repro.core.meta_index import MetaHnsw, sample_representatives
@@ -33,9 +34,16 @@ from repro.core.partitions import (Partitioning, assign_partitions,
 from repro.errors import LayoutError
 from repro.hnsw.parallel_build import build_cluster_blob
 from repro.layout.allocator import RegionAllocator
+from repro.layout.cold import (NO_NEIGHBOR, codebook_blob_size,
+                               serialize_codebook, serialize_cold_cluster)
 from repro.layout.group_layout import plan_groups
-from repro.layout.metadata import GlobalMetadata
-from repro.layout.serializer import serialize_cluster, serialized_cluster_size
+from repro.layout.metadata import (ColdDirectory, ColdExtentEntry,
+                                   GlobalMetadata)
+from repro.layout.serializer import (cluster_label_section_offset,
+                                     peek_cluster_geometry,
+                                     serialize_cluster,
+                                     serialized_cluster_size)
+from repro.pq.codebook import PqCodebook
 from repro.rdma import MemoryNode, MemoryRegion
 from repro.rdma.clock import SimClock
 from repro.rdma.control import ControlClient, MemoryDaemon
@@ -87,9 +95,12 @@ class RemoteLayout:
 
     @property
     def metadata_nbytes(self) -> int:
-        """Serialized size of the metadata block."""
-        return GlobalMetadata.packed_size(self.metadata.num_clusters,
-                                          self.metadata.num_groups)
+        """Serialized size of the metadata block.
+
+        Computed from the actual packed form so the optional cold-tier
+        directory is included when present.
+        """
+        return len(self.metadata.pack())
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,11 +141,15 @@ class DHnswBuilder:
         if vectors.shape[0] < 1:
             raise LayoutError("cannot build over an empty corpus")
         meta, partitioning = self._build_meta(vectors)
+        codebook = None
+        if self.config.cold_tier != "off":
+            codebook = self._train_codebook(vectors)
         source = _ClusterBlobSource(vectors, partitioning,
                                     self.config.sub_params, labels,
                                     self.config.build_workers)
         layout, build_stats = self._write_layout(
-            source, vectors.shape[1], partitioning.num_partitions)
+            source, vectors.shape[1], partitioning.num_partitions,
+            codebook=codebook)
         report = BuildReport(
             num_vectors=vectors.shape[0],
             num_partitions=meta.num_partitions,
@@ -157,17 +172,39 @@ class DHnswBuilder:
         partitioning = assign_partitions(vectors, meta)
         return meta, partitioning
 
+    def _train_codebook(self, vectors: np.ndarray) -> PqCodebook:
+        """Train the deployment's PQ codebook on a deterministic sample.
+
+        The sample is an even stride over corpus rows — no RNG — so the
+        codebook (and every cold extent derived from it) is byte-identical
+        across rebuilds at any ``build_workers`` count.
+        """
+        codebook = PqCodebook(vectors.shape[1], self.config.pq_subspaces,
+                              self.config.pq_bits, seed=self.config.seed)
+        limit = 65536
+        step = max(1, vectors.shape[0] // limit)
+        codebook.train(vectors[::step][:limit], seed=self.config.seed)
+        return codebook
+
     def _write_layout(self, source: "_ClusterBlobSource",
-                      dim: int, num_clusters: int
+                      dim: int, num_clusters: int,
+                      codebook: PqCodebook | None = None
                       ) -> tuple[RemoteLayout, RdmaStats]:
         num_groups = (num_clusters + 1) // 2
-        metadata_size = GlobalMetadata.packed_size(num_clusters, num_groups)
+        metadata_size = GlobalMetadata.packed_size(
+            num_clusters, num_groups, with_cold=codebook is not None)
         reserve = metadata_size + (-metadata_size) % _METADATA_ALIGN
         plans, cluster_entries, group_entries = plan_groups(
             source.sizes(), dim, self.config.overflow_capacity_records,
             reserve)
         layout_end = plans[-1].end_offset if plans else reserve
         capacity = int(layout_end * self.config.region_headroom) + reserve
+        if codebook is not None:
+            # Room for the cold extents and codebook blob past the hot
+            # layout: codes + adjacency are a small fraction of the
+            # full-precision bytes, bounded here by a quarter.
+            capacity += (codebook_blob_size(codebook) + layout_end // 4
+                         + _METADATA_ALIGN)
 
         # Registration goes through the memory node's control daemon —
         # the one task the paper leaves on the memory instance's CPU.
@@ -220,20 +257,81 @@ class DHnswBuilder:
             transport = ReplicatedTransport([transport, *mirrors],
                                             seed=self.config.seed)
         blobs = source.blobs()
+        cold_blobs: list[bytes | None] = [None] * num_clusters
         for plan in plans:
+            blob = self._next_blob(blobs, plan.first_cluster_id,
+                                   plan.first_nbytes)
             transport.write(region.rkey, layout.addr(plan.first_offset),
-                            self._next_blob(blobs, plan.first_cluster_id,
-                                            plan.first_nbytes))
+                            blob)
+            if codebook is not None:
+                cold_blobs[plan.first_cluster_id] = self._cold_blob(
+                    blob, plan.first_offset, codebook)
             if plan.second_cluster_id is not None:
+                blob = self._next_blob(blobs, plan.second_cluster_id,
+                                       plan.second_nbytes)
                 transport.write(region.rkey,
-                                layout.addr(plan.second_offset),
-                                self._next_blob(blobs,
-                                                plan.second_cluster_id,
-                                                plan.second_nbytes))
+                                layout.addr(plan.second_offset), blob)
+                if codebook is not None:
+                    cold_blobs[plan.second_cluster_id] = self._cold_blob(
+                        blob, plan.second_offset, codebook)
             # Overflow areas start zeroed; fresh registrations already are.
+        if codebook is not None:
+            # Cold extents and the codebook blob land past the hot layout
+            # in cluster-id order, so off/pq builds share identical hot
+            # bytes and the cold section is itself deterministic.
+            extents = []
+            for cold_blob in cold_blobs:
+                assert cold_blob is not None
+                offset = allocator.allocate(len(cold_blob))
+                transport.write(region.rkey, layout.addr(offset), cold_blob)
+                extents.append(ColdExtentEntry(offset, len(cold_blob)))
+            book_blob = serialize_codebook(codebook)
+            book_offset = allocator.allocate(len(book_blob))
+            transport.write(region.rkey, layout.addr(book_offset), book_blob)
+            metadata.cold = ColdDirectory(codebook_offset=book_offset,
+                                          codebook_length=len(book_blob),
+                                          extents=extents)
         transport.write(region.rkey, layout.addr(0), metadata.pack())
         transport.close()
         return layout, stats
+
+    def _cold_blob(self, blob: bytes, blob_offset: int,
+                   codebook: PqCodebook) -> bytes:
+        """Build one cluster's cold extent from its hot blob's bytes.
+
+        Labels and vectors are viewed straight out of the serialized
+        blob (labels right after the header, vectors in the final
+        section), so the cold form is derived from exactly the bytes on
+        the wire — never from a parallel in-memory copy that could
+        drift.
+        """
+        cluster_id, num_nodes, dim = peek_cluster_geometry(blob)
+        labels = np.frombuffer(blob, dtype=np.int64, count=num_nodes,
+                               offset=cluster_label_section_offset())
+        vectors = np.frombuffer(
+            blob, dtype=np.float32, count=num_nodes * dim,
+            offset=len(blob) - 4 * num_nodes * dim).reshape(num_nodes, dim)
+        codes = (codebook.encode(vectors) if num_nodes else
+                 np.empty((0, codebook.num_subspaces), dtype=np.uint8))
+        vectors_offset = blob_offset + len(blob) - 4 * num_nodes * dim
+        medoid = -1
+        adjacency = None
+        if self.config.cold_tier == "vamana":
+            degree = max(2, self.config.vamana_degree)
+            adjacency = np.full((num_nodes, degree), NO_NEIGHBOR,
+                                dtype=np.uint32)
+            if num_nodes:
+                index = VamanaIndex(dim, r=degree,
+                                    seed=self.config.seed + cluster_id)
+                index.build(vectors)
+                for node in range(num_nodes):
+                    neighbors = index.graph.neighbors(node, 0)[:degree]
+                    adjacency[node, :len(neighbors)] = neighbors
+                medoid = (index.medoid if index.medoid is not None
+                          else -1)
+        return serialize_cold_cluster(cluster_id, labels, codes,
+                                      vectors_offset, medoid=medoid,
+                                      adjacency=adjacency)
 
     @staticmethod
     def _next_blob(blobs: Iterator[tuple[int, bytes]], cluster_id: int,

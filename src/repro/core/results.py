@@ -66,6 +66,12 @@ class BatchResult:
     #: per-wave (fetch, process) profiles — retained as a test oracle that
     #: must match the measured ``overlap_saved_us``.
     overlap_oracle_us: float = 0.0
+    #: Clusters served from the cold (PQ/Vamana) tier this batch, and the
+    #: tier transitions the post-batch rebalance made.  All zero when
+    #: ``cold_tier="off"``.
+    cold_clusters_served: int = 0
+    tier_promotions: int = 0
+    tier_demotions: int = 0
     #: Per-stage cost attribution for this batch (route / plan / fetch /
     #: decode / compute / merge), populated by the serving engine.  None
     #: for results produced outside the staged path (e.g. shard merges).

@@ -57,6 +57,7 @@ __all__ = [
     "serialize_cluster_reference",
     "serialized_cluster_size",
     "deserialize_cluster",
+    "peek_cluster_geometry",
 ]
 
 MAGIC = b"DHN1"
@@ -131,6 +132,32 @@ def unpack_overflow_records(blob: bytes, dim: int,
 
 
 # ----------------------------------------------------------------------
+def peek_cluster_geometry(blob: "bytes | memoryview"
+                          ) -> tuple[int, int, int]:
+    """Read ``(cluster_id, num_nodes, dim)`` from a blob's header.
+
+    The labels section starts at ``_HEADER.size`` and the vector section
+    occupies the last ``4 * num_nodes * dim`` bytes, so this is all a
+    caller needs to view either section without a full deserialize (the
+    cold-tier builder and the rerank read path both rely on it).
+    """
+    if len(blob) < _HEADER.size:
+        raise SerializationError(
+            f"blob of {len(blob)} B shorter than header {_HEADER.size} B")
+    magic, version, _, cluster_id, num_nodes, dim, _, _ = (
+        _HEADER.unpack_from(blob, 0))
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    if version != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version {version}")
+    return cluster_id, num_nodes, dim
+
+
+def cluster_label_section_offset() -> int:
+    """Byte offset of the labels section inside a ``DHN1`` blob."""
+    return _HEADER.size
+
+
 def serialized_cluster_size(index: HnswIndex) -> int:
     """Exact byte size of ``serialize_cluster``'s output for ``index``.
 

@@ -61,8 +61,17 @@ class PqCodebook:
             raise ConfigError("codebook is not trained")
         return self._centroids
 
-    def train(self, vectors: np.ndarray) -> None:
-        """Fit per-subspace codebooks on a training sample."""
+    def train(self, vectors: np.ndarray, seed: int | None = None) -> None:
+        """Fit per-subspace codebooks on a training sample.
+
+        ``seed`` pins the k-means initialization explicitly (defaults to
+        the constructor's ``seed``).  Every subspace draws from its own
+        ``default_rng([seed, sub])`` stream, so training one subspace
+        never consumes another's randomness — codebooks (and therefore
+        the cold extents derived from them) are byte-identical across
+        rebuilds regardless of subspace evaluation order or the build's
+        worker count.
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if vectors.shape[1] != self.dim:
             raise ConfigError(
@@ -72,34 +81,58 @@ class PqCodebook:
             raise ConfigError(
                 f"need >= {self.num_centroids} training vectors for "
                 f"{self.bits}-bit codes, got {vectors.shape[0]}")
-        rng = np.random.default_rng(self.seed)
+        root = self.seed if seed is None else int(seed)
         tables = np.empty((self.num_subspaces, self.num_centroids,
                            self.subspace_dim), dtype=np.float32)
         for sub in range(self.num_subspaces):
             chunk = vectors[:, sub * self.subspace_dim:
                             (sub + 1) * self.subspace_dim]
-            result = kmeans(chunk, self.num_centroids, rng,
+            result = kmeans(chunk, self.num_centroids,
+                            np.random.default_rng([root, sub]),
                             max_iterations=15)
             tables[sub] = result.centroids
         self._centroids = tables
 
+    def load_centroids(self, tables: np.ndarray) -> None:
+        """Adopt pre-trained centroid tables (codebook deserialization)."""
+        tables = np.asarray(tables, dtype=np.float32)
+        expected = (self.num_subspaces, self.num_centroids,
+                    self.subspace_dim)
+        if tables.shape != expected:
+            raise ConfigError(
+                f"centroid tables of shape {tables.shape}, expected "
+                f"{expected}")
+        self._centroids = tables
+
     # ------------------------------------------------------------------
-    def encode(self, vectors: np.ndarray) -> np.ndarray:
-        """Quantize rows to ``(n, num_subspaces)`` uint8 codes."""
+    def encode(self, vectors: np.ndarray,
+               chunk_rows: int = 4096) -> np.ndarray:
+        """Quantize rows to ``(n, num_subspaces)`` uint8 codes.
+
+        Rows are processed ``chunk_rows`` at a time so the transient
+        ``(rows, centroids, subspace_dim)`` distance tensor stays bounded
+        regardless of corpus size (encoding 200k x 128d in one shot would
+        materialize gigabytes).
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
         if vectors.shape[1] != self.dim:
             raise ConfigError(
                 f"expected dim {self.dim}, got {vectors.shape[1]}")
+        if chunk_rows < 1:
+            raise ConfigError(f"chunk_rows must be >= 1, got {chunk_rows}")
         tables = self.centroids
         codes = np.empty((vectors.shape[0], self.num_subspaces),
                          dtype=np.uint8)
-        for sub in range(self.num_subspaces):
-            chunk = vectors[:, sub * self.subspace_dim:
-                            (sub + 1) * self.subspace_dim]
-            # (n, k) squared distances to this subspace's centroids.
-            diffs = (chunk[:, None, :] - tables[sub][None, :, :])
-            dists = np.einsum("nkd,nkd->nk", diffs, diffs)
-            codes[:, sub] = np.argmin(dists, axis=1).astype(np.uint8)
+        for start in range(0, vectors.shape[0], chunk_rows):
+            block = vectors[start:start + chunk_rows]
+            for sub in range(self.num_subspaces):
+                chunk = block[:, sub * self.subspace_dim:
+                              (sub + 1) * self.subspace_dim]
+                # (n, k) squared distances to this subspace's centroids.
+                diffs = (chunk[:, None, :] - tables[sub][None, :, :])
+                dists = np.einsum("nkd,nkd->nk", diffs, diffs)
+                codes[start:start + block.shape[0], sub] = (
+                    np.argmin(dists, axis=1).astype(np.uint8))
         return codes
 
     def decode(self, codes: np.ndarray) -> np.ndarray:

@@ -83,20 +83,21 @@ class PqRerankIndex:
             raise ConfigError(f"rerank must be >= 0, got {rerank}")
         query = np.asarray(query, dtype=np.float32).reshape(-1)
 
+        labels = np.asarray(self._labels, dtype=np.int64)
         approx = self.codebook.adc_distances(query, self._codes)
         if rerank == 0:
-            order = np.argsort(approx)[:k]
-            return (np.array([self._labels[i] for i in order],
-                             dtype=np.int64),
-                    approx[order].astype(np.float32))
+            # Lexicographic (distance, id) order — the same tie-break
+            # exact_knn uses — so duplicate-distance candidates resolve
+            # deterministically across runs and platforms.
+            order = np.lexsort((labels, approx))[:k]
+            return labels[order], approx[order].astype(np.float32)
         shortlist_size = min(max(rerank, k), len(self))
         shortlist = np.argpartition(approx,
                                     shortlist_size - 1)[:shortlist_size]
         exact = self.kernel.many(query, self._vectors[shortlist])
-        order = np.argsort(exact)[:k]
+        order = np.lexsort((labels[shortlist], exact))[:k]
         rows = shortlist[order]
-        return (np.array([self._labels[i] for i in rows], dtype=np.int64),
-                exact[order].astype(np.float32))
+        return labels[rows], exact[order].astype(np.float32)
 
     def reset_compute_counter(self) -> int:
         """Zero the exact-distance counter; returns the old value."""

@@ -30,6 +30,7 @@ from repro.serving.executor import PlanExecution, WaveExecutor
 from repro.serving.fetcher import Fetcher
 from repro.serving.merger import Merger
 from repro.serving.planner import Planner
+from repro.serving.tiered import ColdExecution
 from repro.serving.trace import TraceContext
 
 __all__ = ["ServingEngine"]
@@ -92,10 +93,24 @@ class ServingEngine:
         # --- cluster loading + sub-HNSW search -------------------------
         merger = self.merger.create(len(queries), k, filter_fn)
         cache_counters_before = host.cache.counters()
+        # Tiering applies only under the full scheme (deduplicated
+        # batches); with cold_tier="off" there is no tier store and the
+        # path below is bit-identical to the untiered engine.
+        tier = getattr(host, "tier_store", None)
+        cold = ColdExecution()
+        promotions = demotions = 0
         if host.policy.deduplicate_batch:
-            plan = self.planner.plan(required, trace)
+            if tier is not None:
+                hot_required, cold_required = tier.split(required)
+            else:
+                hot_required, cold_required = required, {}
+            plan = self.planner.plan(hot_required, trace)
             execution = self.execute_plan(plan, queries, merger, k, ef,
                                           trace)
+            if tier is not None:
+                cold = tier.execute_cold(cold_required, queries, merger,
+                                         k, trace)
+                promotions, demotions = tier.rebalance(trace)
             waves = len(plan.waves)
             pruned = plan.duplicate_requests_pruned
         else:
@@ -121,6 +136,9 @@ class ServingEngine:
             with trace.stage("decode"):
                 breakdown.sub_hnsw_us += host.node.charge_time(
                     self.decoder.drain_deserialize_us())
+        # Cold serving charged its compute inside execute_cold (the waves
+        # above never saw those clusters); attribute it to the same bucket.
+        breakdown.sub_hnsw_us += cold.compute_us
 
         # --- finalize ---------------------------------------------------
         results = self.merger.finalize(merger, len(queries), k, filter_fn,
@@ -141,11 +159,14 @@ class ServingEngine:
                            cache_hits=execution.hit_count,
                            duplicate_requests_pruned=pruned, waves=waves,
                            overlap_saved_us=rdma_delta.overlapped_time_us,
-                           sub_evals=execution.sub_evals,
+                           sub_evals=execution.sub_evals + cold.evals,
                            cache_misses=misses_after - misses_before,
                            cache_evictions=evictions_after - evictions_before,
                            pipeline_executed=execution.pipeline_executed,
                            overlap_oracle_us=execution.overlap_oracle_us,
+                           cold_clusters_served=cold.clusters,
+                           tier_promotions=promotions,
+                           tier_demotions=demotions,
                            trace=trace)
 
     # -- plan dispatch -----------------------------------------------------

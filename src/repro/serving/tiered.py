@@ -1,0 +1,592 @@
+"""Tiered cluster store: hot full-precision serves over a PQ cold tier.
+
+The d-HNSW hot path caches entire sub-HNSW clusters full-precision in
+compute DRAM, so footprint scales with the *working* set.  This stage
+breaks that: every cluster also has a compact cold extent on the memory
+node (PQ codes, optionally with a Vamana adjacency — see
+:mod:`repro.layout.cold`), and the store decides per batch which
+required clusters are served **hot** (fetched/cached full-precision and
+beam-searched, exactly as before) and which are served **cold**:
+
+1. one doorbell-batched READ pulls the cold extents plus the involved
+   groups' 8-byte overflow tails (a second narrow READ pulls any
+   overflow records);
+2. ADC candidate generation over the short codes — a full asymmetric
+   scan in ``pq`` mode, an ADC-guided greedy walk from the medoid in
+   ``vamana`` mode;
+3. the best ``rerank_depth`` candidates' *full* vectors are fetched in
+   a second doorbell READ straight out of the hot blob's vector section
+   (``vectors_offset`` + 4·dim·node) and reranked exactly.
+
+Between batches :meth:`TieredClusterStore.rebalance` promotes/demotes
+clusters against ``DHnswConfig.hot_tier_budget_bytes`` using the
+cache's EWMA access frequencies, with hysteresis
+(``tier_hysteresis``) so alternating access patterns do not ping-pong a
+cluster between tiers.  Demotion never touches an entry pinned by
+in-flight compute.
+
+Everything here is charged to the simulated clock through the same
+transport and compute-cost paths the hot tier uses, and shows up on the
+request trace under the ``cold-fetch`` / ``cold-compute`` /
+``rerank-fetch`` / ``tier-rebalance`` stages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import struct
+
+import numpy as np
+
+from repro.core.cluster_search import replay_overflow
+from repro.errors import LayoutError, SerializationError
+from repro.hnsw.distance import DistanceKernel, Metric
+from repro.layout.cold import (NO_NEIGHBOR, ColdCluster,
+                               deserialize_cold_cluster)
+from repro.layout.group_layout import OVERFLOW_TAIL_BYTES, cluster_read_extent
+from repro.layout.serializer import (overflow_record_size,
+                                     unpack_overflow_records)
+from repro.pq.codebook import PqCodebook
+from repro.serving.trace import TraceContext, span
+from repro.transport import ReadDescriptor
+
+__all__ = ["ColdExecution", "TieredClusterStore"]
+
+_U64 = struct.Struct("<Q")
+
+#: Two-phase ADC scan: the full scan prices every node at
+#: ``num_subspaces`` lookup-adds, which dominates cold compute once the
+#: codebook is fine enough to rank well.  Instead the scan scores every
+#: node on a strided half of the subspaces (capturing components across
+#: the whole vector), and only a small multiple of the final shortlist
+#: is re-scored with the remaining subspaces.
+_COARSE_FRACTION = 2       # scan with num_subspaces // 2 subspaces
+_MIN_COARSE_SUBSPACES = 8
+_REFINE_FACTOR = 2         # refine 2 x rerank_depth candidates
+
+
+@dataclasses.dataclass
+class ColdExecution:
+    """Accounting for the cold side of one batch."""
+
+    clusters: int = 0           # distinct clusters served cold
+    evals: int = 0              # candidate scorings (ADC + exact rerank)
+    compute_us: float = 0.0     # simulated compute charged by the cold path
+
+
+class TieredClusterStore:
+    """Per-batch hot/cold routing plus background tier rebalancing."""
+
+    def __init__(self, host, codebook: PqCodebook) -> None:
+        self.host = host
+        self.codebook = codebook
+        if host.metadata.cold is None:
+            raise LayoutError(
+                "tiered store requires a layout with a cold directory")
+        self.kernel = DistanceKernel(host.metadata.dim, Metric.L2)
+        #: Clusters currently assigned to the hot tier.  A hot cluster is
+        #: fetched full-precision (and cached) on its next serve — until
+        #: that fetch lands it is "promoting".
+        self.hot_ids: set[int] = set()
+        self.promotions = 0
+        self.demotions = 0
+        self.hot_serves = 0
+        self.cold_serves = 0
+        self._accessed_cold: set[int] = set()
+        # Per-batch scratch: cid -> region-relative offset of its full
+        # vector section, captured while decoding cold extents.
+        self._vectors_offsets: dict[int, int] = {}
+        # Two-phase scan split: a strided quarter of the subspaces for
+        # the coarse pass (striding samples components across the whole
+        # vector), the rest for refinement.  Disabled for codebooks too
+        # small to split.
+        num_subspaces = codebook.num_subspaces
+        num_coarse = max(_MIN_COARSE_SUBSPACES,
+                         num_subspaces // _COARSE_FRACTION)
+        if num_coarse < num_subspaces:
+            self._coarse_columns = np.linspace(
+                0, num_subspaces, num_coarse,
+                endpoint=False).astype(np.int64)
+            rest = np.ones(num_subspaces, dtype=bool)
+            rest[self._coarse_columns] = False
+            self._rest_columns = np.flatnonzero(rest)
+        else:
+            self._coarse_columns = None
+            self._rest_columns = None
+
+    # ------------------------------------------------------------------
+    # Tier inventory (telemetry)
+    # ------------------------------------------------------------------
+    def tier_counts(self) -> tuple[int, int, int]:
+        """(hot, cold, promoting) cluster counts right now."""
+        cold_dir = self.host.metadata.cold
+        tiered = sum(1 for extent in cold_dir.extents if extent.length > 0)
+        hot = len(self.hot_ids)
+        promoting = sum(1 for cid in self.hot_ids
+                        if self.host.cache.peek(cid) is None)
+        return hot, max(0, tiered - hot), promoting
+
+    def hot_tier_bytes(self) -> int:
+        """Full-precision bytes the current hot set pins in DRAM."""
+        metadata = self.host.metadata
+        return sum(cluster_read_extent(metadata, cid)[1]
+                   for cid in self.hot_ids)
+
+    # ------------------------------------------------------------------
+    # Per-batch split
+    # ------------------------------------------------------------------
+    def split(self, required: list[list[int]]
+              ) -> tuple[list[list[int]], dict[int, list[int]]]:
+        """Partition routed clusters into hot lists and a cold demand map.
+
+        Returns ``(hot_required, cold_required)`` where ``hot_required``
+        mirrors ``required`` with cold clusters removed (it feeds the
+        unchanged wave planner) and ``cold_required`` maps each cold
+        cluster id to the sorted query indices that need it.  Every
+        unique required cluster gets one EWMA access bump.
+        """
+        cache = self.host.cache
+        cold_dir = self.host.metadata.cold
+        now_us = self.host.node.clock.now_us
+        demand: dict[int, int] = {}
+        for row in required:
+            for cid in row:
+                demand[cid] = demand.get(cid, 0) + 1
+        unique = sorted(demand)
+        serve_cold: set[int] = set()
+        for cid in unique:
+            # Weight by how many of the batch's queries probe the
+            # cluster: with large batches nearly every cluster appears
+            # in every batch, and presence alone cannot tell a Zipf head
+            # cluster from the tail.
+            cache.record_access(cid, now_us, weight=demand[cid])
+            if (cold_dir.extents[cid].length > 0
+                    and cid not in self.hot_ids
+                    and cache.peek(cid) is None):
+                serve_cold.add(cid)
+        self.hot_serves += len(unique) - len(serve_cold)
+        self.cold_serves += len(serve_cold)
+        self._accessed_cold.update(serve_cold)
+        hot_required = [[cid for cid in row if cid not in serve_cold]
+                        for row in required]
+        cold_required: dict[int, list[int]] = {cid: [] for cid
+                                               in sorted(serve_cold)}
+        for query_index, row in enumerate(required):
+            for cid in row:
+                if cid in serve_cold:
+                    bucket = cold_required[cid]
+                    if not bucket or bucket[-1] != query_index:
+                        bucket.append(query_index)
+        return hot_required, cold_required
+
+    # ------------------------------------------------------------------
+    # Cold serving
+    # ------------------------------------------------------------------
+    def execute_cold(self, cold_required: dict[int, list[int]],
+                     queries: np.ndarray, merger, k: int,
+                     trace: TraceContext | None = None) -> ColdExecution:
+        """Serve every cold cluster's queries; feeds ``merger`` directly."""
+        execution = ColdExecution()
+        if not cold_required:
+            return execution
+        host = self.host
+        metadata = host.metadata
+        cold_dir = metadata.cold
+        cids = sorted(cold_required)
+        execution.clusters = len(cids)
+        group_ids = sorted({metadata.clusters[cid].group_id
+                            for cid in cids})
+
+        # Round 1: every cold extent plus each involved group's overflow
+        # tail counter, one doorbell.
+        descriptors = [ReadDescriptor(
+            host.layout.rkey,
+            host.layout.addr(cold_dir.extents[cid].offset),
+            cold_dir.extents[cid].length) for cid in cids]
+        descriptors += [ReadDescriptor(
+            host.layout.rkey,
+            host.layout.addr(metadata.groups[gid].overflow_offset),
+            OVERFLOW_TAIL_BYTES) for gid in group_ids]
+        with span(trace, "cold-fetch"):
+            payloads = host.transport.read_batch(
+                descriptors, doorbell=host.policy.doorbell_batching)
+        cold_payloads = payloads[:len(cids)]
+        tails: dict[int, int] = {}
+        for gid, payload in zip(group_ids, payloads[len(cids):]):
+            (tail,) = _U64.unpack(payload)
+            tails[gid] = min(int(tail),
+                             metadata.groups[gid].capacity_records)
+
+        # Narrow second read: overflow records of groups that have any.
+        record_size = overflow_record_size(metadata.dim)
+        live_groups = [gid for gid in group_ids if tails[gid] > 0]
+        records_by_group: dict[int, list] = {}
+        if live_groups:
+            record_reads = [ReadDescriptor(
+                host.layout.rkey,
+                host.layout.addr(metadata.groups[gid].overflow_offset
+                                 + OVERFLOW_TAIL_BYTES),
+                tails[gid] * record_size) for gid in live_groups]
+            with span(trace, "cold-fetch"):
+                blobs = host.transport.read_batch(
+                    record_reads, doorbell=host.policy.doorbell_batching)
+            for gid, blob in zip(live_groups, blobs):
+                records_by_group[gid] = unpack_overflow_records(
+                    blob, metadata.dim, tails[gid])
+
+        # ADC candidate generation.  The codebook is deployment-global,
+        # so a query's lookup tables are shared by every cold cluster it
+        # probes — build them once per query, not per (cluster, query).
+        with span(trace, "cold-compute"):
+            execution.compute_us += host.node.charge_time(
+                host.cost_model.deserialize_us(
+                    sum(len(p) for p in cold_payloads)))
+        rerank_depth = max(host.config.rerank_depth, k)
+        tables_cache: dict[int, np.ndarray] = {}
+        # query -> per-cluster (cid, nodes, approx, labels) candidate pools.
+        pools: dict[int, list] = {}
+        # cid -> code matrix, kept while coarse scan sums await refinement.
+        codes_by_cid: dict[int, np.ndarray] = {}
+        for cid, payload in zip(cids, cold_payloads):
+            cold = deserialize_cold_cluster(payload)
+            if cold.cluster_id != cid:
+                raise SerializationError(
+                    f"cold extent for cluster {cid} decodes as cluster "
+                    f"{cold.cluster_id}")
+            gid = metadata.clusters[cid].group_id
+            records = [record for record
+                       in records_by_group.get(gid, [])
+                       if record.cluster_id == cid]
+            state = replay_overflow(records)
+            live = [record for record in state.values()
+                    if record is not None]
+            live_matrix = (np.stack([record.vector for record in live])
+                           if live else None)
+            live_gids = (np.array([record.global_id for record in live],
+                                  dtype=np.int64) if live else None)
+            dead_gids = (np.fromiter(state.keys(), dtype=np.int64,
+                                     count=len(state)) if state else None)
+            keep_nodes = np.arange(cold.num_nodes)
+            if dead_gids is not None and cold.num_nodes:
+                keep_nodes = keep_nodes[~np.isin(cold.labels, dead_gids)]
+            is_scan = (cold.degree == 0 or cold.adjacency is None
+                       or cold.medoid < 0)
+            two_phase = is_scan and self._coarse_columns is not None
+            if two_phase:
+                codes_by_cid[cid] = cold.codes
+            scan_cost = (len(self._coarse_columns) if two_phase
+                         else self.codebook.num_subspaces)
+            for query_index in cold_required[cid]:
+                query = queries[query_index]
+                with span(trace, "cold-compute"):
+                    tables = tables_cache.get(query_index)
+                    if tables is None:
+                        # Table build ~ num_centroids distance evals at
+                        # full dim, paid once per query per batch.
+                        tables = self.codebook.adc_tables(query)
+                        tables_cache[query_index] = tables
+                        execution.compute_us += host.node.charge_compute(
+                            self.codebook.num_centroids, metadata.dim)
+                    # A scan costs one lookup-add per scored candidate
+                    # per scanned subspace — the coarse quarter in
+                    # two-phase mode, all of them for a walk.
+                    nodes, approx = self._adc_candidates(
+                        cold, tables, keep_nodes,
+                        max(rerank_depth, k),
+                        columns=(self._coarse_columns if two_phase
+                                 else None))
+                    execution.compute_us += host.node.charge_compute(
+                        len(nodes), scan_cost)
+                    execution.evals += len(nodes)
+                pools.setdefault(query_index, []).append(
+                    (cid, nodes, approx, cold.labels))
+                if live_matrix is not None:
+                    with span(trace, "cold-compute"):
+                        overflow_dists = self.kernel.many(query,
+                                                          live_matrix)
+                        execution.compute_us += host.node.charge_compute(
+                            len(live), metadata.dim)
+                        execution.evals += len(live)
+                    merger.add(query_index, live_gids,
+                               np.asarray(overflow_dists,
+                                          dtype=np.float64))
+            self._vectors_offsets[cid] = cold.vectors_offset
+
+        # Global per-query shortlist: merge candidate pools across the
+        # query's cold clusters, refine the coarse scan sums with the
+        # held-out subspaces for a small multiple of the shortlist, and
+        # keep exactly ``rerank_depth`` of them (lexsort ties on global
+        # id, matching exact_knn's order).
+        candidate_slots: dict[tuple[int, int], int] = {}
+        shortlists: list[tuple[int, np.ndarray, np.ndarray,
+                               np.ndarray]] = []
+        for query_index in sorted(pools):
+            chunks = pools[query_index]
+            pool_cids = np.concatenate(
+                [np.full(len(nodes), cid, dtype=np.int64)
+                 for cid, nodes, _, _ in chunks])
+            pool_nodes = np.concatenate(
+                [nodes for _, nodes, _, _ in chunks])
+            pool_approx = np.concatenate(
+                [approx for _, _, approx, _ in chunks])
+            pool_labels = np.concatenate(
+                [labels[nodes] for _, nodes, _, labels in chunks])
+            order = np.lexsort(
+                (pool_labels, pool_approx))[:_REFINE_FACTOR * rerank_depth]
+            if codes_by_cid and len(order) > rerank_depth:
+                rest = self._rest_columns
+                tables = tables_cache[query_index]
+                refined = pool_approx[order].copy()
+                refinable = 0
+                for cid in np.unique(pool_cids[order]):
+                    if cid not in codes_by_cid:
+                        continue  # walk pools already carry full sums
+                    mask = pool_cids[order] == cid
+                    codes = codes_by_cid[cid][pool_nodes[order][mask]]
+                    refined[mask] += tables[rest[None, :],
+                                            codes[:, rest]].sum(axis=1)
+                    refinable += int(mask.sum())
+                with span(trace, "cold-compute"):
+                    execution.compute_us += host.node.charge_compute(
+                        refinable, len(rest))
+                    execution.evals += refinable
+                keep = np.lexsort(
+                    (pool_labels[order], refined))[:rerank_depth]
+                order = order[keep]
+            else:
+                order = order[:rerank_depth]
+            chosen_cids = pool_cids[order]
+            chosen_nodes = pool_nodes[order]
+            for cid, node in zip(chosen_cids.tolist(),
+                                 chosen_nodes.tolist()):
+                candidate_slots.setdefault((cid, node),
+                                           len(candidate_slots))
+            shortlists.append((query_index, chosen_cids, chosen_nodes,
+                               pool_labels[order]))
+
+        # One narrow doorbell READ for the union of rerank candidates'
+        # full vectors, straight out of the hot blobs' vector sections.
+        # The candidates are scattered rows of each cluster's contiguous
+        # vector section, and every WQE costs PCIe DMA plus a share of
+        # its ring's RTT — so neighboring candidates are coalesced into
+        # one wider READ whenever the bridged gap serializes faster than
+        # another work request would cost.
+        vector_bytes = 4 * metadata.dim
+        cost = host.cost_model
+        if host.policy.doorbell_batching:
+            wqe_us = (cost.pcie_us_per_wqe
+                      + (cost.base_rtt_us + cost.doorbell_split_penalty_us)
+                      / cost.doorbell_limit)
+        else:
+            wqe_us = cost.base_rtt_us + cost.pcie_us_per_wqe
+        gap_limit = int(wqe_us * cost.bytes_per_us)
+        nodes_by_cid: dict[int, list[int]] = {}
+        for cid, node in candidate_slots:
+            nodes_by_cid.setdefault(cid, []).append(node)
+        runs: list[tuple[int, int, list[int]]] = []  # (cid, first, members)
+        for cid in sorted(nodes_by_cid):
+            nodes = sorted(nodes_by_cid[cid])
+            first = nodes[0]
+            members = [first]
+            for node in nodes[1:]:
+                if (node - members[-1] - 1) * vector_bytes <= gap_limit:
+                    members.append(node)
+                    continue
+                runs.append((cid, first, members))
+                first = node
+                members = [node]
+            runs.append((cid, first, members))
+        rerank_reads = [ReadDescriptor(
+            host.layout.rkey,
+            host.layout.addr(self._vectors_offsets[cid]
+                             + first * vector_bytes),
+            (members[-1] - first + 1) * vector_bytes)
+            for cid, first, members in runs]
+        vectors = np.empty((len(candidate_slots), metadata.dim),
+                           dtype=np.float32)
+        if rerank_reads:
+            with span(trace, "rerank-fetch"):
+                payloads = host.transport.read_batch(
+                    rerank_reads, doorbell=host.policy.doorbell_batching)
+            for (cid, first, members), payload in zip(runs, payloads):
+                view = np.frombuffer(
+                    payload, dtype=np.float32,
+                    count=(members[-1] - first + 1) * metadata.dim
+                ).reshape(-1, metadata.dim)
+                rows = [candidate_slots[(cid, node)] for node in members]
+                vectors[rows] = view[np.asarray(members, dtype=np.int64)
+                                     - first]
+
+        # Exact rerank of each query's global shortlist.
+        for query_index, chosen_cids, chosen_nodes, labels in shortlists:
+            if not len(chosen_nodes):
+                continue
+            rows = [candidate_slots[(cid, node)]
+                    for cid, node in zip(chosen_cids.tolist(),
+                                         chosen_nodes.tolist())]
+            with span(trace, "cold-compute"):
+                exact = self.kernel.many(queries[query_index],
+                                         vectors[rows])
+                execution.compute_us += host.node.charge_compute(
+                    len(rows), metadata.dim)
+                execution.evals += len(rows)
+            merger.add(query_index, labels,
+                       np.asarray(exact, dtype=np.float64))
+        return execution
+
+    def _adc_candidates(self, cold: ColdCluster, tables: np.ndarray,
+                        keep_nodes: np.ndarray, beam: int,
+                        columns: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate node indices + ADC distances for one query.
+
+        ``pq`` extents (degree 0) get an asymmetric scan — over
+        ``columns`` when the two-phase split is active, else over every
+        subspace; ``vamana`` extents get a greedy best-first walk over
+        the flat adjacency, scoring only visited nodes (always with the
+        full tables: the walk's pruning depends on score quality).
+        """
+        if cold.num_nodes == 0 or len(keep_nodes) == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float32))
+        if cold.degree == 0 or cold.adjacency is None or cold.medoid < 0:
+            if columns is None:
+                columns = np.arange(self.codebook.num_subspaces)
+            approx = tables[columns[None, :],
+                            cold.codes[keep_nodes][:, columns]].sum(axis=1)
+            return keep_nodes, approx
+        columns = np.arange(self.codebook.num_subspaces)
+        # Greedy ADC walk: classic best-first beam over the flat graph.
+        scores: dict[int, float] = {}
+
+        def score(node: int) -> float:
+            cached = scores.get(node)
+            if cached is None:
+                cached = float(tables[columns, cold.codes[node]].sum())
+                scores[node] = cached
+            return cached
+
+        start = int(cold.medoid)
+        frontier = [(score(start), start)]
+        visited = {start}
+        best: list[tuple[float, int]] = []  # max-heap via negated dist
+        heapq.heappush(best, (-frontier[0][0], start))
+        while frontier:
+            dist, node = heapq.heappop(frontier)
+            if len(best) >= beam and dist > -best[0][0]:
+                break
+            for neighbor in cold.adjacency[node].tolist():
+                if neighbor == NO_NEIGHBOR or neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                neighbor_dist = score(neighbor)
+                if len(best) < beam or neighbor_dist < -best[0][0]:
+                    heapq.heappush(frontier, (neighbor_dist, neighbor))
+                    heapq.heappush(best, (-neighbor_dist, neighbor))
+                    if len(best) > beam:
+                        heapq.heappop(best)
+        nodes = np.fromiter((node for _, node in best), dtype=np.int64,
+                            count=len(best))
+        if len(keep_nodes) != cold.num_nodes:
+            mask = np.isin(nodes, keep_nodes)
+            nodes = nodes[mask]
+        approx = np.fromiter((scores[int(node)] for node in nodes),
+                             dtype=np.float32, count=len(nodes))
+        return nodes, approx
+
+    # ------------------------------------------------------------------
+    # Background promotion / demotion
+    # ------------------------------------------------------------------
+    def rebalance(self, trace: TraceContext | None = None
+                  ) -> tuple[int, int]:
+        """Move clusters between tiers under the DRAM budget.
+
+        Promotes the hottest recently-cold clusters; to make room it
+        demotes the coldest hot clusters, but only when the candidate's
+        EWMA score beats the victim's by ``tier_hysteresis`` — the
+        hysteresis band is what stops an alternating access pattern from
+        ping-ponging a pair of clusters between tiers.  Pinned cache
+        entries are never demoted mid-wave.  Returns
+        ``(promotions, demotions)`` for this call.
+        """
+        host = self.host
+        cache = host.cache
+        now_us = host.node.clock.now_us
+        budget = host.config.hot_tier_budget_bytes
+        hysteresis = host.config.tier_hysteresis
+        metadata = host.metadata
+        candidates = sorted(self._accessed_cold)
+        self._accessed_cold.clear()
+        self._vectors_offsets.clear()
+        promotions = 0
+        demotions = 0
+        with span(trace, "tier-rebalance"):
+            if budget is None:
+                for cid in candidates:
+                    if cid not in self.hot_ids:
+                        self.hot_ids.add(cid)
+                        promotions += 1
+            else:
+                scored = sorted(
+                    ((cache.frequency(cid, now_us), cid)
+                     for cid in candidates if cid not in self.hot_ids),
+                    key=lambda pair: (-pair[0], pair[1]))
+                hot_bytes = self.hot_tier_bytes()
+                for score, cid in scored:
+                    size = cluster_read_extent(metadata, cid)[1]
+                    if size > budget:
+                        continue
+                    freed, evicted = self._make_room(
+                        hot_bytes + size - budget, score, hysteresis,
+                        now_us)
+                    hot_bytes -= freed
+                    demotions += evicted
+                    if hot_bytes + size > budget:
+                        continue
+                    self.hot_ids.add(cid)
+                    hot_bytes += size
+                    promotions += 1
+        self.promotions += promotions
+        self.demotions += demotions
+        if trace is not None:
+            trace.record_event("tier_promotions", promotions)
+            trace.record_event("tier_demotions", demotions)
+        return promotions, demotions
+
+    def _make_room(self, need_bytes: int, candidate_score: float,
+                   hysteresis: float, now_us: float) -> tuple[int, int]:
+        """Demote weakest hot clusters until ``need_bytes`` is freed.
+
+        Stops at the hysteresis band (victim score within
+        ``candidate_score / hysteresis``) or when only pinned entries
+        remain.  Returns ``(bytes freed, clusters demoted)``.
+        """
+        host = self.host
+        cache = host.cache
+        metadata = host.metadata
+        freed = 0
+        demoted = 0
+        while need_bytes - freed > 0 and self.hot_ids:
+            victims = sorted(
+                ((cache.frequency(cid, now_us), cid)
+                 for cid in self.hot_ids),
+                key=lambda pair: (pair[0], pair[1]))
+            progressed = False
+            for victim_score, victim in victims:
+                if candidate_score <= hysteresis * victim_score:
+                    return freed, demoted
+                entry = cache.peek(victim)
+                if entry is not None and entry.pins > 0:
+                    continue  # searched right now; never demote mid-wave
+                self.hot_ids.discard(victim)
+                if entry is not None:
+                    cache.invalidate(victim)
+                    host.node.release_dram(entry.nbytes)
+                freed += cluster_read_extent(metadata, victim)[1]
+                demoted += 1
+                progressed = True
+                break
+            if not progressed:
+                break
+        return freed, demoted

@@ -103,6 +103,18 @@ class ClientTelemetry:
     #: Per-replica health/traffic rows (``ReplicaSelector.status()``);
     #: empty for an unreplicated pool.
     replicas: tuple = ()
+    #: Tiered-memory ledger (all zero with ``cold_tier="off"``):
+    #: current hot/cold/promoting cluster counts, cumulative
+    #: promotions/demotions, and serves per tier.  "promoting" = assigned
+    #: hot but not yet resident (the next serve fetches it).
+    tier_hot: int = 0
+    tier_cold: int = 0
+    tier_promoting: int = 0
+    tier_promotions: int = 0
+    tier_demotions: int = 0
+    tier_hot_serves: int = 0
+    tier_cold_serves: int = 0
+    tier_hot_bytes: int = 0
 
     @classmethod
     def from_client(cls, client: DHnswClient) -> "ClientTelemetry":
@@ -112,6 +124,19 @@ class ClientTelemetry:
         replicated = client._replicated_transport()
         replicas = (tuple(replicated.selector.status())
                     if replicated is not None else ())
+        tier = getattr(client, "tier_store", None)
+        if tier is not None:
+            tier_hot, tier_cold, tier_promoting = tier.tier_counts()
+            tier_fields = dict(
+                tier_hot=tier_hot, tier_cold=tier_cold,
+                tier_promoting=tier_promoting,
+                tier_promotions=tier.promotions,
+                tier_demotions=tier.demotions,
+                tier_hot_serves=tier.hot_serves,
+                tier_cold_serves=tier.cold_serves,
+                tier_hot_bytes=tier.hot_tier_bytes())
+        else:
+            tier_fields = {}
         return cls(
             name=client.node.name,
             scheme=client.scheme.value,
@@ -149,6 +174,7 @@ class ClientTelemetry:
             faults_injected=stats.faults_injected,
             failovers=stats.failovers,
             replicas=replicas,
+            **tier_fields,
         )
 
 
@@ -259,6 +285,24 @@ def render_report(telemetry: DeploymentTelemetry,
                 f"{client.name:<12} {client.faults_injected:>7} "
                 f"{client.retries:>8} {client.backoff_time_us:>11.1f} "
                 f"{client.failovers:>10}")
+    tiered = [client for client in telemetry.clients
+              if client.tier_hot or client.tier_cold
+              or client.tier_cold_serves]
+    if tiered:
+        lines += [
+            "",
+            "=== tiered memory ===",
+            f"{'instance':<12} {'hot':>5} {'cold':>6} {'promoting':>10} "
+            f"{'promo':>6} {'demo':>6} {'hot_srv':>8} {'cold_srv':>9} "
+            f"{'hot_MiB':>8}",
+        ]
+        for client in tiered:
+            lines.append(
+                f"{client.name:<12} {client.tier_hot:>5} "
+                f"{client.tier_cold:>6} {client.tier_promoting:>10} "
+                f"{client.tier_promotions:>6} {client.tier_demotions:>6} "
+                f"{client.tier_hot_serves:>8} {client.tier_cold_serves:>9} "
+                f"{client.tier_hot_bytes / 2**20:>8.2f}")
     replicated = [client for client in telemetry.clients if client.replicas]
     if replicated:
         lines += [

@@ -1,0 +1,204 @@
+"""Tiered serving gates: layout byte-identity with the tier off,
+deterministic cold extents, and answer equivalence of the cold path.
+
+The tentpole promise is that ``cold_tier="off"`` is *exactly* today's
+engine (same bytes on the region, same answers, same ledgers) and that
+the cold path degrades quality only within the rerank guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Deployment
+from repro.core import DHnswConfig, DHnswClient
+from repro.datasets import exact_knn
+from repro.datasets.synthetic import make_clustered
+from repro.layout.group_layout import cluster_read_extent
+from repro.metrics import recall_at_k
+
+
+def make_world(seed=21):
+    rng = np.random.default_rng(seed)
+    corpus = make_clustered(2400, 24, num_clusters=12, cluster_std=0.05,
+                            rng=rng)
+    queries = make_clustered(48, 24, num_clusters=12, cluster_std=0.05,
+                             rng=rng)
+    return corpus, queries, exact_knn(corpus, queries, 10)
+
+
+def base_config(**overrides):
+    return DHnswConfig(num_representatives=12, nprobe=4, ef_meta=24,
+                       cache_fraction=0.25, overflow_capacity_records=8,
+                       seed=13, **overrides)
+
+
+def read_cluster_blobs(deployment):
+    layout = deployment.layout
+    node = deployment.memory_node
+    blobs = []
+    metadata = layout.metadata
+    for cid in range(len(metadata.clusters)):
+        offset, length = cluster_read_extent(metadata, cid)
+        blobs.append(bytes(node.read(layout.rkey, layout.addr(offset),
+                                     length)))
+    return blobs
+
+
+def read_cold_sections(deployment):
+    layout = deployment.layout
+    node = deployment.memory_node
+    cold = layout.metadata.cold
+    assert cold is not None
+    sections = [bytes(node.read(layout.rkey,
+                                layout.addr(cold.codebook_offset),
+                                cold.codebook_length))]
+    for extent in cold.extents:
+        sections.append(bytes(node.read(layout.rkey,
+                                        layout.addr(extent.offset),
+                                        extent.length)))
+    return sections
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world()
+
+
+class TestOffModeIdentity:
+    def test_base_extents_byte_identical_across_cold_tiers(self, world):
+        """Turning the tier on must not perturb a single byte of the
+        full-precision cluster blobs (the hot path reads them as-is)."""
+        corpus, _, _ = world
+        off = Deployment(corpus, base_config(cold_tier="off"),
+                         simulate_link_contention=False)
+        pq = Deployment(corpus, base_config(cold_tier="pq"),
+                        simulate_link_contention=False)
+        assert read_cluster_blobs(off) == read_cluster_blobs(pq)
+        assert off.layout.metadata.cold is None
+        assert pq.layout.metadata.cold is not None
+
+    def test_off_client_has_no_tier_machinery(self, world):
+        corpus, queries, _ = world
+        deployment = Deployment(corpus, base_config(cold_tier="off"),
+                                simulate_link_contention=False)
+        client = deployment.client(0)
+        assert client.tier_store is None
+        result = client.search_batch(queries[:8], k=10)
+        assert result.cold_clusters_served == 0
+        assert result.tier_promotions == 0
+        assert result.tier_demotions == 0
+
+
+class TestColdBuildDeterminism:
+    @pytest.mark.parametrize("mode", ["pq", "vamana"])
+    def test_rebuilt_cold_sections_byte_identical(self, world, mode):
+        """Seeded k-means + per-cluster Vamana seeds: two builds of the
+        same corpus produce byte-identical codebooks and cold extents."""
+        corpus, _, _ = world
+        first = Deployment(corpus, base_config(cold_tier=mode),
+                           simulate_link_contention=False)
+        second = Deployment(corpus, base_config(cold_tier=mode),
+                            simulate_link_contention=False)
+        assert read_cold_sections(first) == read_cold_sections(second)
+
+
+class TestColdServing:
+    @pytest.fixture(scope="class")
+    def tiered_world(self):
+        corpus, queries, truth = make_world()
+        deployment = Deployment(corpus, base_config(cold_tier="pq"),
+                                simulate_link_contention=False)
+        return corpus, queries, truth, deployment
+
+    def all_cold_client(self, deployment, name, **overrides):
+        # Budget 0: nothing ever fits the hot tier, every cluster serves
+        # from its cold extent.
+        config = deployment.config.replace(hot_tier_budget_bytes=0,
+                                           **overrides)
+        return DHnswClient(deployment.layout, deployment.meta, config,
+                           cost_model=deployment.effective_cost_model,
+                           name=name)
+
+    def test_everything_served_cold_under_zero_budget(self, tiered_world):
+        _, queries, _, deployment = tiered_world
+        client = self.all_cold_client(deployment, "all-cold")
+        result = client.search_batch(queries, k=10)
+        assert result.cold_clusters_served > 0
+        assert result.clusters_fetched == 0
+        assert result.tier_promotions == 0
+        assert client.tier_store.hot_ids == set()
+
+    def test_cold_recall_within_rerank_guarantee(self, tiered_world):
+        _, queries, truth, deployment = tiered_world
+        hot = deployment.client(0)
+        cold = self.all_cold_client(deployment, "recall-cold")
+        hot_recall = recall_at_k(
+            hot.search_batch(queries, k=10).ids_list(), truth, 10)
+        cold_recall = recall_at_k(
+            cold.search_batch(queries, k=10).ids_list(), truth, 10)
+        assert cold_recall >= 0.95 * hot_recall
+
+    @pytest.mark.parametrize("pipeline", [False, True],
+                             ids=["serial", "pipelined"])
+    def test_cold_answers_identical_across_workers(self, tiered_world,
+                                                   pipeline):
+        _, queries, _, deployment = tiered_world
+        reference = None
+        for workers in (1, 4):
+            client = self.all_cold_client(
+                deployment, f"det-{pipeline}-{workers}",
+                pipeline_waves=pipeline, search_workers=workers)
+            try:
+                result = client.search_batch(queries, k=10)
+            finally:
+                client.close()
+            answers = [(r.ids.tolist(), r.distances.tolist())
+                       for r in result.results]
+            if reference is None:
+                reference = answers
+            else:
+                assert answers == reference
+
+    def test_cold_serve_observes_inserts(self, tiered_world):
+        corpus, _, _, _ = tiered_world
+        # Private deployment: this test mutates overflow areas.
+        deployment = Deployment(corpus, base_config(cold_tier="pq"),
+                                num_compute_instances=2,
+                                simulate_link_contention=False)
+        writer = deployment.client(0)
+        probe = corpus[5] + np.float32(1e-4)
+        writer.insert(probe, 9_000_001)
+        reader = self.all_cold_client(deployment, "cold-reader")
+        result = reader.search_batch(probe[None, :], k=1)
+        assert result.cold_clusters_served > 0
+        assert result.results[0].ids[0] == 9_000_001
+
+    def test_cold_serve_observes_deletes(self, tiered_world):
+        corpus, _, _, _ = tiered_world
+        deployment = Deployment(corpus, base_config(cold_tier="pq"),
+                                num_compute_instances=2,
+                                simulate_link_contention=False)
+        writer = deployment.client(0)
+        probe = corpus[5] + np.float32(1e-4)
+        writer.insert(probe, 9_000_002)
+        writer.delete(probe, 9_000_002)
+        reader = self.all_cold_client(deployment, "cold-deleter")
+        result = reader.search_batch(probe[None, :], k=1)
+        assert result.results[0].ids[0] != 9_000_002
+
+    def test_promotion_moves_cluster_to_hot_path(self, tiered_world):
+        _, queries, _, deployment = tiered_world
+        # Unbounded budget: first batch serves cold and promotes; the
+        # second batch fetches full-precision and serves hot.
+        config = deployment.config.replace()
+        client = DHnswClient(deployment.layout, deployment.meta, config,
+                             cost_model=deployment.effective_cost_model,
+                             name="promoter")
+        first = client.search_batch(queries, k=10)
+        assert first.cold_clusters_served > 0
+        assert first.tier_promotions == first.cold_clusters_served
+        second = client.search_batch(queries, k=10)
+        assert second.cold_clusters_served == 0
+        assert second.clusters_fetched > 0

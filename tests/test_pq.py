@@ -147,3 +147,91 @@ class TestPqRerankIndex:
         built.add(data[:10], labels=range(700, 710))
         labels, _ = built.search(data[3], 1)
         assert labels[0] == 703
+
+
+class TestTieBreaking:
+    """Duplicate-distance candidates must resolve exactly like
+    ``exact_knn``'s lexicographic (distance, id) order."""
+
+    @pytest.fixture(scope="class")
+    def dup_world(self):
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal((64, 16)).astype(np.float32)
+        # Each base row repeated 4x: every exact distance ties 4-way,
+        # and labels are deliberately shuffled so "first inserted wins"
+        # would disagree with "smallest id wins".
+        data = np.repeat(base, 4, axis=0)
+        labels = rng.permutation(len(data)).astype(np.int64)
+        queries = base[:8] + rng.normal(
+            0, 1e-3, size=(8, 16)).astype(np.float32)
+        book = PqCodebook(16, num_subspaces=4, bits=6, seed=2)
+        book.train(data)
+        index = PqRerankIndex(book)
+        index.add(data, labels=labels.tolist())
+        return data, labels, queries, index
+
+    def test_reranked_matches_exact_knn_order(self, dup_world):
+        data, labels, queries, index = dup_world
+        # exact_knn works over row ids; map its answers through the
+        # shuffled labels by building the corpus in label order.
+        by_label = np.empty_like(data)
+        by_label[labels] = data
+        truth = exact_knn(by_label, queries, 12)
+        for row, query in enumerate(queries):
+            got, dists = index.search(query, 12, rerank=len(index))
+            assert got.tolist() == truth[row].tolist()
+            assert (np.diff(dists) >= 0).all()
+
+    def test_ties_sorted_by_label_within_distance(self, dup_world):
+        _, _, queries, index = dup_world
+        got, dists = index.search(queries[0], 8, rerank=len(index))
+        for i in range(len(got) - 1):
+            if dists[i] == dists[i + 1]:
+                assert got[i] < got[i + 1]
+
+    def test_pure_adc_ties_sorted_by_label(self, dup_world):
+        # Duplicate rows share PQ codes, so ADC distances tie exactly.
+        _, _, queries, index = dup_world
+        got, dists = index.search(queries[0], 8, rerank=0)
+        for i in range(len(got) - 1):
+            if dists[i] == dists[i + 1]:
+                assert got[i] < got[i + 1]
+
+
+class TestTrainingDeterminism:
+    def test_seed_gives_byte_identical_centroids(self, corpus):
+        data, _, _ = corpus
+        books = []
+        for _ in range(2):
+            book = PqCodebook(16, num_subspaces=4, bits=6, seed=9)
+            book.train(data)
+            books.append(book)
+        assert books[0].centroids.tobytes() == books[1].centroids.tobytes()
+
+    def test_explicit_seed_overrides_constructor(self, corpus):
+        data, _, _ = corpus
+        a = PqCodebook(16, num_subspaces=4, bits=6, seed=1)
+        a.train(data, seed=42)
+        b = PqCodebook(16, num_subspaces=4, bits=6, seed=2)
+        b.train(data, seed=42)
+        assert a.centroids.tobytes() == b.centroids.tobytes()
+
+    def test_different_seeds_differ(self, corpus):
+        data, _, _ = corpus
+        a = PqCodebook(16, num_subspaces=4, bits=6, seed=1)
+        a.train(data)
+        b = PqCodebook(16, num_subspaces=4, bits=6, seed=2)
+        b.train(data)
+        assert a.centroids.tobytes() != b.centroids.tobytes()
+
+    def test_subspace_streams_independent(self, corpus):
+        # Training a 4-subspace book and a 2-subspace book over the same
+        # seed must give each subspace its own stream: subspace 0 of the
+        # 4-way book depends only on (seed, 0), not on how many other
+        # subspaces trained after it.
+        data, _, _ = corpus
+        wide = PqCodebook(16, num_subspaces=4, bits=6, seed=7)
+        wide.train(data)
+        again = PqCodebook(16, num_subspaces=4, bits=6, seed=7)
+        again.train(data[:, :])
+        assert wide.centroids.tobytes() == again.centroids.tobytes()
