@@ -1,22 +1,26 @@
 #!/usr/bin/env python3
-"""Streaming ingestion: concurrent inserts and queries on shared memory.
+"""Streaming ingestion: two concurrent writers against a live reader.
 
 d-HNSW's RDMA-friendly layout (§3.2) exists so that *dynamic insertions*
 stay cheap: a new vector costs one remote fetch-and-add (slot
-reservation) plus one WRITE into the group's shared overflow area, and
-queries keep reading cluster + fresh inserts with a single READ.  When an
-overflow area fills, the group is rebuilt and relocated, and every
-compute instance picks up the new offsets through the versioned metadata
-block.
+reservation) plus one WRITE into the group's shared overflow area.  The
+``repro.mutation`` package extends that to *several* writers ingesting
+into one memory pool at once:
 
-This example drives that machinery like a recommendation system ingesting
-new item embeddings while serving lookups:
+* slot reservations are arbitrated by the FAA itself — two writers can
+  never claim the same slot;
+* when an overflow area fills, one writer wins the group's rebuild-lock
+  CAS and performs a **shadow rebuild** — merging and relocating the
+  group at the region tail while the reader keeps serving the old
+  extents — finishing with a version-stamped cutover; the loser yields
+  and retries against the freshly published layout;
+* the retired extents are reclaimed only after every observer (the
+  reader included) has refreshed past the cutover's version.
 
-* a writer instance streams in new items;
-* a reader instance serves user queries concurrently, observing fresh
-  items immediately (overflow-tail validation);
-* we report how many rebuilds happened and what insertion cost on the
-  wire.
+This example drives that machinery like a recommendation system: two
+ingest instances stream new item embeddings round-robin while a
+closed-loop reader serves user queries, then we print the churn and
+cutover telemetry the mutation path keeps.
 
 Run:  python examples/streaming_ingest.py
 """
@@ -41,37 +45,65 @@ def main() -> None:
     # Small overflow areas so the example actually exercises rebuilds.
     config = DHnswConfig(nprobe=3, cache_fraction=0.15,
                          overflow_capacity_records=24, seed=21)
-    deployment = Deployment(catalogue, config, num_compute_instances=2,
+    deployment = Deployment(catalogue, config, num_compute_instances=3,
                             simulate_link_contention=False)
-    writer = deployment.client(0)
-    reader = deployment.client(1)
+    writers = [deployment.client(0), deployment.client(1)]
+    reader = deployment.client(2)
+    retired = deployment.layout.retired
 
-    print(f"serving {BASE_ITEMS} items; streaming {STREAMED_ITEMS} "
-          f"new items while querying...")
+    print(f"serving {BASE_ITEMS} items; 2 writers streaming "
+          f"{STREAMED_ITEMS} new items while a reader queries...")
 
     new_items = make_clustered(STREAMED_ITEMS, DIM, num_clusters=30,
                                cluster_std=0.05, rng=rng)
-    rebuilds = 0
     insert_round_trips = 0
     missed = 0
+    max_pending = 0
+    cutovers = []
     for i, item in enumerate(new_items):
+        # Writers take the stream round-robin — every insert is one FAA
+        # slot reservation plus one WRITE, whichever instance issues it.
+        writer = writers[i % len(writers)]
         before = writer.node.stats.snapshot()
         report = writer.insert(item, global_id=BASE_ITEMS + i)
         insert_round_trips += writer.node.stats.delta(before).round_trips
-        rebuilds += report.triggered_rebuild
+        if report.triggered_rebuild:
+            cutovers.append((i, writer.metadata.version,
+                             retired.pending_bytes))
+        max_pending = max(max_pending, retired.pending_bytes)
 
-        # Every 10th insert, the reader instance looks the item up.
+        # Every 10th insert, the reader instance looks the item up; its
+        # refresh doubles as the grace-period observation that lets the
+        # cutover's retired extents return to the allocator.
         if i % 10 == 0:
             hit = reader.search(item, k=1, ef_search=32)
             if hit.ids[0] != BASE_ITEMS + i:
                 missed += 1
 
-    print(f"  inserted {STREAMED_ITEMS} items")
-    print(f"  group rebuilds triggered : {rebuilds}")
+    print(f"  inserted {STREAMED_ITEMS} items across "
+          f"{len(writers)} writers")
     print(f"  mean round trips/insert  : "
           f"{insert_round_trips / STREAMED_ITEMS:.2f} "
           f"(FAA + WRITE + metadata checks; rebuilds add bursts)")
     print(f"  reader lookups that missed a fresh item: {missed}")
+
+    print("\n  -- churn / cutover telemetry --")
+    for name, writer in zip(("writer A", "writer B"), writers):
+        stats = writer.mutation.stats
+        print(f"  {name}: {stats.inserts} inserts, "
+              f"{stats.rebuilds_led} rebuilds led, "
+              f"{stats.rebuilds_yielded} yielded, "
+              f"{stats.records_migrated} records migrated at cutover, "
+              f"{stats.sealed_retries} sealed-tail retries")
+    for index, version, pending in cutovers:
+        print(f"  cutover at insert #{index}: published metadata "
+              f"v{version}, {pending / 1024:.0f} KiB awaiting grace "
+              f"period")
+    print(f"  peak retired bytes awaiting reclaim: "
+          f"{max_pending / 1024:.0f} KiB")
+    print(f"  still pending now: {retired.pending_bytes / 1024:.0f} KiB "
+          f"across {len(retired.entries)} extents "
+          f"({retired.observers} registered observers)")
 
     fragmentation = deployment.layout.allocator.fragmentation()
     print(f"  remote region fragmentation after rebuilds: "

@@ -6,7 +6,7 @@ locally, keeps an LRU cache of recently loaded sub-HNSW clusters, and
 serves batched top-k queries and dynamic insertions against the
 disaggregated memory pool.
 
-The client is a *façade* over two lower layers:
+The client is a *façade* over three lower layers:
 
 * :mod:`repro.transport` — every remote byte moves through
   :attr:`DHnswClient.transport` (one-sided READ / WRITE / CAS / FAA plus
@@ -16,6 +16,10 @@ The client is a *façade* over two lower layers:
   Planner → Fetcher → Decoder → Executor → Merger composed by
   :attr:`DHnswClient.engine`; the former private methods remain as thin
   delegates so downstream code and tests keep working.
+* :mod:`repro.mutation` — the write path (insert / delete / batched
+  insert, CAS-coordinated shadow rebuilds, grace-period reclamation)
+  composed by :attr:`DHnswClient.mutation`, with the same thin-delegate
+  treatment.
 
 The client's loading behaviour is controlled by a
 :class:`~repro.core.baselines.Scheme`, which is how the three systems of
@@ -26,8 +30,6 @@ implementation.
 from __future__ import annotations
 
 import copy
-import dataclasses
-import struct
 from typing import Callable
 
 import numpy as np
@@ -41,25 +43,13 @@ from repro.core.merge import TopKMerger
 from repro.core.meta_index import MetaHnsw
 from repro.core.query_planner import BatchPlan, Wave
 from repro.core.results import BatchResult, QueryResult
-from repro.core.build_pool import BuildPool
 from repro.core.fsck import RepairReport, repair_replica
-from repro.errors import (LayoutError, NoHealthyReplicaError,
-                          OverflowFullError)
-from repro.hnsw.parallel_build import ClusterRebuildTask, rebuild_cluster_blob
-from repro.layout.group_layout import (
-    OVERFLOW_TAIL_BYTES,
-    cluster_read_extent,
-    overflow_area_size,
-)
+from repro.errors import LayoutError, NoHealthyReplicaError
+from repro.layout.group_layout import cluster_read_extent
 from repro.layout.cold import deserialize_codebook
-from repro.layout.metadata import (ColdDirectory, ColdExtentEntry,
-                                   GlobalMetadata)
-from repro.layout.serializer import (
-    OverflowRecord,
-    overflow_record_size,
-    pack_overflow_record,
-    unpack_overflow_records,
-)
+from repro.layout.metadata import GlobalMetadata
+from repro.layout.serializer import OverflowRecord
+from repro.mutation.writer import InsertReport, MutationEngine
 from repro.rdma.compute_node import ComputeNode
 from repro.rdma.control import ControlClient
 from repro.rdma.network import CostModel
@@ -74,26 +64,13 @@ from repro.transport import (
     RetryPolicy,
     SimRdmaTransport,
     Transport,
-    WriteDescriptor,
     connect,
 )
 
 __all__ = ["DHnswClient", "InsertReport"]
 
-_U64 = struct.Struct("<Q")
-
 # Retained name: the execution record now lives in ``repro.serving``.
 _PlanExecution = PlanExecution
-
-
-@dataclasses.dataclass(frozen=True)
-class InsertReport:
-    """Outcome of one dynamic insertion."""
-
-    global_id: int
-    cluster_id: int
-    overflow_slot: int
-    triggered_rebuild: bool
 
 
 class DHnswClient:
@@ -182,6 +159,13 @@ class DHnswClient:
         # ``self.transport`` afterwards affects every stage.
         self.engine = ServingEngine(self)
 
+        # The write-side sibling: slot reservation, shadow rebuilds,
+        # sealed-tail retries (see ``repro.mutation``).
+        self.mutation = MutationEngine(self)
+        # Grace-period observer registration is lazy (first
+        # ``refresh_metadata``), so an idle client pins nothing.
+        self._observer_token: int | None = None
+
         # Connection setup: verify the region with the memory node's
         # control daemon (two-sided RPC), when one is attached.
         self.control: ControlClient | None = None
@@ -233,6 +217,14 @@ class DHnswClient:
         engine = getattr(self, "engine", None)
         if engine is not None:
             engine.close()
+        # Release this client's grace-period pin so retired extents it
+        # may have been reading become reclaimable.
+        token = getattr(self, "_observer_token", None)
+        if token is not None:
+            log = getattr(self.layout, "retired", None)
+            if log is not None:
+                log.deregister(token)
+            self._observer_token = None
 
     def __enter__(self) -> "DHnswClient":
         return self
@@ -268,21 +260,51 @@ class DHnswClient:
     def refresh_metadata(self) -> bool:
         """Peek the remote version; re-read the block if it moved.
 
-        Returns True when a refresh happened.  Cache entries belonging to
-        relocated clusters are invalidated.
+        Returns True when a refresh happened.  Staleness is resolved at
+        *group* granularity: only the members of groups whose version
+        stamp advanced (plus any cluster whose entry changed) are
+        invalidated, so one group's rebuild never evicts the rest of the
+        cache.  Every refresh also reports the observed version to the
+        deployment's grace-period ledger — the pin that keeps retired
+        extents alive until every reader has moved past them.
         """
         head = self.transport.read(self.layout.rkey, self.layout.addr(0),
                                    16)
         remote_version = GlobalMetadata.peek_version(head)
         if remote_version == self.metadata.version:
+            self.observe_version(self.metadata.version)
             return False
         fresh = self._read_metadata()
+        stale_groups = {
+            gid for gid, (old, new) in enumerate(zip(self.metadata.groups,
+                                                     fresh.groups))
+            if old.version != new.version}
         for cid, (old, new) in enumerate(zip(self.metadata.clusters,
                                              fresh.clusters)):
-            if old != new:
+            if old != new or new.group_id in stale_groups:
                 self.cache.invalidate(cid)
         self.metadata = fresh
+        self.observe_version(fresh.version)
         return True
+
+    def observe_version(self, version: int) -> None:
+        """Report an observed metadata version to the grace-period ledger.
+
+        Registers this client lazily on first call; with
+        ``config.reclaim_eager`` (the default) any extent whose grace
+        period just elapsed is returned to the allocator immediately.
+        """
+        log = getattr(self.layout, "retired", None)
+        if log is None:
+            return
+        if self._observer_token is None:
+            self._observer_token = log.register(version)
+        else:
+            log.observe(self._observer_token, version)
+        if self.config.reclaim_eager:
+            freed = log.reclaim(self.layout.allocator)
+            if freed:
+                self.mutation.stats.reclaimed_bytes += freed
 
     # ------------------------------------------------------------------
     # Replica repair (fsck-driven, scheduled by the transport on failover)
@@ -444,30 +466,19 @@ class DHnswClient:
     _replay_overflow = staticmethod(replay_overflow)
 
     # ------------------------------------------------------------------
-    # Insertion (§3.2: FAA slot reservation + one WRITE into overflow)
+    # Mutation (façade over ``repro.mutation``: §3.2 FAA reservation +
+    # WRITE, multi-writer CAS coordination, shadow rebuilds)
     # ------------------------------------------------------------------
     def insert(self, vector: np.ndarray, global_id: int) -> InsertReport:
         """Insert a vector: route via meta-HNSW, reserve an overflow slot
         with a remote fetch-and-add, WRITE the record.
 
-        A full overflow triggers a group rebuild (both clusters merged
-        with their overflow records and relocated), then one retry.
+        A full overflow triggers a shadow group rebuild (both clusters
+        merged with their overflow records and relocated behind a
+        version-stamped cutover); reservations racing a concurrent
+        writer's rebuild retry against the relocated group.
         """
-        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
-        self.refresh_metadata()
-        self.meta.reset_compute_counter()
-        cluster_id = self.meta.classify(vector, ef=self.config.ef_meta)
-        self.node.charge_compute(self.meta.reset_compute_counter(),
-                                 self.meta.dim)
-        rebuilt = False
-        try:
-            slot = self._reserve_and_write(cluster_id, vector, global_id)
-        except OverflowFullError:
-            self._rebuild_group(self.metadata.clusters[cluster_id].group_id)
-            rebuilt = True
-            slot = self._reserve_and_write(cluster_id, vector, global_id)
-        return InsertReport(global_id=global_id, cluster_id=cluster_id,
-                            overflow_slot=slot, triggered_rebuild=rebuilt)
+        return self.mutation.insert(vector, global_id)
 
     def delete(self, vector: np.ndarray, global_id: int) -> InsertReport:
         """Logically delete ``global_id`` by writing a tombstone record.
@@ -479,247 +490,38 @@ class DHnswClient:
         search results immediately; physical space is reclaimed at the
         next rebuild of the group.
         """
-        vector = np.asarray(vector, dtype=np.float32).reshape(-1)
-        self.refresh_metadata()
-        self.meta.reset_compute_counter()
-        cluster_id = self.meta.classify(vector, ef=self.config.ef_meta)
-        self.node.charge_compute(self.meta.reset_compute_counter(),
-                                 self.meta.dim)
-        rebuilt = False
-        try:
-            slot = self._reserve_and_write(cluster_id, vector, global_id,
-                                           tombstone=True)
-        except OverflowFullError:
-            self._rebuild_group(self.metadata.clusters[cluster_id].group_id)
-            rebuilt = True
-            slot = self._reserve_and_write(cluster_id, vector, global_id,
-                                           tombstone=True)
-        return InsertReport(global_id=global_id, cluster_id=cluster_id,
-                            overflow_slot=slot, triggered_rebuild=rebuilt)
+        return self.mutation.delete(vector, global_id)
 
     def insert_batch(self, vectors: np.ndarray,
                      global_ids: list[int]) -> list[InsertReport]:
         """Insert many vectors with batched network operations.
 
-        Vectors headed for the same group share a single FAA (reserving a
-        run of slots at once), and all record WRITEs across groups are
+        Vectors headed for the same group share FAA slot-run
+        reservations, and record WRITEs across groups are
         doorbell-batched under the full d-HNSW scheme — the write-side
-        analogue of query-aware batched loading.
+        analogue of query-aware batched loading.  Batches larger than a
+        group's overflow capacity split across multiple reservations
+        with rebuilds in between.
         """
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
-        if vectors.shape[0] != len(global_ids):
-            raise ValueError(
-                f"{vectors.shape[0]} vectors but {len(global_ids)} ids")
-        self.refresh_metadata()
-        self.meta.reset_compute_counter()
-        cluster_ids = [self.meta.classify(vector, ef=self.config.ef_meta)
-                       for vector in vectors]
-        self.node.charge_compute(self.meta.reset_compute_counter(),
-                                 self.meta.dim)
+        return self.mutation.insert_batch(vectors, global_ids)
 
-        by_group: dict[int, list[int]] = {}
-        for row, cid in enumerate(cluster_ids):
-            by_group.setdefault(
-                self.metadata.clusters[cid].group_id, []).append(row)
+    # -- retained private surface (thin delegates) ----------------------
+    def _reserve_and_write(self, cluster_id: int, vector: np.ndarray,
+                           global_id: int, tombstone: bool = False) -> int:
+        return self.mutation._reserve_and_write(cluster_id, vector,
+                                                global_id, tombstone)
 
-        record_size = overflow_record_size(self.metadata.dim)
-        reports: list[InsertReport | None] = [None] * len(global_ids)
-        descriptors: list[WriteDescriptor] = []
-        for group_id in sorted(by_group):
-            rows = by_group[group_id]
-            rebuilt = False
-            slot0 = self._reserve_run(group_id, len(rows))
-            if slot0 is None:
-                self._rebuild_group(group_id)
-                rebuilt = True
-                slot0 = self._reserve_run(group_id, len(rows))
-                if slot0 is None:
-                    group = self.metadata.groups[group_id]
-                    raise OverflowFullError(group_id,
-                                            group.capacity_records,
-                                            len(rows) * record_size)
-            group = self.metadata.groups[group_id]
-            for offset_index, row in enumerate(rows):
-                slot = slot0 + offset_index
-                cid = cluster_ids[row]
-                record = OverflowRecord(global_id=global_ids[row],
-                                        cluster_id=cid,
-                                        vector=vectors[row])
-                record_addr = self.layout.addr(
-                    group.overflow_offset + OVERFLOW_TAIL_BYTES
-                    + slot * record_size)
-                descriptors.append(WriteDescriptor(
-                    self.layout.rkey, record_addr,
-                    pack_overflow_record(record)))
-                self._patch_cached_entries(group_id, slot, record)
-                reports[row] = InsertReport(
-                    global_id=global_ids[row], cluster_id=cid,
-                    overflow_slot=slot,
-                    triggered_rebuild=rebuilt and offset_index == 0)
-        self.transport.write_batch(descriptors,
-                                   doorbell=self.policy.doorbell_batching)
-        return [report for report in reports if report is not None]
-
-    def _reserve_run(self, group_id: int, count: int) -> int | None:
-        """Reserve ``count`` consecutive overflow slots with one FAA.
-
-        Returns the first slot, or None (reservation rolled back) if the
-        run does not fit.
-        """
-        group = self.metadata.groups[group_id]
-        tail_addr = self.layout.addr(group.overflow_offset)
-        slot0 = self.transport.faa(self.layout.rkey, tail_addr, count)
-        if slot0 + count > group.capacity_records:
-            self.transport.faa(self.layout.rkey, tail_addr, -count)
-            return None
-        return slot0
+    def _reserve_run(self, group_id: int, count: int) -> tuple[int, int]:
+        return self.mutation._reserve_run(group_id, count)
 
     def _patch_cached_entries(self, group_id: int, slot: int,
                               record: OverflowRecord) -> None:
-        """Keep this instance's cached entries of a group coherent with a
-        record just written at ``slot``."""
-        for cid in self._group_members(group_id):
-            entry = self.cache.peek(cid)
-            if entry is not None and entry.overflow_tail == slot:
-                if cid == record.cluster_id:
-                    entry.overflow.append(record)
-                entry.overflow_tail = slot + 1
+        self.mutation._patch_cached_entries(group_id, slot, record)
 
-    def _reserve_and_write(self, cluster_id: int, vector: np.ndarray,
-                           global_id: int, tombstone: bool = False) -> int:
-        group_id = self.metadata.clusters[cluster_id].group_id
-        group = self.metadata.groups[group_id]
-        tail_addr = self.layout.addr(group.overflow_offset)
-        slot = self.transport.faa(self.layout.rkey, tail_addr, 1)
-        if slot >= group.capacity_records:
-            # Roll the reservation back before rebuilding.
-            self.transport.faa(self.layout.rkey, tail_addr, -1)
-            raise OverflowFullError(group_id, group.capacity_records,
-                                    overflow_record_size(self.metadata.dim))
-        record = OverflowRecord(global_id=global_id, cluster_id=cluster_id,
-                                vector=vector, tombstone=tombstone)
-        record_size = overflow_record_size(self.metadata.dim)
-        record_addr = self.layout.addr(
-            group.overflow_offset + OVERFLOW_TAIL_BYTES + slot * record_size)
-        self.transport.write(self.layout.rkey, record_addr,
-                             pack_overflow_record(record))
-        # Keep this instance's own cached entries of the group coherent.
-        self._patch_cached_entries(group_id, slot, record)
-        return slot
-
-    # ------------------------------------------------------------------
-    # Group rebuild (overflow exhausted)
-    # ------------------------------------------------------------------
     def _group_members(self, group_id: int) -> list[int]:
-        return [cid for cid, entry in enumerate(self.metadata.clusters)
-                if entry.group_id == group_id]
+        return self.mutation._group_members(group_id)
 
-    def _rebuild_group(self, group_id: int) -> None:
-        """Merge a group's overflow into its sub-HNSWs and relocate it.
-
-        The rebuilt group is written at the region tail with an empty
-        overflow area; the metadata block is updated and its version
-        bumped so every compute instance drops stale offsets.
-        """
-        member_ids = self._group_members(group_id)
-        group = self.metadata.groups[group_id]
-
-        # One READ covering the whole group.
-        start = min(min(self.metadata.clusters[cid].blob_offset
-                        for cid in member_ids), group.overflow_offset)
-        area = overflow_area_size(self.metadata.dim, group.capacity_records)
-        end = max(max(self.metadata.clusters[cid].blob_offset
-                      + self.metadata.clusters[cid].blob_length
-                      for cid in member_ids),
-                  group.overflow_offset + area)
-        payload = self.transport.read(self.layout.rkey,
-                                      self.layout.addr(start),
-                                      end - start)
-        self.node.charge_time(self.cost_model.deserialize_us(len(payload)))
-
-        # Fold overflow records into each member's graph.  Tombstoned and
-        # superseded ids are physically reclaimed here: if any base-graph
-        # vector is affected the member is rebuilt from scratch over its
-        # surviving vectors; otherwise live records are appended
-        # incrementally.
-        overflow_off = group.overflow_offset - start
-        (tail,) = _U64.unpack_from(payload, overflow_off)
-        count = min(int(tail), group.capacity_records)
-        records = unpack_overflow_records(
-            payload[overflow_off + OVERFLOW_TAIL_BYTES:],
-            self.metadata.dim, count)
-        tasks = []
-        for cid in member_ids:
-            cluster = self.metadata.clusters[cid]
-            # Mandatory copy: the rebuild below retires this extent and
-            # writes relocated blobs, so the zero-copy READ payload must
-            # not survive past the mutation (and the blob is pickled to
-            # pool workers anyway).
-            blob = bytes(payload[cluster.blob_offset - start:
-                                 cluster.blob_offset - start
-                                 + cluster.blob_length])
-            tasks.append(ClusterRebuildTask(
-                cluster_id=cid, dim=self.metadata.dim, blob=blob,
-                records=[record for record in records
-                         if record.cluster_id == cid],
-                params=self.config.sub_params))
-        # Members of a group rebuild independently; the tasks are pure,
-        # so any worker count produces the same blobs.
-        with BuildPool(min(self.config.build_workers, len(tasks))) as pool:
-            new_blobs = list(pool.map(rebuild_cluster_blob, tasks))
-
-        # Relocate: [blob A][fresh overflow][blob B] at the region tail.
-        total = sum(len(blob) for blob in new_blobs) + area + 8
-        base = self.layout.allocator.allocate(total)
-        first_offset = base
-        # Keep the tail counter 8-byte aligned for remote atomics.
-        overflow_offset = base + len(new_blobs[0])
-        overflow_offset += (-overflow_offset) % 8
-        offsets = [first_offset]
-        if len(new_blobs) > 1:
-            offsets.append(overflow_offset + area)
-        for blob, offset in zip(new_blobs, offsets):
-            self.transport.write(self.layout.rkey,
-                                 self.layout.addr(offset), blob)
-        # Fresh tail counter = 0 (region bytes start zeroed; write it
-        # anyway so relocation onto recycled space would stay correct).
-        self.transport.write(self.layout.rkey,
-                             self.layout.addr(overflow_offset),
-                             bytes(OVERFLOW_TAIL_BYTES))
-        self.layout.allocator.retire(start, end - start)
-
-        # Publish new metadata (version bump), authoritative + local.
-        clusters = list(self.metadata.clusters)
-        for cid, offset, blob in zip(member_ids, offsets, new_blobs):
-            clusters[cid] = dataclasses.replace(
-                clusters[cid], blob_offset=offset, blob_length=len(blob))
-        groups = list(self.metadata.groups)
-        groups[group_id] = dataclasses.replace(
-            groups[group_id], overflow_offset=overflow_offset)
-        # A rebuilt member's cold extent is stale twice over: its codes
-        # predate the merged overflow and its vectors_offset points at
-        # the retired blob.  Zero the entry (cluster serves hot until a
-        # future re-encode) and recycle the extent; everything else in
-        # the cold directory survives.
-        cold = self.metadata.cold
-        if cold is not None:
-            extents = list(cold.extents)
-            for cid in member_ids:
-                stale = extents[cid]
-                if stale.length > 0:
-                    self.layout.allocator.retire(stale.offset,
-                                                 stale.length)
-                extents[cid] = ColdExtentEntry(0, 0)
-            cold = ColdDirectory(codebook_offset=cold.codebook_offset,
-                                 codebook_length=cold.codebook_length,
-                                 extents=extents)
-        fresh = GlobalMetadata(
-            version=self.metadata.version + 1, dim=self.metadata.dim,
-            overflow_capacity_records=self.metadata.overflow_capacity_records,
-            clusters=clusters, groups=groups, cold=cold)
-        self.transport.write(self.layout.rkey, self.layout.addr(0),
-                             fresh.pack())
-        self.metadata = fresh
-        self.layout.metadata = GlobalMetadata.unpack(fresh.pack())
-        for cid in member_ids:
-            self.cache.invalidate(cid)
+    def _rebuild_group(self, group_id: int) -> bool:
+        """Lead (or yield) a shadow rebuild of ``group_id``; see
+        :class:`repro.mutation.rebuild.ShadowRebuild`."""
+        return self.mutation.rebuild_group(group_id)

@@ -51,6 +51,19 @@ class DHnswConfig:
         When True (default), cache hits verify the remote overflow tail
         counter (piggybacked on the wave's doorbell batch) and fetch only
         the delta records, so searches observe concurrent inserts.
+    mutation_retry_limit:
+        Bounded retries of the mutation path's reserve/rebuild loop when
+        another writer wins a race (rebuild leadership lost, or a slot
+        reservation landed on a just-sealed overflow area).  Each retry
+        refreshes metadata first; exhausting the budget raises
+        ``OverflowFullError`` instead of spinning.
+    reclaim_eager:
+        When True (default), every metadata refresh and cutover also
+        attempts grace-period reclamation of retired extents (an extent
+        is recycled once every registered reader has observed a metadata
+        version at or past its retirement).  False defers reclamation
+        entirely to explicit ``RetiredExtentLog.reclaim`` calls —
+        operational tooling and leak-check tests use this.
     adaptive_nprobe:
         Extension beyond the paper: when True, each query probes only
         the partitions whose representative distance is within
@@ -143,6 +156,8 @@ class DHnswConfig:
     batch_size: int = 2000
     overflow_capacity_records: int = 128
     validate_overflow_on_hit: bool = True
+    mutation_retry_limit: int = 8
+    reclaim_eager: bool = True
     adaptive_nprobe: bool = False
     adaptive_alpha: float = 1.35
     pipeline_waves: bool = False
@@ -189,6 +204,10 @@ class DHnswConfig:
             raise ConfigError(
                 f"overflow_capacity_records must be >= 0, got "
                 f"{self.overflow_capacity_records}")
+        if self.mutation_retry_limit < 1:
+            raise ConfigError(
+                f"mutation_retry_limit must be >= 1, got "
+                f"{self.mutation_retry_limit}")
         if self.region_headroom < 1.0:
             raise ConfigError(
                 f"region_headroom must be >= 1.0, got {self.region_headroom}")

@@ -38,7 +38,8 @@ from repro.layout.cold import (NO_NEIGHBOR, codebook_blob_size,
                                serialize_codebook, serialize_cold_cluster)
 from repro.layout.group_layout import plan_groups
 from repro.layout.metadata import (ColdDirectory, ColdExtentEntry,
-                                   GlobalMetadata)
+                                   GlobalMetadata, rebuild_lock_offset)
+from repro.mutation.reclaim import RetiredExtentLog
 from repro.layout.serializer import (cluster_label_section_offset,
                                      peek_cluster_geometry,
                                      serialize_cluster,
@@ -78,6 +79,12 @@ class RemoteLayout:
     #: the same capacity as a fresh node, so rkey and base_addr match the
     #: primary and one address space reaches every replica.
     replicas: list[MemoryNode] = dataclasses.field(default_factory=list)
+    #: Grace-period ledger of extents retired by shadow rebuilds.
+    #: Host-side control-plane state shared by every client of the
+    #: deployment; space returns to ``allocator`` only once all
+    #: registered readers have observed the retiring version.
+    retired: RetiredExtentLog = dataclasses.field(
+        default_factory=RetiredExtentLog)
 
     @property
     def memory_nodes(self) -> list[MemoryNode]:
@@ -193,7 +200,12 @@ class DHnswBuilder:
         num_groups = (num_clusters + 1) // 2
         metadata_size = GlobalMetadata.packed_size(
             num_clusters, num_groups, with_cold=codebook is not None)
-        reserve = metadata_size + (-metadata_size) % _METADATA_ALIGN
+        # The reserve holds the metadata block followed by one rebuild
+        # lock word per group (region bytes start zeroed = unlocked);
+        # ``rebuild_lock_offset(metadata_size, num_groups)`` is one past
+        # the last lock word.
+        reserve_end = rebuild_lock_offset(metadata_size, num_groups)
+        reserve = reserve_end + (-reserve_end) % _METADATA_ALIGN
         plans, cluster_entries, group_entries = plan_groups(
             source.sizes(), dim, self.config.overflow_capacity_records,
             reserve)

@@ -34,8 +34,8 @@ import struct
 from repro.core.engine import RemoteLayout
 from repro.errors import LayoutError, SerializationError
 from repro.layout.cold import deserialize_codebook, deserialize_cold_cluster
-from repro.layout.group_layout import overflow_area_size
-from repro.layout.metadata import GlobalMetadata
+from repro.layout.group_layout import decode_overflow_tail, overflow_area_size
+from repro.layout.metadata import GlobalMetadata, rebuild_lock_offset
 from repro.layout.serializer import (
     deserialize_cluster,
     overflow_record_size,
@@ -135,6 +135,26 @@ def fsck(layout: RemoteLayout, replica: int = 0) -> FsckReport:
     for gid, group in enumerate(metadata.groups):
         report.groups_checked += 1
         location = f"group {gid}"
+        # Version chain: every group stamp is at least 1 and can never
+        # run ahead of the global version (each cutover bumps both).
+        if group.version < 1:
+            report.findings.append(Finding(
+                "error", location,
+                f"invalid group version {group.version}"))
+        elif group.version > metadata.version:
+            report.findings.append(Finding(
+                "error", location,
+                f"group version {group.version} ahead of global "
+                f"metadata version {metadata.version} (broken version "
+                f"chain)"))
+        (lock,) = _U64.unpack(_read(
+            node, layout,
+            rebuild_lock_offset(layout.metadata_nbytes, gid), 8))
+        if lock != 0:
+            report.findings.append(Finding(
+                "warning", location,
+                f"rebuild lock held (token {lock:#x}) — rebuild in "
+                f"flight, or leaked by a dead writer"))
         if group.overflow_offset % 8 != 0:
             report.findings.append(Finding(
                 "error", location,
@@ -146,12 +166,22 @@ def fsck(layout: RemoteLayout, replica: int = 0) -> FsckReport:
             continue
         extents.append((group.overflow_offset,
                         group.overflow_offset + area_size, location))
-        (tail,) = _U64.unpack(_read(node, layout, group.overflow_offset, 8))
-        tails[gid] = min(int(tail), group.capacity_records)
-        if tail > group.capacity_records:
+        (raw_tail,) = _U64.unpack(
+            _read(node, layout, group.overflow_offset, 8))
+        count, sealed = decode_overflow_tail(raw_tail,
+                                             group.capacity_records)
+        tails[gid] = count
+        if sealed:
+            # Live metadata must never point at a sealed area: the seal
+            # happens inside the cutover that republishes the group.
+            report.findings.append(Finding(
+                "error", location,
+                f"overflow area sealed but still referenced by live "
+                f"metadata (lost cutover)"))
+        elif raw_tail > group.capacity_records:
             report.findings.append(Finding(
                 "warning", location,
-                f"tail counter {tail} exceeds capacity "
+                f"tail counter {raw_tail} exceeds capacity "
                 f"{group.capacity_records} (torn reservation)"))
         blob = _read(node, layout, group.overflow_offset + 8,
                      tails[gid] * record_size)
@@ -269,6 +299,58 @@ def fsck(layout: RemoteLayout, replica: int = 0) -> FsckReport:
                 "error", f"{left}/{right}",
                 f"extents overlap ({left} ends at {end}, {right} starts "
                 f"at {start})"))
+
+    # --- retired-extent ledger (grace-period reclamation) -----------------
+    # A retired extent is a group span a shadow rebuild replaced.  It must
+    # never overlap anything the live metadata still names (that would mean
+    # a cutover retired bytes readers can still reach), and once every
+    # registered observer has moved past its retiring version it should
+    # have been reclaimed — a lingering reclaimable entry is a leak.
+    floor = layout.retired.min_observed()
+    for entry in layout.retired.entries:
+        location = f"retired extent @{entry.offset}"
+        if entry.offset < 0 or entry.offset + entry.length > region_length:
+            report.findings.append(Finding(
+                "error", location, "retired extent exceeds region"))
+            continue
+        for start, end, live in extents:
+            if entry.offset < end and start < entry.offset + entry.length:
+                report.findings.append(Finding(
+                    "error", f"{location}/{live}",
+                    f"retired extent [{entry.offset}, "
+                    f"{entry.offset + entry.length}) overlaps live {live}"))
+        if floor is None or entry.retired_version <= floor:
+            report.findings.append(Finding(
+                "warning", location,
+                f"retired at version {entry.retired_version} and every "
+                f"observer has moved past it, but never reclaimed "
+                f"(leaked extent, {entry.length} B)"))
+
+    # --- orphan extents ---------------------------------------------------
+    # Every allocated byte must be reachable: named by live metadata, on
+    # the allocator's free list, or awaiting grace-period reclaim in the
+    # retired ledger.  Gaps are orphans — space lost to a crashed rebuild
+    # that allocated its shadow copy but never published or retired it.
+    # Small gaps (< 16 B) are alignment slack, not leaks: overflow areas
+    # are 8-aligned inside their allocation and rebuilds carry 8 bytes of
+    # padding slack.
+    allocator = layout.allocator
+    covered = [(start, end) for start, end, _ in extents]
+    covered.extend((offset, offset + length)
+                   for offset, length in allocator.free_extents())
+    covered.extend((entry.offset, entry.offset + entry.length)
+                   for entry in layout.retired.entries)
+    covered.sort()
+    cursor = allocator.metadata_reserve
+    covered.append((allocator.tail, allocator.tail))
+    for start, end in covered:
+        if start - cursor >= 16:
+            report.findings.append(Finding(
+                "warning", f"region [{cursor}, {start})",
+                f"{start - cursor} B allocated but referenced by neither "
+                f"live metadata, the free list, nor the retired ledger "
+                f"(orphan extent)"))
+        cursor = max(cursor, end)
     return report
 
 

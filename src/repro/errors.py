@@ -142,6 +142,18 @@ class OverflowFullError(LayoutError):
         self.needed = needed
 
 
+class GroupSealedError(LayoutError):
+    """A slot reservation landed on an overflow area a concurrent shadow
+    rebuild has sealed.  The group has been relocated; the writer should
+    refresh its metadata and retry against the new location."""
+
+    def __init__(self, group_id: int) -> None:
+        super().__init__(
+            f"overflow area of group {group_id} is sealed (group "
+            f"relocated by a concurrent rebuild); refresh and retry")
+        self.group_id = group_id
+
+
 class StaleMetadataError(LayoutError):
     """A compute instance used cached cluster offsets whose version no
     longer matches the authoritative metadata block in remote memory."""

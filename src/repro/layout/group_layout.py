@@ -26,9 +26,35 @@ from repro.layout.metadata import ClusterEntry, GlobalMetadata, GroupEntry
 from repro.layout.serializer import overflow_record_size
 
 __all__ = ["GroupPlan", "plan_groups", "cluster_read_extent",
-           "overflow_area_size", "OVERFLOW_TAIL_BYTES"]
+           "overflow_area_size", "decode_overflow_tail",
+           "OVERFLOW_TAIL_BYTES", "OVERFLOW_SEALED"]
 
 OVERFLOW_TAIL_BYTES = 8  # u64 tail counter at the head of each overflow area
+
+#: Seal sentinel a shadow rebuild's cutover adds to a retired group's
+#: tail counter with a single FAA.  Far above any real capacity, so a
+#: racing writer's FAA lands at ``>= OVERFLOW_SEALED`` and rolls back,
+#: while ``sealed_tail - OVERFLOW_SEALED`` still recovers the exact
+#: final record count — the retired extent stays a decodable snapshot
+#: for readers pinned to the previous metadata epoch.
+OVERFLOW_SEALED = 1 << 32
+
+
+def decode_overflow_tail(raw_tail: int,
+                         capacity_records: int) -> tuple[int, bool]:
+    """Interpret a raw u64 tail counter.
+
+    Returns ``(record_count, sealed)``: the number of valid records in
+    the area (clamped to capacity; transiently over-reserved slots hold
+    no data) and whether a cutover sealed the area.  Works on both live
+    and retired overflow areas, so readers at either epoch decode the
+    same bytes consistently.
+    """
+    raw_tail = int(raw_tail)
+    sealed = raw_tail >= OVERFLOW_SEALED
+    if sealed:
+        raw_tail -= OVERFLOW_SEALED
+    return min(raw_tail, capacity_records), sealed
 
 
 def overflow_area_size(dim: int, capacity_records: int) -> int:

@@ -7,16 +7,25 @@ after the sub-HNSW clusters are written to the memory pool, with the latest
 version stored at the beginning of the memory space in the memory
 instance."
 
-The block is versioned: every layout mutation (group rebuild, relocation)
-bumps ``version``, and compute instances detect staleness by comparing the
-version of their cached copy against the first 8 bytes of the region.
+The block is versioned at two granularities.  The global ``version``
+bumps on every published layout mutation, and compute instances detect
+staleness by comparing the version of their cached copy against the first
+8 bytes of the region.  Each :class:`GroupEntry` additionally carries its
+own ``version`` stamp, bumped only when *that* group's shadow rebuild
+cuts over — so a refreshing instance invalidates exactly the clusters
+whose group moved instead of guessing from entry diffs.
+
+Past the packed block, still inside the metadata reserve, lives one u64
+rebuild-lock word per group (see :func:`rebuild_lock_offset`).  Writers
+arbitrate group-rebuild leadership with remote CAS on these words; they
+are not part of the packed bytes so the block itself stays append-only.
 
 Wire format:
 
 * header: magic ``b"DHM1"``, version u64, num_clusters u32, num_groups u32,
   dim u32, overflow_capacity_records u32
 * per cluster: blob_offset u64, blob_length u64, group_id u32, pad u32
-* per group: overflow_offset u64, capacity_records u32, pad u32
+* per group: overflow_offset u64, capacity_records u32, version u32
 * cold directory (optional, only for tiered deployments): marker
   ``b"DHMC"`` + pad u32, codebook_offset u64, codebook_length u64, then
   per cluster: cold_offset u64, cold_length u64 (length 0 = no cold
@@ -39,7 +48,8 @@ import struct
 from repro.errors import LayoutError
 
 __all__ = ["ClusterEntry", "GroupEntry", "ColdExtentEntry",
-           "ColdDirectory", "GlobalMetadata"]
+           "ColdDirectory", "GlobalMetadata", "REBUILD_LOCK_BYTES",
+           "rebuild_lock_offset"]
 
 _MAGIC = b"DHM1"
 _COLD_MARKER = b"DHMC"
@@ -48,6 +58,23 @@ _CLUSTER = struct.Struct("<QQII")
 _GROUP = struct.Struct("<QII")
 _COLD_HEAD = struct.Struct("<4sxxxxQQ")  # marker, codebook offset/length
 _COLD_EXTENT = struct.Struct("<QQ")
+
+#: One u64 rebuild-lock word per group, laid out after the packed block.
+REBUILD_LOCK_BYTES = 8
+
+
+def rebuild_lock_offset(packed_nbytes: int, group_id: int) -> int:
+    """Region offset of ``group_id``'s rebuild-lock word.
+
+    Lock words sit in the metadata reserve just past the packed block,
+    8-aligned so remote CAS can target them.  The packed size is constant
+    for a deployment (entry counts never change), so the words never
+    move — unlike the groups they guard.
+    """
+    if group_id < 0:
+        raise LayoutError(f"group id must be >= 0, got {group_id}")
+    base = packed_nbytes + (-packed_nbytes) % 8
+    return base + group_id * REBUILD_LOCK_BYTES
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,11 +91,15 @@ class GroupEntry:
     """Location of one group's shared overflow area.
 
     ``overflow_offset`` points at the u64 tail counter; records start 8
-    bytes later.
+    bytes later.  ``version`` stamps this group's epoch: it starts at 1
+    and bumps by one each time a shadow rebuild of the group cuts over,
+    letting refreshing instances invalidate per group instead of
+    rereading everything on any global bump.
     """
 
     overflow_offset: int
     capacity_records: int
+    version: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -139,7 +170,8 @@ class GlobalMetadata:
                                        cluster.group_id, 0))
         for group in self.groups:
             parts.append(_GROUP.pack(group.overflow_offset,
-                                     group.capacity_records, 0))
+                                     group.capacity_records,
+                                     group.version))
         if self.cold is not None:
             if len(self.cold.extents) != self.num_clusters:
                 raise LayoutError(
@@ -177,8 +209,12 @@ class GlobalMetadata:
             offset += _CLUSTER.size
         groups = []
         for _ in range(num_groups):
-            overflow_offset, cap, _pad = _GROUP.unpack_from(blob, offset)
-            groups.append(GroupEntry(overflow_offset, cap))
+            overflow_offset, cap, group_version = _GROUP.unpack_from(
+                blob, offset)
+            # Pre-stamp blocks packed a zero pad where the version lives
+            # now; treat them as first-epoch groups.
+            groups.append(GroupEntry(overflow_offset, cap,
+                                     version=group_version or 1))
             offset += _GROUP.size
         cold = None
         if (len(blob) >= offset + _COLD_HEAD.size

@@ -52,6 +52,7 @@ __all__ = [
     "OverflowRecord",
     "overflow_record_size",
     "pack_overflow_record",
+    "pack_overflow_records",
     "unpack_overflow_records",
     "serialize_cluster",
     "serialize_cluster_reference",
@@ -101,6 +102,16 @@ def pack_overflow_record(record: OverflowRecord) -> bytes:
         wire_cid |= _TOMBSTONE_BIT
     head = _OVERFLOW_HEAD.pack(record.global_id, wire_cid)
     return head + vector.tobytes()
+
+
+def pack_overflow_records(records: "list[OverflowRecord]") -> bytes:
+    """Serialize a run of overflow records into one contiguous buffer.
+
+    The cutover's record migration writes surviving late arrivals into
+    the fresh overflow area with a single WRITE, so the run must be one
+    wire-ready byte string rather than per-record payloads.
+    """
+    return b"".join(pack_overflow_record(record) for record in records)
 
 
 def unpack_overflow_records(blob: bytes, dim: int,

@@ -1,0 +1,37 @@
+"""Mutation path: concurrent writers, shadow rebuilds, reclamation.
+
+This package owns every write-side protocol of the d-HNSW layout:
+
+* :mod:`repro.mutation.writer` — :class:`MutationEngine`, the per-client
+  insert/delete/batch front end.  Slot reservation uses remote FAA with
+  rollback; full overflow areas trigger a shadow rebuild.
+* :mod:`repro.mutation.rebuild` — :class:`ShadowRebuild`, the background
+  group rebuild.  Leadership is arbitrated with a remote CAS lock word;
+  the merged group is built at the region tail while readers keep
+  serving the old extents, then published with one version-stamped
+  cutover (seal old tail → migrate late records → bump the group's and
+  the global metadata version).
+* :mod:`repro.mutation.reclaim` — :class:`RetiredExtentLog`, the
+  grace-period ledger.  Extents a cutover retires are reclaimed only
+  after every registered reader has observed a metadata version at
+  least as new as the retirement, so a reader pinned to the previous
+  epoch never has bytes recycled under it.
+
+Like :mod:`repro.serving`, this layer speaks only
+:class:`repro.transport.base.Transport` verbs — never the raw queue
+pair (enforced by ``tests/test_layering.py``).
+"""
+
+from repro.mutation.reclaim import RetiredExtent, RetiredExtentLog
+from repro.mutation.rebuild import ShadowRebuild, writer_token
+from repro.mutation.writer import InsertReport, MutationEngine, MutationStats
+
+__all__ = [
+    "InsertReport",
+    "MutationEngine",
+    "MutationStats",
+    "RetiredExtent",
+    "RetiredExtentLog",
+    "ShadowRebuild",
+    "writer_token",
+]

@@ -144,6 +144,8 @@ class QueuePair:
         elapsed = self.cost_model.atomic_us()
         charged = self.clock.advance_channel(NETWORK_CHANNEL, elapsed)
         self.stats.record_atomic(charged)
+        if prior != expected:
+            self.stats.record_cas_failure()
         return prior
 
     def post_faa(self, rkey: int, addr: int, delta: int) -> int:

@@ -45,6 +45,10 @@ class RdmaStats:
     #: READs re-routed to another replica after one replica exhausted its
     #: retry budget (see ``repro.transport.replica``).
     failovers: int = 0
+    #: CAS verbs that lost their race (prior value != expected).  The
+    #: writer-contention signal of the mutation path: every lost rebuild
+    #: leadership or cutover race shows up here.
+    cas_failures: int = 0
 
     def record_read(self, nbytes: int, time_us: float) -> None:
         """Account one single READ."""
@@ -65,6 +69,14 @@ class RdmaStats:
         self.round_trips += 1
         self.atomic_ops += 1
         self.network_time_us += time_us
+
+    def record_cas_failure(self) -> None:
+        """Account one CAS that observed a different prior value.
+
+        The verb itself is already counted by :meth:`record_atomic`;
+        this only tallies the lost race (writer contention).
+        """
+        self.cas_failures += 1
 
     def record_doorbell_read(self, sizes: list[int], rings: int,
                              time_us: float) -> None:
@@ -142,6 +154,7 @@ class RdmaStats:
             backoff_time_us=self.backoff_time_us - earlier.backoff_time_us,
             faults_injected=self.faults_injected - earlier.faults_injected,
             failovers=self.failovers - earlier.failovers,
+            cas_failures=self.cas_failures - earlier.cas_failures,
         )
 
     def merge(self, other: "RdmaStats") -> None:
@@ -159,3 +172,4 @@ class RdmaStats:
         self.backoff_time_us += other.backoff_time_us
         self.faults_injected += other.faults_injected
         self.failovers += other.failovers
+        self.cas_failures += other.cas_failures

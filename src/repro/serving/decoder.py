@@ -13,8 +13,12 @@ import dataclasses
 import struct
 
 from repro.core.cache import CachedCluster
-from repro.errors import LayoutError
-from repro.layout.group_layout import OVERFLOW_TAIL_BYTES, overflow_area_size
+from repro.errors import LayoutError, StaleReadError
+from repro.layout.group_layout import (
+    OVERFLOW_TAIL_BYTES,
+    decode_overflow_tail,
+    overflow_area_size,
+)
 from repro.layout.serializer import (
     deserialize_cluster,
     unpack_overflow_records,
@@ -70,8 +74,18 @@ class Decoder:
         cluster = host.metadata.clusters[cluster_id]
         group = host.metadata.groups[cluster.group_id]
         area = payload[group.overflow_offset - extent_offset:]
-        (tail,) = _U64.unpack_from(area, 0)
-        key = (cluster_id, host.metadata.version, int(tail))
+        (raw_tail,) = _U64.unpack_from(area, 0)
+        count, sealed = decode_overflow_tail(raw_tail,
+                                             group.capacity_records)
+        if sealed:
+            # A cutover sealed this extent between our metadata refresh
+            # and the READ; the group has moved.  Surface a retryable
+            # error instead of decoding against retired offsets.
+            raise StaleReadError(
+                f"extent of cluster {cluster_id} sealed by a concurrent "
+                f"rebuild cutover; refresh metadata and re-plan",
+                op="READ")
+        key = (cluster_id, host.metadata.version, count)
         memoized = self._decode_cache.get(key)
         if memoized is None:
             memoized = self.parse_extent(cluster_id, extent_offset, payload)
@@ -108,13 +122,19 @@ class Decoder:
         area = payload[overflow_start:
                        overflow_start + overflow_area_size(
                            host.metadata.dim, group.capacity_records)]
-        (tail,) = _U64.unpack_from(area, 0)
-        count = min(tail, group.capacity_records)
+        (raw_tail,) = _U64.unpack_from(area, 0)
+        count, sealed = decode_overflow_tail(raw_tail,
+                                             group.capacity_records)
+        if sealed:
+            raise StaleReadError(
+                f"extent of cluster {cluster_id} sealed by a concurrent "
+                f"rebuild cutover; refresh metadata and re-plan",
+                op="READ")
         records = unpack_overflow_records(
             area[OVERFLOW_TAIL_BYTES:], host.metadata.dim, count)
         own = [record for record in records
                if record.cluster_id == cluster_id]
         return CachedCluster(cluster_id=cluster_id, index=index,
-                             overflow=own, overflow_tail=int(tail),
+                             overflow=own, overflow_tail=count,
                              metadata_version=host.metadata.version,
                              nbytes=len(payload))

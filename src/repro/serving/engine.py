@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.query_planner import BatchPlan
 from repro.core.results import BatchResult
+from repro.errors import StaleReadError
 from repro.metrics.latency import LatencyBreakdown
 from repro.serving import reference
 from repro.serving.decoder import Decoder
@@ -73,7 +74,24 @@ class ServingEngine:
 
         The staged twin of the former ``DHnswClient.search_batch`` body;
         the client's method is now a façade over this one.
+
+        Epoch consistency: the batch is planned against the metadata
+        version pinned by its entry refresh.  If a concurrent shadow
+        rebuild's cutover seals an extent out from under the plan
+        (:class:`StaleReadError`), the batch re-pins to the new epoch
+        and re-plans once rather than decoding retired offsets; a second
+        failure propagates.
         """
+        try:
+            return self._search_batch_once(queries, k, ef_search, filter_fn)
+        except StaleReadError:
+            self.host.refresh_metadata()
+            return self._search_batch_once(queries, k, ef_search, filter_fn)
+
+    def _search_batch_once(self, queries: np.ndarray, k: int,
+                           ef_search: int | None = None,
+                           filter_fn: "Callable[[int], bool] | None" = None
+                           ) -> BatchResult:
         host = self.host
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         if k < 1:

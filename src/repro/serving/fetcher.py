@@ -13,8 +13,12 @@ import struct
 
 from repro.core.cache import CachedCluster
 from repro.core.query_planner import Wave
-from repro.errors import LayoutError
-from repro.layout.group_layout import OVERFLOW_TAIL_BYTES, cluster_read_extent
+from repro.errors import LayoutError, StaleReadError
+from repro.layout.group_layout import (
+    OVERFLOW_TAIL_BYTES,
+    cluster_read_extent,
+    decode_overflow_tail,
+)
 from repro.layout.serializer import (
     overflow_record_size,
     unpack_overflow_records,
@@ -172,9 +176,18 @@ class Fetcher:
                 descriptors, doorbell=host.policy.doorbell_batching)
         record_size = overflow_record_size(host.metadata.dim)
         for gid, payload in zip(group_ids, payloads):
-            (tail,) = _U64.unpack(payload)
+            (raw_tail,) = _U64.unpack(payload)
             group = host.metadata.groups[gid]
-            tail = min(int(tail), group.capacity_records)
+            tail, sealed = decode_overflow_tail(raw_tail,
+                                                group.capacity_records)
+            if sealed:
+                # The group was relocated by a cutover after this plan's
+                # metadata refresh; don't graft records from a retired
+                # epoch onto cached entries — re-plan at the new version.
+                raise StaleReadError(
+                    f"overflow tail of group {gid} sealed by a concurrent "
+                    f"rebuild cutover; refresh metadata and re-plan",
+                    op="READ")
             for cid in by_group[gid]:
                 entry = host.cache.peek(cid)
                 if entry is None or entry.overflow_tail >= tail:

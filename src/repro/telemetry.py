@@ -100,6 +100,23 @@ class ClientTelemetry:
     faults_injected: int = 0
     #: READs re-routed to another replica after retry-budget exhaustion.
     failovers: int = 0
+    #: CAS verbs that lost their race (prior value != expected) —
+    #: writer-contention signal for multi-writer ingest.
+    cas_failures: int = 0
+    #: Mutation-path ledger (all zero for a read-only instance):
+    #: records ingested/tombstoned, group rebuilds this writer led vs
+    #: yielded to a concurrent leader, records migrated across cutovers,
+    #: reservations retried after landing on a sealed tail, oversized
+    #: batches split across extra reservation rounds, and bytes this
+    #: observer's grace-period reclaim returned to the allocator.
+    inserts: int = 0
+    deletes: int = 0
+    rebuilds_led: int = 0
+    rebuilds_yielded: int = 0
+    records_migrated: int = 0
+    sealed_retries: int = 0
+    batch_chunks: int = 0
+    reclaimed_bytes: int = 0
     #: Per-replica health/traffic rows (``ReplicaSelector.status()``);
     #: empty for an unreplicated pool.
     replicas: tuple = ()
@@ -137,6 +154,19 @@ class ClientTelemetry:
                 tier_hot_bytes=tier.hot_tier_bytes())
         else:
             tier_fields = {}
+        mutation = getattr(client, "mutation", None)
+        if mutation is not None:
+            mstats = mutation.stats
+            mutation_fields = dict(
+                inserts=mstats.inserts, deletes=mstats.deletes,
+                rebuilds_led=mstats.rebuilds_led,
+                rebuilds_yielded=mstats.rebuilds_yielded,
+                records_migrated=mstats.records_migrated,
+                sealed_retries=mstats.sealed_retries,
+                batch_chunks=mstats.batch_chunks,
+                reclaimed_bytes=mstats.reclaimed_bytes)
+        else:
+            mutation_fields = {}
         return cls(
             name=client.node.name,
             scheme=client.scheme.value,
@@ -173,8 +203,10 @@ class ClientTelemetry:
             backoff_time_us=stats.backoff_time_us,
             faults_injected=stats.faults_injected,
             failovers=stats.failovers,
+            cas_failures=stats.cas_failures,
             replicas=replicas,
             **tier_fields,
+            **mutation_fields,
         )
 
 
@@ -197,6 +229,11 @@ class DeploymentTelemetry:
     #: one address space), so operators see the real memory-node-plus-
     #: compute footprint next to the simulated registered bytes.
     peak_rss: int = 0
+    #: Grace-period reclamation ledger: extents shadow rebuilds retired
+    #: that still await every observer moving past their version.
+    retired_extents: int = 0
+    retired_pending_bytes: int = 0
+    retired_observers: int = 0
 
     @classmethod
     def from_deployment(cls,
@@ -218,6 +255,9 @@ class DeploymentTelemetry:
             daemon_requests=daemon.requests_served if daemon else 0,
             daemon_cpu_us=daemon.cpu_time_us if daemon else 0.0,
             peak_rss=peak_rss_bytes(),
+            retired_extents=len(layout.retired.entries),
+            retired_pending_bytes=layout.retired.pending_bytes,
+            retired_observers=layout.retired.observers,
         )
 
     @property
@@ -255,6 +295,9 @@ def render_report(telemetry: DeploymentTelemetry,
         f"metadata v{telemetry.metadata_version}",
         f"control daemon   : {telemetry.daemon_requests} requests, "
         f"{telemetry.daemon_cpu_us:.1f} us CPU",
+        f"retired extents  : {telemetry.retired_extents} pending "
+        f"({telemetry.retired_pending_bytes / 2**20:.2f} MiB, "
+        f"{telemetry.retired_observers} observers)",
         f"process peak RSS : {telemetry.peak_rss / 2**20:.2f} MiB",
         "",
         "=== compute pool ===",
@@ -285,6 +328,25 @@ def render_report(telemetry: DeploymentTelemetry,
                 f"{client.name:<12} {client.faults_injected:>7} "
                 f"{client.retries:>8} {client.backoff_time_us:>11.1f} "
                 f"{client.failovers:>10}")
+    writers = [client for client in telemetry.clients
+               if client.inserts or client.deletes
+               or client.rebuilds_led or client.rebuilds_yielded]
+    if writers:
+        lines += [
+            "",
+            "=== mutation path ===",
+            f"{'instance':<12} {'ins':>6} {'del':>6} {'cas_fail':>9} "
+            f"{'sealed':>7} {'led':>4} {'yield':>6} {'migr':>6} "
+            f"{'chunks':>7} {'recl_MiB':>9}",
+        ]
+        for client in writers:
+            lines.append(
+                f"{client.name:<12} {client.inserts:>6} "
+                f"{client.deletes:>6} {client.cas_failures:>9} "
+                f"{client.sealed_retries:>7} {client.rebuilds_led:>4} "
+                f"{client.rebuilds_yielded:>6} "
+                f"{client.records_migrated:>6} {client.batch_chunks:>7} "
+                f"{client.reclaimed_bytes / 2**20:>9.2f}")
     tiered = [client for client in telemetry.clients
               if client.tier_hot or client.tier_cold
               or client.tier_cold_serves]

@@ -1,0 +1,100 @@
+"""Grace-period reclamation: the RetiredExtentLog ledger in isolation."""
+
+from __future__ import annotations
+
+from repro.mutation.reclaim import RetiredExtent, RetiredExtentLog
+
+
+class FakeAllocator:
+    """Records retire() calls so tests can assert what was freed."""
+
+    def __init__(self) -> None:
+        self.retired: list[tuple[int, int]] = []
+
+    def retire(self, offset: int, length: int) -> None:
+        self.retired.append((offset, length))
+
+
+class TestObserverTable:
+    def test_tokens_are_unique_even_for_identical_versions(self):
+        log = RetiredExtentLog()
+        assert log.register(3) != log.register(3)
+        assert log.observers == 2
+
+    def test_min_observed_tracks_the_slowest_reader(self):
+        log = RetiredExtentLog()
+        fast = log.register(1)
+        slow = log.register(1)
+        log.observe(fast, 9)
+        assert log.min_observed() == 1
+        log.observe(slow, 4)
+        assert log.min_observed() == 4
+
+    def test_observe_is_monotonic(self):
+        log = RetiredExtentLog()
+        token = log.register(5)
+        log.observe(token, 3)
+        assert log.min_observed() == 5
+
+    def test_deregister_releases_the_pin(self):
+        log = RetiredExtentLog()
+        ahead = log.register(10)
+        behind = log.register(2)
+        log.retire(100, 50, retired_version=8)
+        assert not log.reclaimable()
+        log.deregister(behind)
+        assert [entry.length for entry in log.reclaimable()] == [50]
+        assert log.min_observed() == 10
+        del ahead
+
+    def test_unknown_token_re_registers_silently(self):
+        log = RetiredExtentLog()
+        log.observe(99, 7)
+        assert log.observers == 1
+        assert log.min_observed() == 7
+
+
+class TestRetirement:
+    def test_zero_length_retirements_are_ignored(self):
+        log = RetiredExtentLog()
+        log.retire(64, 0, retired_version=2)
+        assert log.entries == ()
+        assert log.pending_bytes == 0
+
+    def test_pending_bytes_sums_the_ledger(self):
+        log = RetiredExtentLog()
+        log.retire(0, 128, retired_version=2)
+        log.retire(512, 64, retired_version=3)
+        assert log.pending_bytes == 192
+        assert log.entries == (RetiredExtent(0, 128, 2),
+                               RetiredExtent(512, 64, 3))
+
+    def test_no_observers_means_everything_reclaimable(self):
+        log = RetiredExtentLog()
+        log.retire(0, 128, retired_version=2)
+        assert [entry.offset for entry in log.reclaimable()] == [0]
+
+
+class TestReclaim:
+    def test_reclaim_frees_only_past_the_floor(self):
+        log = RetiredExtentLog()
+        token = log.register(2)
+        log.retire(100, 10, retired_version=2)
+        log.retire(200, 20, retired_version=5)
+        allocator = FakeAllocator()
+        assert log.reclaim(allocator) == 10
+        assert allocator.retired == [(100, 10)]
+        # The v5 extent stays pinned until the observer catches up.
+        assert log.pending_bytes == 20
+        log.observe(token, 5)
+        assert log.reclaim(allocator) == 20
+        assert allocator.retired == [(100, 10), (200, 20)]
+        assert log.pending_bytes == 0
+
+    def test_each_extent_reclaimed_exactly_once(self):
+        log = RetiredExtentLog()
+        log.retire(100, 10, retired_version=2)
+        allocator = FakeAllocator()
+        log.reclaim(allocator)
+        assert log.reclaim(allocator) == 0
+        assert allocator.retired == [(100, 10)]

@@ -21,7 +21,12 @@ SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
 FORBIDDEN = ("repro.rdma.qp", "repro.rdma.memory_node")
 
 #: Packages bound by the contract.
-CONSTRAINED = ("serving", "core", "frontdoor")
+CONSTRAINED = ("serving", "core", "frontdoor", "mutation")
+
+#: The mutation path sits beside serving, above the transport seam, and
+#: must not import the client/engine modules it is hosted by — the host
+#: is duck-typed, which is what keeps writer logic testable in isolation.
+MUTATION_FORBIDDEN = ("repro.core.client", "repro.core.engine")
 
 #: The front door is a pure client of the serving layer: it may import
 #: ``repro.core`` / ``repro.serving``, but the transport seam and the
@@ -91,6 +96,23 @@ def test_frontdoor_stays_above_the_transport_seam():
                     f"imports {module}")
     assert not violations, (
         "the front door must stay above the transport seam:\n  "
+        + "\n  ".join(violations))
+
+
+def test_mutation_never_imports_its_host():
+    """``repro.mutation`` speaks transport verbs against a duck-typed
+    host; importing the concrete client/engine would create a cycle and
+    couple writer logic to the façade it serves."""
+    violations = []
+    for path in sorted((SRC_ROOT / "mutation").rglob("*.py")):
+        for module, lineno in iter_imports(path):
+            if any(module == banned or module.startswith(banned + ".")
+                   for banned in MUTATION_FORBIDDEN):
+                violations.append(
+                    f"{path.relative_to(SRC_ROOT.parent)}:{lineno} "
+                    f"imports {module}")
+    assert not violations, (
+        "the mutation path must not import its host:\n  "
         + "\n  ".join(violations))
 
 
